@@ -1,0 +1,127 @@
+//! Cycle counting and conversion to wall-clock / throughput units.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A duration or timestamp measured in CPE clock cycles.
+///
+/// All costs in the machine model are expressed in cycles of the 1.45 GHz
+/// CPE clock; conversion to seconds and GFLOPS happens only at reporting
+/// time through [`MachineConfig`](crate::MachineConfig) helpers or
+/// [`Cycles::seconds_at`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    pub const ZERO: Cycles = Cycles(0);
+
+    #[inline]
+    pub fn new(c: u64) -> Self {
+        Cycles(c)
+    }
+
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Convert to seconds at a given clock frequency in GHz.
+    #[inline]
+    pub fn seconds_at(self, clock_ghz: f64) -> f64 {
+        self.0 as f64 / (clock_ghz * 1e9)
+    }
+
+    /// Saturating subtraction, used when computing slack between clocks.
+    #[inline]
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+
+    #[inline]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    #[inline]
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+/// Throughput in GFLOPS achieved by `flops` floating-point operations over
+/// `cycles` at `clock_ghz`.
+pub fn gflops(flops: u64, cycles: Cycles, clock_ghz: f64) -> f64 {
+    if cycles.0 == 0 {
+        return 0.0;
+    }
+    flops as f64 / cycles.seconds_at(clock_ghz) / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_conversion() {
+        let c = Cycles(1_450_000_000);
+        assert!((c.seconds_at(1.45) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Cycles(3) + Cycles(4), Cycles(7));
+        assert_eq!(Cycles(9) - Cycles(4), Cycles(5));
+        assert_eq!(Cycles(2).saturating_sub(Cycles(5)), Cycles(0));
+        let s: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(s, Cycles(6));
+    }
+
+    #[test]
+    fn gflops_of_peak() {
+        // 64 CPEs * 8 flops/cycle at 1.45 GHz = 742.4 GFLOPS.
+        let flops = 64u64 * 8 * 1_450_000_000;
+        let g = gflops(flops, Cycles(1_450_000_000), 1.45);
+        assert!((g - 742.4).abs() < 0.1, "got {g}");
+    }
+
+    #[test]
+    fn zero_cycles_gives_zero_gflops() {
+        assert_eq!(gflops(100, Cycles::ZERO, 1.45), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Main-memory arena shared by the MPE and the CPE cluster.
+//!
+//! The real machine exposes a flat DDR3 address space per core group. The
+//! model keeps a single `Vec<f32>` arena; buffers are carved out by a bump
+//! allocator and identified by [`BufferId`]. Addresses used by DMA requests
+//! are absolute element offsets into the arena, so a generated schedule that
+//! computes a wrong offset reads or writes *somewhere else* — exactly like
+//! the hardware — and is caught by functional tests rather than masked.
+
+use crate::error::{MachineError, MachineResult};
+
+/// Handle to a buffer allocated in main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub usize);
+
+#[derive(Debug, Clone)]
+struct BufferMeta {
+    base: usize,
+    len: usize,
+    name: String,
+}
+
+/// The main-memory arena (element-addressed, f32).
+#[derive(Debug, Clone, Default)]
+pub struct MainMemory {
+    data: Vec<f32>,
+    buffers: Vec<BufferMeta>,
+}
+
+impl MainMemory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a zero-initialised buffer of `len` f32 elements.
+    pub fn alloc(&mut self, name: &str, len: usize) -> BufferId {
+        let base = self.data.len();
+        self.data.resize(base + len, 0.0);
+        self.buffers.push(BufferMeta { base, len, name: name.to_string() });
+        BufferId(self.buffers.len() - 1)
+    }
+
+    /// Allocate and fill from a slice.
+    pub fn alloc_from(&mut self, name: &str, src: &[f32]) -> BufferId {
+        let id = self.alloc(name, src.len());
+        self.write(id, 0, src).expect("fresh buffer write cannot fail");
+        id
+    }
+
+    /// Absolute element offset of the start of a buffer.
+    pub fn base(&self, id: BufferId) -> usize {
+        self.buffers[id.0].base
+    }
+
+    /// Length in elements of a buffer.
+    pub fn len_of(&self, id: BufferId) -> usize {
+        self.buffers[id.0].len
+    }
+
+    /// Debug name of a buffer.
+    pub fn name_of(&self, id: BufferId) -> &str {
+        &self.buffers[id.0].name
+    }
+
+    /// Total arena size in elements.
+    pub fn arena_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read a whole buffer.
+    pub fn buffer(&self, id: BufferId) -> &[f32] {
+        let m = &self.buffers[id.0];
+        &self.data[m.base..m.base + m.len]
+    }
+
+    /// Mutable view of a whole buffer.
+    pub fn buffer_mut(&mut self, id: BufferId) -> &mut [f32] {
+        let m = &self.buffers[id.0];
+        &mut self.data[m.base..m.base + m.len]
+    }
+
+    /// Copy `dst.len()` elements out of a buffer starting at `offset`
+    /// (relative to the buffer base).
+    pub fn read(&self, id: BufferId, offset: usize, dst: &mut [f32]) -> MachineResult<()> {
+        let m = &self.buffers[id.0];
+        self.check(m, offset, dst.len())?;
+        dst.copy_from_slice(&self.data[m.base + offset..m.base + offset + dst.len()]);
+        Ok(())
+    }
+
+    /// Copy `src` into a buffer starting at `offset`.
+    pub fn write(&mut self, id: BufferId, offset: usize, src: &[f32]) -> MachineResult<()> {
+        let m = self.buffers[id.0].clone();
+        self.check(&m, offset, src.len())?;
+        self.data[m.base + offset..m.base + offset + src.len()].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Raw arena access by absolute element offset (used by the DMA engine).
+    pub(crate) fn arena(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub(crate) fn arena_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Validate that an absolute range lies within the arena.
+    pub fn check_abs(&self, offset: usize, len: usize) -> MachineResult<()> {
+        if offset + len > self.data.len() {
+            return Err(MachineError::MainMemoryOutOfBounds { offset, len, size: self.data.len() });
+        }
+        Ok(())
+    }
+
+    fn check(&self, m: &BufferMeta, offset: usize, len: usize) -> MachineResult<()> {
+        if offset + len > m.len {
+            return Err(MachineError::MainMemoryOutOfBounds {
+                offset: m.base + offset,
+                len,
+                size: m.base + m.len,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let mut mem = MainMemory::new();
+        let a = mem.alloc("a", 8);
+        let b = mem.alloc_from("b", &[1.0, 2.0, 3.0]);
+        assert_eq!(mem.base(a), 0);
+        assert_eq!(mem.base(b), 8);
+        assert_eq!(mem.len_of(b), 3);
+        assert_eq!(mem.name_of(b), "b");
+
+        mem.write(a, 2, &[9.0, 8.0]).unwrap();
+        let mut out = [0.0; 4];
+        mem.read(a, 1, &mut out).unwrap();
+        assert_eq!(out, [0.0, 9.0, 8.0, 0.0]);
+        assert_eq!(mem.buffer(b), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut mem = MainMemory::new();
+        let a = mem.alloc("a", 4);
+        let err = mem.write(a, 3, &[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, MachineError::MainMemoryOutOfBounds { .. }));
+        let mut dst = [0.0; 5];
+        assert!(mem.read(a, 0, &mut dst).is_err());
+    }
+
+    #[test]
+    fn buffers_are_zero_initialised() {
+        let mut mem = MainMemory::new();
+        let a = mem.alloc("a", 1000);
+        assert!(mem.buffer(a).iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Register-communication cost model.
+//!
+//! The CPE mesh offers register-level data sharing: a CPE can broadcast a
+//! 256-bit register to all CPEs in its row or column in a handful of cycles
+//! (aggregate bandwidth 647.25 GB/s per cluster, Xu et al. 2017). The GEMM
+//! micro-kernels consume this through the `vlddr`/`vlddc` (load-and-
+//! broadcast a vector) and `vldder`/`vlddec` (load-scalar-extend-and-
+//! broadcast) instructions, which the pipeline scoreboard costs directly.
+//!
+//! This module provides the standalone helpers used when reasoning about
+//! panel rotation outside the scoreboard: switching the communication
+//! pattern (row ↔ column) drains the bus and costs
+//! [`MachineConfig::regcomm_switch`] cycles.
+
+use crate::clock::Cycles;
+use crate::config::MachineConfig;
+use crate::MESH;
+
+/// Which mesh bus a broadcast travels on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BcastBus {
+    Row,
+    Column,
+}
+
+/// Cost of rotating through all 8 producers of a row/column panel: each of
+/// the `MESH` steps re-targets the broadcast source, which costs a bus
+/// turnaround on top of the per-vector costs already counted by the
+/// scoreboard.
+pub fn panel_rotation_overhead(cfg: &MachineConfig) -> Cycles {
+    Cycles(cfg.regcomm_switch.get() * MESH as u64)
+}
+
+/// Cost of switching between row and column broadcast patterns.
+pub fn switch_overhead(cfg: &MachineConfig) -> Cycles {
+    cfg.regcomm_switch
+}
+
+/// Minimum cycles to broadcast `vectors` 256-bit registers over one bus,
+/// assuming full pipelining (1 vector/cycle issue) plus the initial mesh
+/// traversal latency. Used for sanity checks and documentation; the
+/// authoritative cost comes from the scoreboard.
+pub fn bcast_min_cycles(cfg: &MachineConfig, vectors: u64) -> Cycles {
+    if vectors == 0 {
+        return Cycles::ZERO;
+    }
+    Cycles(cfg.bcast_latency + (vectors - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_is_mesh_switches() {
+        let cfg = MachineConfig::default();
+        assert_eq!(
+            panel_rotation_overhead(&cfg).get(),
+            cfg.regcomm_switch.get() * 8
+        );
+    }
+
+    #[test]
+    fn bcast_pipelines() {
+        let cfg = MachineConfig::default();
+        assert_eq!(bcast_min_cycles(&cfg, 0), Cycles::ZERO);
+        let one = bcast_min_cycles(&cfg, 1);
+        let many = bcast_min_cycles(&cfg, 101);
+        // 100 extra vectors cost exactly 100 extra cycles when pipelined.
+        assert_eq!(many.get() - one.get(), 100);
+    }
+}

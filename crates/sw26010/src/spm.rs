@@ -1,0 +1,162 @@
+//! The per-CPE scratch pad memory (SPM / LDM).
+//!
+//! Each CPE owns 64 KB of software-managed local store. There is no hardware
+//! cache: every byte present in the SPM was put there explicitly by a DMA
+//! transfer or a store, which is why the code generator must plan SPM buffer
+//! allocation (the paper's "single coalesced region", Sec. 4.7). The model
+//! bound-checks every access so that an allocation plan exceeding 64 KB is a
+//! hard error, mirroring the validity filtering the scheduler performs.
+
+use crate::error::{MachineError, MachineResult};
+use crate::ELEM_BYTES;
+
+/// One CPE's scratch pad, element-addressed (f32).
+#[derive(Debug, Clone)]
+pub struct Spm {
+    cpe: usize,
+    data: Vec<f32>,
+}
+
+impl Spm {
+    /// Create an SPM of `capacity_bytes` for CPE `cpe`.
+    pub fn new(cpe: usize, capacity_bytes: usize) -> Self {
+        Spm { cpe, data: vec![0.0; capacity_bytes / ELEM_BYTES] }
+    }
+
+    /// Capacity in f32 elements.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of a range.
+    pub fn slice(&self, offset: usize, len: usize) -> MachineResult<&[f32]> {
+        self.check(offset, len)?;
+        Ok(&self.data[offset..offset + len])
+    }
+
+    /// Mutable view of a range.
+    pub fn slice_mut(&mut self, offset: usize, len: usize) -> MachineResult<&mut [f32]> {
+        self.check(offset, len)?;
+        Ok(&mut self.data[offset..offset + len])
+    }
+
+    /// Load a single element.
+    pub fn load(&self, offset: usize) -> MachineResult<f32> {
+        self.check(offset, 1)?;
+        Ok(self.data[offset])
+    }
+
+    /// Store a single element.
+    pub fn store(&mut self, offset: usize, v: f32) -> MachineResult<()> {
+        self.check(offset, 1)?;
+        self.data[offset] = v;
+        Ok(())
+    }
+
+    /// Zero a range (used by lightweight padding of auxiliary buffers).
+    pub fn zero(&mut self, offset: usize, len: usize) -> MachineResult<()> {
+        self.slice_mut(offset, len)?.fill(0.0);
+        Ok(())
+    }
+
+    fn check(&self, offset: usize, len: usize) -> MachineResult<()> {
+        if offset + len > self.data.len() {
+            return Err(MachineError::SpmOverflow {
+                cpe: self.cpe,
+                offset,
+                len,
+                capacity: self.data.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A simple bump allocator for planning SPM layouts at code-generation time.
+///
+/// The code generator coalesces all SPM buffers of a schedule into one
+/// region; this planner hands out element offsets and reports the high-water
+/// mark so the scheduler can reject candidates that exceed the SPM.
+#[derive(Debug, Clone, Default)]
+pub struct SpmPlanner {
+    next: usize,
+    high_water: usize,
+}
+
+impl SpmPlanner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserve `len` elements, returning the offset.
+    pub fn alloc(&mut self, len: usize) -> usize {
+        let off = self.next;
+        self.next += len;
+        self.high_water = self.high_water.max(self.next);
+        off
+    }
+
+    /// Total elements reserved so far.
+    pub fn used(&self) -> usize {
+        self.high_water
+    }
+
+    /// Bytes reserved so far.
+    pub fn used_bytes(&self) -> usize {
+        self.high_water * ELEM_BYTES
+    }
+
+    /// Whether the plan fits in an SPM of `capacity_bytes`.
+    pub fn fits(&self, capacity_bytes: usize) -> bool {
+        self.used_bytes() <= capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut spm = Spm::new(0, 1024);
+        assert_eq!(spm.capacity(), 256);
+        spm.store(10, 3.5).unwrap();
+        assert_eq!(spm.load(10).unwrap(), 3.5);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let mut spm = Spm::new(7, 64);
+        let err = spm.store(16, 1.0).unwrap_err();
+        match err {
+            MachineError::SpmOverflow { cpe, .. } => assert_eq!(cpe, 7),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(spm.slice(12, 8).is_err());
+    }
+
+    #[test]
+    fn zero_range() {
+        let mut spm = Spm::new(0, 64);
+        for i in 0..16 {
+            spm.store(i, 1.0).unwrap();
+        }
+        spm.zero(4, 8).unwrap();
+        assert_eq!(spm.slice(0, 16).unwrap()[3], 1.0);
+        assert!(spm.slice(4, 8).unwrap().iter().all(|&x| x == 0.0));
+        assert_eq!(spm.load(12).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn planner_tracks_high_water() {
+        let mut p = SpmPlanner::new();
+        let a = p.alloc(100);
+        let b = p.alloc(28);
+        assert_eq!(a, 0);
+        assert_eq!(b, 100);
+        assert_eq!(p.used(), 128);
+        assert_eq!(p.used_bytes(), 512);
+        assert!(p.fits(512));
+        assert!(!p.fits(511));
+    }
+}

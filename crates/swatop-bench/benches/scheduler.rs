@@ -1,0 +1,45 @@
+//! Criterion benches for the hardware-agnostic machinery: schedule-space
+//! enumeration/lowering and static model estimation — the per-candidate
+//! costs that give the model-based autotuner its Table-3 advantage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sw26010::MachineConfig;
+use swatop::model::{estimate_program, GemmModel};
+use swatop::ops::{ImplicitConvOp, MatmulOp};
+use swatop::scheduler::{Operator, Scheduler};
+use swtensor::ConvShape;
+
+fn bench_enumerate(c: &mut Criterion) {
+    let cfg = MachineConfig::default();
+    let op = ImplicitConvOp::new(ConvShape::square(32, 64, 64, 16));
+    let sched = Scheduler::new(cfg);
+    c.bench_function("enumerate_implicit_conv_space", |b| {
+        b.iter(|| std::hint::black_box(sched.enumerate(&op).len()))
+    });
+}
+
+fn bench_lower_one(c: &mut Criterion) {
+    let cfg = MachineConfig::default();
+    let op = MatmulOp::new(500, 500, 500);
+    let sched = Scheduler::new(cfg);
+    let space = op.space();
+    let point = space.point(0);
+    c.bench_function("lower_matmul_point", |b| {
+        b.iter(|| std::hint::black_box(sched.lower_point(&op, &space, &point).is_some()))
+    });
+}
+
+fn bench_model_estimate(c: &mut Criterion) {
+    let cfg = MachineConfig::default();
+    let model = GemmModel::calibrate(&cfg);
+    let op = ImplicitConvOp::new(ConvShape::square(32, 64, 64, 16));
+    let sched = Scheduler::new(cfg.clone());
+    let cands = sched.enumerate(&op);
+    let raw = &cands[cands.len() / 2].raw;
+    c.bench_function("model_estimate_program", |b| {
+        b.iter(|| std::hint::black_box(estimate_program(&cfg, &model, raw)))
+    });
+}
+
+criterion_group!(benches, bench_enumerate, bench_lower_one, bench_model_estimate);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benches comparing the two autotuners end to end on one
+//! operator — the microcosm of Table 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sw26010::MachineConfig;
+use swatop::model::GemmModel;
+use swatop::ops::ImplicitConvOp;
+use swatop::scheduler::Scheduler;
+use swatop::tuner::{blackbox_tune, model_tune, run_candidate};
+use swtensor::ConvShape;
+
+fn bench_tuners(c: &mut Criterion) {
+    let cfg = MachineConfig::default();
+    // Warm the one-time calibration and kernel-cost caches.
+    let _ = GemmModel::calibrate(&cfg);
+    let op = ImplicitConvOp::new(ConvShape::square(32, 32, 32, 8));
+    let sched = Scheduler::new(cfg.clone());
+    let cands = sched.enumerate(&op);
+    for cand in &cands {
+        let _ = run_candidate(&cfg, cand);
+    }
+
+    let mut g = c.benchmark_group("autotuners");
+    g.sample_size(10);
+    g.bench_function("model_tune", |b| {
+        b.iter(|| std::hint::black_box(model_tune(&cfg, &cands).unwrap().cycles))
+    });
+    g.bench_function("blackbox_tune", |b| {
+        b.iter(|| std::hint::black_box(blackbox_tune(&cfg, &cands).unwrap().cycles))
+    });
+    g.finish();
+}
+
+fn bench_candidate_execution(c: &mut Criterion) {
+    let cfg = MachineConfig::default();
+    let op = ImplicitConvOp::new(ConvShape::square(32, 32, 32, 8));
+    let sched = Scheduler::new(cfg.clone());
+    let cands = sched.enumerate(&op);
+    let cand = &cands[0];
+    c.bench_function("run_candidate_cost_only", |b| {
+        b.iter(|| std::hint::black_box(run_candidate(&cfg, cand).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_tuners, bench_candidate_execution);
+criterion_main!(benches);

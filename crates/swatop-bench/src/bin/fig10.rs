@@ -1,0 +1,12 @@
+//! Regenerates the paper's fig10 (see DESIGN.md for the experiment index).
+//! Usage: cargo run --release -p swatop-bench --bin fig10 [--full|--smoke|--cap N]
+
+use swatop_bench::experiments::{fig10, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("swATOP reproduction — fig10 (opts: {opts:?})\n");
+    for t in fig10::run(&opts) {
+        t.print();
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's fig11 (see DESIGN.md for the experiment index).
+//! Usage: cargo run --release -p swatop-bench --bin fig11 [--full|--smoke|--cap N]
+
+use swatop_bench::experiments::{fig11, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("swATOP reproduction — fig11 (opts: {opts:?})\n");
+    for t in fig11::run(&opts) {
+        t.print();
+    }
+}

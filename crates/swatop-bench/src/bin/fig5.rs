@@ -1,0 +1,12 @@
+//! Regenerates the paper's fig5 (see DESIGN.md for the experiment index).
+//! Usage: cargo run --release -p swatop-bench --bin fig5 [--full|--smoke|--cap N]
+
+use swatop_bench::experiments::{fig5, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("swATOP reproduction — fig5 (opts: {opts:?})\n");
+    for t in fig5::run(&opts) {
+        t.print();
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's fig6 (see DESIGN.md for the experiment index).
+//! Usage: cargo run --release -p swatop-bench --bin fig6 [--full|--smoke|--cap N]
+
+use swatop_bench::experiments::{fig6, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("swATOP reproduction — fig6 (opts: {opts:?})\n");
+    for t in fig6::run(&opts) {
+        t.print();
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's fig7 (see DESIGN.md for the experiment index).
+//! Usage: cargo run --release -p swatop-bench --bin fig7 [--full|--smoke|--cap N]
+
+use swatop_bench::experiments::{fig7, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("swATOP reproduction — fig7 (opts: {opts:?})\n");
+    for t in fig7::run(&opts) {
+        t.print();
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's fig8 (see DESIGN.md for the experiment index).
+//! Usage: cargo run --release -p swatop-bench --bin fig8 [--full|--smoke|--cap N]
+
+use swatop_bench::experiments::{fig8, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("swATOP reproduction — fig8 (opts: {opts:?})\n");
+    for t in fig8::run(&opts) {
+        t.print();
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's fig9 (see DESIGN.md for the experiment index).
+//! Usage: cargo run --release -p swatop-bench --bin fig9 [--full|--smoke|--cap N]
+
+use swatop_bench::experiments::{fig9, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("swATOP reproduction — fig9 (opts: {opts:?})\n");
+    for t in fig9::run(&opts) {
+        t.print();
+    }
+}

@@ -1,0 +1,156 @@
+//! `swatop_cli` — the offline-compiler front end.
+//!
+//! ```text
+//! swatop_cli gemm M N K [--out FILE] [--trace FILE]
+//! swatop_cli conv B NI NO RO [--method implicit|winograd|explicit|auto]
+//!            [--kernel K] [--stride S] [--pad P] [--out FILE] [--trace FILE]
+//! swatop_cli bwd-data B NI NO RO [--out FILE]
+//! swatop_cli bwd-filter B NI NO RO [--out FILE]
+//! ```
+//!
+//! Tunes the requested operator with the performance-model autotuner,
+//! reports the chosen schedule and simulated performance, writes the
+//! generated C (`--out`) and optionally a Chrome trace of the winning
+//! schedule's execution (`--trace`, open in `chrome://tracing`/Perfetto).
+
+use std::collections::HashMap;
+
+use sw26010::{CoreGroup, ExecMode, MachineConfig};
+use swatop::interp::{execute, instantiate};
+use swatop::ops::{
+    ConvBackwardDataOp, ConvBackwardFilterOp, ExplicitConvOp, ImplicitConvOp, MatmulOp,
+    WinogradConvOp,
+};
+use swatop::scheduler::{Candidate, Operator, Scheduler};
+use swatop::tuner::model_tune;
+use swtensor::ConvShape;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  swatop_cli gemm M N K [--out FILE] [--trace FILE]\n  \
+         swatop_cli conv B NI NO RO [--method implicit|winograd|explicit|auto] \
+         [--kernel K] [--stride S] [--pad P] [--out FILE] [--trace FILE]\n  \
+         swatop_cli bwd-data B NI NO RO [--out FILE] [--trace FILE]\n  \
+         swatop_cli bwd-filter B NI NO RO [--out FILE] [--trace FILE]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    positional: Vec<usize>,
+    flags: HashMap<String, String>,
+}
+
+fn parse_args(args: &[String]) -> Args {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            i += 1;
+            if i >= args.len() {
+                usage();
+            }
+            flags.insert(name.to_string(), args[i].clone());
+        } else {
+            positional.push(args[i].parse().unwrap_or_else(|_| usage()));
+        }
+        i += 1;
+    }
+    Args { positional, flags }
+}
+
+fn tune(cfg: &MachineConfig, op: &dyn Operator) -> Option<(Candidate, u64)> {
+    let cands = Scheduler::new(cfg.clone()).enumerate(op);
+    let outcome = model_tune(cfg, &cands)?;
+    Some((cands[outcome.best].clone(), outcome.cycles.get()))
+}
+
+fn report(cfg: &MachineConfig, name: &str, flops: u64, winner: &Candidate, cycles: u64, a: &Args) {
+    println!("operator : {name}");
+    println!("schedule : {}", winner.describe);
+    println!(
+        "time     : {cycles} cycles = {:.3} ms on one CG",
+        1e3 * cfg.seconds(sw26010::Cycles(cycles))
+    );
+    println!(
+        "perf     : {:.0} GFLOPS ({:.0}% of CG peak, direct-normalised)",
+        sw26010::clock::gflops(flops, sw26010::Cycles(cycles), cfg.clock_ghz),
+        100.0 * cfg.efficiency(flops, sw26010::Cycles(cycles))
+    );
+    if let Some(path) = a.flags.get("out") {
+        std::fs::write(path, winner.exe.emit_c()).expect("write C file");
+        println!("C code   : {path}");
+    }
+    if let Some(path) = a.flags.get("trace") {
+        let mut cg = CoreGroup::new(cfg.clone(), ExecMode::CostOnly);
+        cg.trace = sw26010::trace::Trace::enabled(1_000_000);
+        let binding = instantiate(&mut cg, &winner.exe);
+        execute(&mut cg, &winner.exe, &binding).expect("trace run");
+        let json = sw26010::chrome_trace::to_chrome_json(&cg.trace, cfg.clock_ghz);
+        std::fs::write(path, json).expect("write trace");
+        println!("trace    : {path} (open in chrome://tracing)");
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let cfg = MachineConfig::default();
+    let cmd = argv[0].as_str();
+    let a = parse_args(&argv[1..]);
+    match cmd {
+        "gemm" => {
+            let [m, n, k] = a.positional[..] else { usage() };
+            let op = MatmulOp::new(m, n, k);
+            let (winner, cycles) = tune(&cfg, &op).expect("no valid schedule");
+            report(&cfg, &op.name(), op.flops(), &winner, cycles, &a);
+        }
+        "conv" | "bwd-data" | "bwd-filter" => {
+            let [b, ni, no, ro] = a.positional[..] else { usage() };
+            let get = |k: &str, d: usize| {
+                a.flags.get(k).map_or(d, |v| v.parse().unwrap_or_else(|_| usage()))
+            };
+            let shape = ConvShape {
+                b,
+                ni,
+                no,
+                ro,
+                co: ro,
+                kr: get("kernel", 3),
+                kc: get("kernel", 3),
+                stride: get("stride", 1),
+                pad: get("pad", 0),
+            };
+            let ops: Vec<Box<dyn Operator>> = match cmd {
+                "bwd-data" => vec![Box::new(ConvBackwardDataOp::new(shape))],
+                "bwd-filter" => vec![Box::new(ConvBackwardFilterOp::new(shape))],
+                _ => match a.flags.get("method").map(String::as_str).unwrap_or("auto") {
+                    "implicit" => vec![Box::new(ImplicitConvOp::new(shape))],
+                    "winograd" => vec![Box::new(WinogradConvOp::new(shape))],
+                    "explicit" => vec![Box::new(ExplicitConvOp::new(shape))],
+                    "auto" => vec![
+                        Box::new(ImplicitConvOp::new(shape)),
+                        Box::new(WinogradConvOp::new(shape)),
+                        Box::new(ExplicitConvOp::new(shape)),
+                    ],
+                    _ => usage(),
+                },
+            };
+            let mut best: Option<(String, u64, Candidate, u64)> = None;
+            for op in &ops {
+                if let Some((winner, cycles)) = tune(&cfg, op.as_ref()) {
+                    if best.as_ref().is_none_or(|(_, c, _, _)| cycles < *c) {
+                        best = Some((op.name(), cycles, winner, op.flops()));
+                    }
+                }
+            }
+            let (name, cycles, winner, flops) =
+                best.expect("no applicable method for this shape");
+            report(&cfg, &name, flops, &winner, cycles, &a);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's table1 (see DESIGN.md for the experiment index).
+//! Usage: cargo run --release -p swatop-bench --bin table1 [--full|--smoke|--cap N]
+
+use swatop_bench::experiments::{table1, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("swATOP reproduction — table1 (opts: {opts:?})\n");
+    for t in table1::run(&opts).tables {
+        t.print();
+    }
+}

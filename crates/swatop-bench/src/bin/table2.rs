@@ -1,0 +1,12 @@
+//! Regenerates the paper's table2 (see DESIGN.md for the experiment index).
+//! Usage: cargo run --release -p swatop-bench --bin table2 [--full|--smoke|--cap N]
+
+use swatop_bench::experiments::{table2, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("swATOP reproduction — table2 (opts: {opts:?})\n");
+    for t in table2::run(&opts) {
+        t.print();
+    }
+}

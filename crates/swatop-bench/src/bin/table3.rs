@@ -1,0 +1,12 @@
+//! Regenerates the paper's table3 (see DESIGN.md for the experiment index).
+//! Usage: cargo run --release -p swatop-bench --bin table3 [--full|--smoke|--cap N]
+
+use swatop_bench::experiments::{table3, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("swATOP reproduction — table3 (opts: {opts:?})\n");
+    for t in table3::run(&opts) {
+        t.print();
+    }
+}

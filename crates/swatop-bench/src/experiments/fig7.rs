@@ -1,0 +1,71 @@
+//! Figure 7: explicit CONV — swATOP vs the xMath-GEMM-based explicit
+//! convolution on every conv layer of the three networks.
+//!
+//! Paper shape: swATOP wins most cases (40/29/32 of 43 across batches)
+//! with a long tail of large wins (best ≈15×); the cases it loses are
+//! large square-ish GEMMs that match xMath's fixed blocking.
+
+use baselines::xmath_explicit_conv;
+use workloads::{Network, CONV_BATCHES};
+
+use crate::report::{mean, Table};
+use crate::runner::{tune_conv, ConvMethod};
+
+use super::{machine, Opts};
+
+pub fn run(opts: &Opts) -> Vec<Table> {
+    let cfg = machine();
+    let mut tables = Vec::new();
+    let mut summary = Table::new(
+        "Fig. 7 summary — explicit CONV vs xMath explicit",
+        &["batch", "layers", "faster", "slower", "avg speedup", "best"],
+    );
+    for &batch in &CONV_BATCHES {
+        let mut t = Table::new(
+            format!("Fig. 7 — explicit CONV, batch {batch}"),
+            &["layer", "swATOP GFLOPS", "baseline GFLOPS", "speedup"],
+        );
+        let mut speedups = Vec::new();
+        let mut faster = 0usize;
+        let mut slower = 0usize;
+        for net in Network::ALL {
+            let layers = opts.sample(net.layers().to_vec(), 3, 6);
+            for layer in &layers {
+                let shape = layer.shape(batch, opts.spatial_cap);
+                let Some(ours) = tune_conv(&cfg, ConvMethod::Explicit, &shape) else {
+                    continue;
+                };
+                let Ok(base) = xmath_explicit_conv(&cfg, &shape) else {
+                    continue;
+                };
+                let sp = base.get() as f64 / ours.cycles.get() as f64;
+                if sp >= 1.0 {
+                    faster += 1;
+                } else {
+                    slower += 1;
+                }
+                speedups.push(sp);
+                let base_g = sw26010::clock::gflops(shape.flops(), base, cfg.clock_ghz);
+                t.row(vec![
+                    format!("{}/{}", net.name(), layer.name),
+                    format!("{:.0}", ours.gflops(&cfg)),
+                    format!("{base_g:.0}"),
+                    format!("{sp:.2}x"),
+                ]);
+            }
+        }
+        if !speedups.is_empty() {
+            summary.row(vec![
+                batch.to_string(),
+                speedups.len().to_string(),
+                faster.to_string(),
+                slower.to_string(),
+                format!("{:.2}x", mean(&speedups)),
+                format!("{:.2}x", speedups.iter().cloned().fold(0.0, f64::max)),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables.push(summary);
+    tables
+}

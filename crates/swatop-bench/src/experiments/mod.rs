@@ -1,0 +1,116 @@
+//! Experiment implementations, one module per paper table/figure.
+//!
+//! Every `run` function returns the rendered tables so the `all_experiments`
+//! binary can collect them into `EXPERIMENTS_RESULTS.md` while the
+//! per-experiment binaries print them directly.
+//!
+//! The machine is simulated, so experiment cost scales with how much of
+//! each sweep is interpreted. Three scales are supported:
+//!
+//! * `--smoke` — minimal sub-samples (integration tests, seconds);
+//! * default — representative sub-samples and capped feature maps
+//!   (whole suite in tens of minutes on one core);
+//! * `--full` — the paper's complete sweeps at paper sizes (long; the
+//!   black-box experiments then genuinely take hours, which is the Tab. 3
+//!   story on real hardware).
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+use sw26010::MachineConfig;
+
+/// How much of each sweep to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Smoke,
+    Default,
+    Full,
+}
+
+/// Harness options shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    pub scale: Scale,
+    /// Spatial cap for network layers / Listing-1 sweeps (None = paper-size
+    /// feature maps).
+    pub spatial_cap: Option<usize>,
+    /// Dimension cap for Listing-2 GEMM sweeps.
+    pub gemm_cap: Option<usize>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts { scale: Scale::Default, spatial_cap: Some(32), gemm_cap: Some(2048) }
+    }
+}
+
+impl Opts {
+    /// Parse from command-line arguments: `--full` removes caps and runs
+    /// complete sweeps, `--smoke` sub-samples aggressively, `--cap N` sets
+    /// the spatial cap.
+    pub fn from_args() -> Self {
+        let mut o = Opts::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => {
+                    o.scale = Scale::Full;
+                    o.spatial_cap = None;
+                    o.gemm_cap = None;
+                }
+                "--smoke" => o.scale = Scale::Smoke,
+                "--cap" => {
+                    i += 1;
+                    let v: usize = args[i].parse().expect("--cap N");
+                    o.spatial_cap = Some(v);
+                }
+                other => panic!("unknown argument {other} (try --full, --smoke, --cap N)"),
+            }
+            i += 1;
+        }
+        o
+    }
+
+    /// Deterministically sub-sample a list according to the scale.
+    pub fn sample<T: Clone>(&self, items: Vec<T>, smoke_n: usize, default_n: usize) -> Vec<T> {
+        let keep = match self.scale {
+            Scale::Smoke => smoke_n,
+            Scale::Default => default_n,
+            Scale::Full => items.len(),
+        };
+        if items.len() <= keep {
+            return items;
+        }
+        let step = items.len() as f64 / keep as f64;
+        (0..keep).map(|i| items[(i as f64 * step) as usize].clone()).collect()
+    }
+
+    /// Spatial cap for the *black-box* experiments (Tab. 3, Figs. 9–10):
+    /// brute force executes every candidate, so these default to smaller
+    /// feature maps than the model-tuned sweeps.
+    pub fn blackbox_cap(&self) -> Option<usize> {
+        match self.scale {
+            Scale::Full => None,
+            _ => Some(self.spatial_cap.unwrap_or(16).min(16)),
+        }
+    }
+}
+
+/// The machine configuration used by every experiment.
+pub fn machine() -> MachineConfig {
+    MachineConfig::default()
+}
+
+/// A convenience: percentage formatting.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", 100.0 * x)
+}

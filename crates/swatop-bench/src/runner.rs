@@ -1,0 +1,115 @@
+//! Experiment plumbing: tune an operator with the model-based autotuner
+//! and report simulated performance.
+
+use sw26010::{Cycles, MachineConfig};
+use swatop::scheduler::{Operator, Scheduler};
+use swatop::tuner::{model_tune, TuneOutcome};
+use swatop::ops::{ExplicitConvOp, ImplicitConvOp, MatmulOp, WinogradConvOp};
+use swtensor::ConvShape;
+
+/// Which convolution decomposition to tune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvMethod {
+    Implicit,
+    Explicit,
+    Winograd,
+}
+
+impl ConvMethod {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConvMethod::Implicit => "implicit",
+            ConvMethod::Explicit => "explicit",
+            ConvMethod::Winograd => "winograd",
+        }
+    }
+
+    pub fn applicable(&self, shape: &ConvShape) -> bool {
+        match self {
+            ConvMethod::Implicit => ImplicitConvOp::applicable(shape),
+            ConvMethod::Explicit => true,
+            ConvMethod::Winograd => WinogradConvOp::applicable(shape),
+        }
+    }
+}
+
+/// The outcome of tuning one operator instance.
+#[derive(Debug, Clone)]
+pub struct TunedOp {
+    pub cycles: Cycles,
+    pub flops: u64,
+    pub candidates: usize,
+    pub outcome: TuneOutcome,
+}
+
+impl TunedOp {
+    pub fn gflops(&self, cfg: &MachineConfig) -> f64 {
+        sw26010::clock::gflops(self.flops, self.cycles, cfg.clock_ghz)
+    }
+
+    pub fn efficiency(&self, cfg: &MachineConfig) -> f64 {
+        cfg.efficiency(self.flops, self.cycles)
+    }
+}
+
+fn tune(cfg: &MachineConfig, op: &dyn Operator) -> Option<TunedOp> {
+    let sched = Scheduler::new(cfg.clone());
+    let cands = sched.enumerate(op);
+    if cands.is_empty() {
+        return None;
+    }
+    let n = cands.len();
+    let outcome = model_tune(cfg, &cands)?;
+    Some(TunedOp { cycles: outcome.cycles, flops: op.flops(), candidates: n, outcome })
+}
+
+/// Model-tune a convolution with the given method. `None` if the method is
+/// inapplicable or the schedule space is empty.
+pub fn tune_conv(cfg: &MachineConfig, method: ConvMethod, shape: &ConvShape) -> Option<TunedOp> {
+    if !method.applicable(shape) {
+        return None;
+    }
+    match method {
+        ConvMethod::Implicit => tune(cfg, &ImplicitConvOp::new(*shape)),
+        ConvMethod::Explicit => tune(cfg, &ExplicitConvOp::new(*shape)),
+        ConvMethod::Winograd => tune(cfg, &WinogradConvOp::new(*shape)),
+    }
+}
+
+/// Model-tune a matrix multiplication.
+pub fn tune_gemm(cfg: &MachineConfig, m: usize, n: usize, k: usize) -> Option<TunedOp> {
+    tune(cfg, &MatmulOp::new(m, n, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tune_small_conv_all_methods() {
+        let cfg = MachineConfig::default();
+        let shape = ConvShape::square(32, 16, 16, 8);
+        for method in [ConvMethod::Implicit, ConvMethod::Explicit, ConvMethod::Winograd] {
+            let t = tune_conv(&cfg, method, &shape)
+                .unwrap_or_else(|| panic!("{} failed", method.name()));
+            assert!(t.cycles.get() > 0);
+            assert!(t.candidates > 0);
+            assert!(t.efficiency(&cfg) > 0.0 && t.gflops(&cfg) > 0.0);
+        }
+    }
+
+    #[test]
+    fn tune_small_gemm() {
+        let cfg = MachineConfig::default();
+        let t = tune_gemm(&cfg, 96, 96, 96).unwrap();
+        assert!(t.cycles.get() > 0);
+    }
+
+    #[test]
+    fn winograd_inapplicable_for_strided() {
+        let cfg = MachineConfig::default();
+        let mut shape = ConvShape::square(8, 16, 16, 8);
+        shape.stride = 2;
+        assert!(tune_conv(&cfg, ConvMethod::Winograd, &shape).is_none());
+    }
+}

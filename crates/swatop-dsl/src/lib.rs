@@ -1,0 +1,43 @@
+//! # swatop-dsl — describing computations and schedule spaces
+//!
+//! The paper's DSL (Sec. 4.2, Fig. 4) is embedded in C++; here it is
+//! embedded in Rust. Two things are described separately:
+//!
+//! * the **schedule seed** — *what* is computed: dimension variables,
+//!   tensors, and a tensorized computation (a GEMM, or one of the three
+//!   convolution decompositions of Fig. 2);
+//! * the **schedule space** — *how* it may be computed: `FactorVar`s for
+//!   loop splits (swATOP "automatically traverses all valid candidates of
+//!   the factor"), explicit reorder candidates ("since there are extremely
+//!   numerous permutations of a set, reorder requires explicit candidates"),
+//!   layout choices and vectorization choices.
+//!
+//! A [`SchedulePoint`] is one concrete assignment of every knob; the
+//! scheduler in the `swatop` crate enumerates all points, filters invalid
+//! ones (SPM capacity, divisibility, vector-width constraints) and lowers
+//! each survivor to IR.
+//!
+//! ```
+//! use swatop_dsl::{Seed, ComputeDesc, ScheduleSpace, factors_of};
+//! use swtensor::ConvShape;
+//!
+//! // Schedule seed: an implicit-GEMM convolution (paper Alg. 2).
+//! let shape = ConvShape::square(32, 64, 64, 32);
+//! let seed = Seed::implicit_conv("conv3x3", shape);
+//! assert_eq!(seed.compute, ComputeDesc::ImplicitConv { shape });
+//!
+//! // Schedule space: split factors, a reorder choice, a vectorization
+//! // choice — the Fig. 4 vocabulary.
+//! let mut space = ScheduleSpace::new();
+//! space.factor("t_no", factors_of(shape.no));
+//! space.factor("t_co", factors_of(shape.co));
+//! space.choice("order", vec!["ro_co_kr_kc".into(), "kr_kc_ro_co".into()]);
+//! space.toggle("vec_m");
+//! assert!(space.size() >= 4);
+//! ```
+
+pub mod seed;
+pub mod space;
+
+pub use seed::{ComputeDesc, Dim, Seed, TensorDecl};
+pub use space::{factors_of, factors_of_min, Knob, SchedulePoint, ScheduleSpace};

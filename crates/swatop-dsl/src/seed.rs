@@ -1,0 +1,216 @@
+//! Schedule seeds: the computation half of the DSL.
+
+use swtensor::ConvShape;
+
+/// A dimension in a tensor declaration: a named extent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dim {
+    pub name: String,
+    pub extent: usize,
+}
+
+impl Dim {
+    pub fn new(name: impl Into<String>, extent: usize) -> Self {
+        Dim { name: name.into(), extent }
+    }
+}
+
+/// A tensor declared by the seed (logical, layout-free — layout is a
+/// *schedule* decision).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorDecl {
+    pub name: String,
+    pub dims: Vec<Dim>,
+}
+
+impl TensorDecl {
+    pub fn numel(&self) -> usize {
+        self.dims.iter().map(|d| d.extent).product()
+    }
+}
+
+/// The tensorized computation the seed performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComputeDesc {
+    /// `C[M,N] += A[M,K] · B[K,N]`.
+    Matmul { m: usize, n: usize, k: usize },
+    /// Implicit-GEMM convolution (paper Alg. 2 / Fig. 2 right).
+    ImplicitConv { shape: ConvShape },
+    /// Explicit-GEMM (im2col) convolution (Fig. 2 left).
+    ExplicitConv { shape: ConvShape },
+    /// Winograd F(2×2,3×3) convolution (Fig. 2 middle).
+    WinogradConv { shape: ConvShape },
+}
+
+/// A schedule seed: "an initial tensorized implementation that only
+/// describes the computation" (Sec. 4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Seed {
+    pub name: String,
+    pub tensors: Vec<TensorDecl>,
+    pub compute: ComputeDesc,
+}
+
+impl Seed {
+    /// Matrix multiplication seed.
+    pub fn matmul(name: impl Into<String>, m: usize, n: usize, k: usize) -> Self {
+        Seed {
+            name: name.into(),
+            tensors: vec![
+                TensorDecl { name: "A".into(), dims: vec![Dim::new("M", m), Dim::new("K", k)] },
+                TensorDecl { name: "B".into(), dims: vec![Dim::new("K", k), Dim::new("N", n)] },
+                TensorDecl { name: "C".into(), dims: vec![Dim::new("M", m), Dim::new("N", n)] },
+            ],
+            compute: ComputeDesc::Matmul { m, n, k },
+        }
+    }
+
+    fn conv_tensors(shape: &ConvShape) -> Vec<TensorDecl> {
+        vec![
+            TensorDecl {
+                name: "in".into(),
+                dims: vec![
+                    Dim::new("B", shape.b),
+                    Dim::new("Ni", shape.ni),
+                    Dim::new("Ri", shape.ri()),
+                    Dim::new("Ci", shape.ci()),
+                ],
+            },
+            TensorDecl {
+                name: "weight".into(),
+                dims: vec![
+                    Dim::new("No", shape.no),
+                    Dim::new("Ni", shape.ni),
+                    Dim::new("Kr", shape.kr),
+                    Dim::new("Kc", shape.kc),
+                ],
+            },
+            TensorDecl {
+                name: "out".into(),
+                dims: vec![
+                    Dim::new("B", shape.b),
+                    Dim::new("No", shape.no),
+                    Dim::new("Ro", shape.ro),
+                    Dim::new("Co", shape.co),
+                ],
+            },
+        ]
+    }
+
+    /// Implicit-GEMM convolution seed.
+    pub fn implicit_conv(name: impl Into<String>, shape: ConvShape) -> Self {
+        Seed {
+            name: name.into(),
+            tensors: Self::conv_tensors(&shape),
+            compute: ComputeDesc::ImplicitConv { shape },
+        }
+    }
+
+    /// Explicit-GEMM (im2col) convolution seed.
+    pub fn explicit_conv(name: impl Into<String>, shape: ConvShape) -> Self {
+        Seed {
+            name: name.into(),
+            tensors: Self::conv_tensors(&shape),
+            compute: ComputeDesc::ExplicitConv { shape },
+        }
+    }
+
+    /// Winograd convolution seed (requires a 3×3 stride-1 shape).
+    pub fn winograd_conv(name: impl Into<String>, shape: ConvShape) -> Self {
+        assert!(shape.winograd_applicable(), "winograd needs 3×3 stride-1");
+        Seed {
+            name: name.into(),
+            tensors: Self::conv_tensors(&shape),
+            compute: ComputeDesc::WinogradConv { shape },
+        }
+    }
+
+    /// Render the seed the way the paper's Fig. 4 (left) presents a DSL
+    /// program: variables, tensors and the tensorized computation.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "// schedule seed: {}", self.name);
+        for t in &self.tensors {
+            let dims: Vec<String> =
+                t.dims.iter().map(|d| format!("{}={}", d.name, d.extent)).collect();
+            let _ = writeln!(out, "Tensor {}({});", t.name, dims.join(", "));
+        }
+        let comp = match &self.compute {
+            ComputeDesc::Matmul { m, n, k } => {
+                format!("C[M,N] += A[M,K] * B[K,N];  // M={m} N={n} K={k}")
+            }
+            ComputeDesc::ImplicitConv { .. } => {
+                "out[b,no,ro,co] += in[b,ni,ro+kr,co+kc] * weight[no,ni,kr,kc];                   // tensorized: GEMM over (No × Ni × B·t_co)"
+                    .to_string()
+            }
+            ComputeDesc::ExplicitConv { .. } => {
+                "cols = im2col(in); prod = weight · cols;  // explicit GEMM".to_string()
+            }
+            ComputeDesc::WinogradConv { .. } => {
+                "V = BᵀdB; U = GgGᵀ; M[pos] = U[pos]·V[pos] (16 GEMMs); out = AᵀMA;"
+                    .to_string()
+            }
+        };
+        let _ = writeln!(out, "Compute {{ {comp} }}");
+        out
+    }
+
+    /// Total FLOPs of the described computation, normalised to direct-conv
+    /// FLOPs for convolutions (the paper's efficiency denominator).
+    pub fn flops(&self) -> u64 {
+        match &self.compute {
+            ComputeDesc::Matmul { m, n, k } => 2 * (*m as u64) * (*n as u64) * (*k as u64),
+            ComputeDesc::ImplicitConv { shape }
+            | ComputeDesc::ExplicitConv { shape }
+            | ComputeDesc::WinogradConv { shape } => shape.flops(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_seed_tensors() {
+        let s = Seed::matmul("mm", 128, 256, 64);
+        assert_eq!(s.tensors.len(), 3);
+        assert_eq!(s.tensors[0].numel(), 128 * 64);
+        assert_eq!(s.flops(), 2 * 128 * 256 * 64);
+    }
+
+    #[test]
+    fn conv_seed_tensors() {
+        let shape = ConvShape::square(2, 8, 4, 6);
+        let s = Seed::implicit_conv("c", shape);
+        assert_eq!(s.tensors[0].dims[2].extent, shape.ri());
+        assert_eq!(s.flops(), shape.flops());
+    }
+
+    #[test]
+    fn winograd_flops_are_direct_conv_flops() {
+        let shape = ConvShape::square(1, 16, 16, 8);
+        let w = Seed::winograd_conv("w", shape);
+        let i = Seed::implicit_conv("i", shape);
+        assert_eq!(w.flops(), i.flops());
+    }
+
+    #[test]
+    fn describe_renders_tensors_and_compute() {
+        let s = Seed::matmul("mm", 8, 9, 10);
+        let d = s.describe();
+        assert!(d.contains("Tensor A(M=8, K=10);"), "{d}");
+        assert!(d.contains("C[M,N] += A[M,K] * B[K,N]"), "{d}");
+        let c = Seed::implicit_conv("c", ConvShape::square(1, 8, 8, 4));
+        assert!(c.describe().contains("in[b,ni,ro+kr,co+kc]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "winograd")]
+    fn winograd_seed_rejects_strided() {
+        let mut shape = ConvShape::square(1, 8, 8, 8);
+        shape.stride = 2;
+        Seed::winograd_conv("w", shape);
+    }
+}

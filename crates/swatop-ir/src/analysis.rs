@@ -1,0 +1,141 @@
+//! IR analyses used by the optimizer passes.
+
+use std::collections::BTreeSet;
+
+use crate::expr::VarId;
+use crate::stmt::{SpmSlot, Stmt};
+
+/// Loop variables a statement's address expressions depend on (transitively
+/// over the subtree, excluding variables bound *inside* the subtree).
+///
+/// DMA inference uses this to hoist a DMA node "as far as possible from
+/// gemm_op": the node can move out of any loop whose variable it does not
+/// reference.
+pub fn free_loop_vars(stmt: &Stmt) -> BTreeSet<VarId> {
+    fn slot_vars(s: &SpmSlot, out: &mut BTreeSet<VarId>) {
+        if let SpmSlot::Double { sel, .. } = s {
+            out.extend(sel.loop_vars());
+        }
+    }
+    fn walk(stmt: &Stmt, bound: &mut Vec<VarId>, out: &mut BTreeSet<VarId>) {
+        match stmt {
+            Stmt::Seq(ss) => ss.iter().for_each(|s| walk(s, bound, out)),
+            Stmt::For { var, body, .. } => {
+                bound.push(*var);
+                walk(body, bound, out);
+                bound.pop();
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let mut cvars = BTreeSet::new();
+                collect_cond(cond, &mut cvars);
+                out.extend(cvars.into_iter().filter(|v| !bound.contains(v)));
+                walk(then_, bound, out);
+                if let Some(e) = else_ {
+                    walk(e, bound, out);
+                }
+            }
+            Stmt::DmaCg(d) => {
+                out.extend(d.offset.loop_vars().into_iter().filter(|v| !bound.contains(v)));
+                slot_vars(&d.spm, out);
+            }
+            Stmt::DmaCpe(d) => {
+                out.extend(d.offset.loop_vars().into_iter().filter(|v| !bound.contains(v)));
+                slot_vars(&d.spm, out);
+            }
+            Stmt::Gemm(g) => {
+                for m in [&g.a, &g.b, &g.c] {
+                    slot_vars(&m.slot, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn collect_cond(c: &crate::expr::Cond, out: &mut BTreeSet<VarId>) {
+        use crate::expr::Cond::*;
+        match c {
+            Lt(a, b) | Ge(a, b) | Eq(a, b) => {
+                out.extend(a.loop_vars());
+                out.extend(b.loop_vars());
+            }
+            And(a, b) => {
+                collect_cond(a, out);
+                collect_cond(b, out);
+            }
+        }
+    }
+    let mut bound = Vec::new();
+    let mut out = BTreeSet::new();
+    walk(stmt, &mut bound, &mut out);
+    out
+}
+
+/// Static iteration count of the subtree's loops (product of extents along
+/// each path, summed over sequence branches — an upper bound when guards
+/// are present). Used for quick schedule-space statistics.
+pub fn iteration_volume(stmt: &Stmt) -> u64 {
+    match stmt {
+        Stmt::Seq(ss) => ss.iter().map(iteration_volume).sum(),
+        Stmt::For { extent, body, .. } => (*extent as u64) * iteration_volume(body).max(1),
+        Stmt::If { then_, else_, .. } => {
+            iteration_volume(then_) + else_.as_ref().map_or(0, |e| iteration_volume(e))
+        }
+        Stmt::Nop => 0,
+        _ => 1,
+    }
+}
+
+/// Count GEMM nodes that would execute (static count, ignoring guards).
+pub fn count_gemms(stmt: &Stmt) -> usize {
+    stmt.count(|s| matches!(s, Stmt::Gemm(_)))
+}
+
+/// Whether every `DmaCg` has been lowered (no CG-level nodes remain).
+pub fn fully_lowered(stmt: &Stmt) -> bool {
+    stmt.count(|s| matches!(s, Stmt::DmaCg(_))) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AffineExpr, Cond};
+    use crate::stmt::{DmaCpe, MemBufId, ReplyId, SpmBufId};
+    use sw26010::DmaDirection;
+
+    fn dma(offset: AffineExpr) -> Stmt {
+        Stmt::DmaCpe(DmaCpe {
+            buf: MemBufId(0),
+            offset,
+            block: 1,
+            stride: 1,
+            n_blocks: 1,
+            direction: DmaDirection::MemToSpm,
+            spm: SpmSlot::Single(SpmBufId(0)),
+            reply: ReplyId(0),
+        })
+    }
+
+    #[test]
+    fn free_vars_exclude_bound() {
+        // for v1 { dma @ v0 + v1 }: only v0 is free.
+        let inner = dma(AffineExpr::loop_var(0).add(&AffineExpr::loop_var(1)));
+        let nest = Stmt::for_(1, 4, inner);
+        let fv = free_loop_vars(&nest);
+        assert!(fv.contains(&0));
+        assert!(!fv.contains(&1));
+    }
+
+    #[test]
+    fn free_vars_see_conditions() {
+        let s = Stmt::if_(Cond::lt_const(AffineExpr::loop_var(3), 2), Stmt::Nop);
+        assert!(free_loop_vars(&s).contains(&3));
+    }
+
+    #[test]
+    fn volume_and_counts() {
+        let g = dma(AffineExpr::zero());
+        let nest = Stmt::for_(0, 10, Stmt::for_(1, 5, g));
+        assert_eq!(iteration_volume(&nest), 50);
+        assert!(fully_lowered(&nest));
+        assert_eq!(count_gemms(&nest), 0);
+    }
+}

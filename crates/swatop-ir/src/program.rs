@@ -1,0 +1,125 @@
+//! A complete lowered program: statement tree plus its symbol tables.
+
+use crate::stmt::{MemBufId, SpmBufId, Stmt};
+
+/// Role of a main-memory buffer with respect to the operator's interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemRole {
+    /// Provided by the caller (operator input).
+    Input,
+    /// Produced for the caller (operator output).
+    Output,
+    /// Scratch: packed layouts, im2col matrices, padded boundary copies…
+    Temp,
+}
+
+/// Declaration of a main-memory buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemBufDecl {
+    pub name: String,
+    pub len: usize,
+    pub role: MemRole,
+}
+
+/// Declaration of an SPM buffer (per-CPE length in elements). Offsets are
+/// assigned by the code generator's coalescing allocator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmBufDecl {
+    pub name: String,
+    pub len: usize,
+}
+
+/// A lowered schedule strategy, ready for optimization / costing /
+/// execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub name: String,
+    pub body: Stmt,
+    pub mem_bufs: Vec<MemBufDecl>,
+    pub spm_bufs: Vec<SpmBufDecl>,
+    pub n_replies: usize,
+    pub var_names: Vec<String>,
+}
+
+impl Program {
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            body: Stmt::Nop,
+            mem_bufs: Vec::new(),
+            spm_bufs: Vec::new(),
+            n_replies: 0,
+            var_names: Vec::new(),
+        }
+    }
+
+    pub fn n_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Declare a loop variable, returning its id.
+    pub fn fresh_var(&mut self, name: impl Into<String>) -> usize {
+        self.var_names.push(name.into());
+        self.var_names.len() - 1
+    }
+
+    /// Declare a main-memory buffer.
+    pub fn mem_buf(&mut self, name: impl Into<String>, len: usize, role: MemRole) -> MemBufId {
+        self.mem_bufs.push(MemBufDecl { name: name.into(), len, role });
+        MemBufId(self.mem_bufs.len() - 1)
+    }
+
+    /// Declare a per-CPE SPM buffer of `len` elements.
+    pub fn spm_buf(&mut self, name: impl Into<String>, len: usize) -> SpmBufId {
+        self.spm_bufs.push(SpmBufDecl { name: name.into(), len });
+        SpmBufId(self.spm_bufs.len() - 1)
+    }
+
+    /// Allocate a reply-word slot.
+    pub fn fresh_reply(&mut self) -> crate::stmt::ReplyId {
+        self.n_replies += 1;
+        crate::stmt::ReplyId(self.n_replies - 1)
+    }
+
+    /// Total per-CPE SPM elements declared (before double-buffer expansion
+    /// or coalescing): the scheduler's capacity filter uses this.
+    pub fn spm_elems(&self) -> usize {
+        self.spm_bufs.iter().map(|b| b.len).sum()
+    }
+
+    /// Buffers with a given role.
+    pub fn bufs_with_role(&self, role: MemRole) -> Vec<MemBufId> {
+        self.mem_bufs
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.role == role)
+            .map(|(i, _)| MemBufId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_accumulate() {
+        let mut p = Program::new("t");
+        let v0 = p.fresh_var("i");
+        let v1 = p.fresh_var("j");
+        assert_eq!((v0, v1), (0, 1));
+        let a = p.mem_buf("in", 100, MemRole::Input);
+        let b = p.mem_buf("out", 50, MemRole::Output);
+        let t = p.mem_buf("tmp", 10, MemRole::Temp);
+        assert_eq!(p.bufs_with_role(MemRole::Input), vec![a]);
+        assert_eq!(p.bufs_with_role(MemRole::Output), vec![b]);
+        assert_eq!(p.bufs_with_role(MemRole::Temp), vec![t]);
+        p.spm_buf("x", 128);
+        p.spm_buf("y", 64);
+        assert_eq!(p.spm_elems(), 192);
+        let r = p.fresh_reply();
+        assert_eq!(r.0, 0);
+        assert_eq!(p.n_replies, 1);
+        assert_eq!(p.n_vars(), 2);
+    }
+}

@@ -1,0 +1,414 @@
+//! IR statement nodes.
+
+use sw26010::DmaDirection;
+use swkernels::VecDim;
+use swtensor::{ConvShape, MatLayout};
+
+use crate::expr::{AffineExpr, Cond, VarId};
+
+/// Index of an SPM buffer in the program's SPM table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpmBufId(pub usize);
+
+/// Index of a main-memory buffer in the program's buffer table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemBufId(pub usize);
+
+/// Index of a reply word in the program's reply table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplyId(pub usize);
+
+/// An SPM buffer reference, possibly double-buffered.
+///
+/// `Double` is what the auto-prefetch pass produces: the buffer actually
+/// used is `even` when `sel` evaluates to an even number, `odd` otherwise.
+/// `sel` is typically the linearised iteration index of the prefetched loop
+/// nest — an affine expression, so the selection is resolvable both by the
+/// interpreter and by the C code generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpmSlot {
+    Single(SpmBufId),
+    Double { even: SpmBufId, odd: SpmBufId, sel: AffineExpr },
+}
+
+impl SpmSlot {
+    pub fn single(id: SpmBufId) -> Self {
+        SpmSlot::Single(id)
+    }
+
+    /// All buffer ids this slot can refer to.
+    pub fn bufs(&self) -> Vec<SpmBufId> {
+        match self {
+            SpmSlot::Single(b) => vec![*b],
+            SpmSlot::Double { even, odd, .. } => vec![*even, *odd],
+        }
+    }
+}
+
+/// A GEMM operand: an SPM slot interpreted as a distributed matrix block
+/// with a layout and leading dimension (per-CPE).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatDesc {
+    pub slot: SpmSlot,
+    pub layout: MatLayout,
+    pub ld: usize,
+}
+
+/// Core-group-level DMA node (`DMA_CG`): move a `rows × cols` sub-matrix
+/// whose element `(i, j)` lives at `offset + i·row_stride + j` in main
+/// memory. This is the form DSL lowering produces; DMA inference rewrites
+/// it into [`DmaCpe`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmaCg {
+    pub buf: MemBufId,
+    /// Element offset of the tile origin within `buf` (no rid/cid terms).
+    pub offset: AffineExpr,
+    pub rows: usize,
+    pub cols: usize,
+    /// Main-memory distance between consecutive tile rows, in elements.
+    pub row_stride: usize,
+    /// Mesh mapping: normally CPE `(r, c)` takes block `(r, c)` of the
+    /// tile; with `mesh_swap` it takes block `(c, r)`. Used when the tile
+    /// is a *transposed* view of the distributed matrix (column-major SPM
+    /// layouts fetched from a pre-packed `Xᵀ` buffer), so the block still
+    /// lands on the CPE that owns it in the GEMM distribution.
+    pub mesh_swap: bool,
+    pub direction: DmaDirection,
+    pub spm: SpmSlot,
+    pub reply: ReplyId,
+}
+
+/// Per-CPE strided DMA node (`DMA_CPE`), the executable form: CPE
+/// `(rid, cid)` transfers `n_blocks` blocks of `block` elements, `stride`
+/// apart, starting at `offset` (which references `rid`/`cid`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmaCpe {
+    pub buf: MemBufId,
+    /// Per-CPE element offset within `buf`; references `Rid`/`Cid`.
+    pub offset: AffineExpr,
+    pub block: usize,
+    pub stride: usize,
+    pub n_blocks: usize,
+    pub direction: DmaDirection,
+    pub spm: SpmSlot,
+    pub reply: ReplyId,
+}
+
+impl DmaCpe {
+    /// Elements landing in (or read from) each CPE's SPM.
+    pub fn spm_elems(&self) -> usize {
+        self.block * self.n_blocks
+    }
+}
+
+/// A tensorized GEMM primitive call: `C = alpha·A·B + beta·C` on
+/// SPM-distributed operands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmOp {
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    pub alpha: f32,
+    pub beta: f32,
+    pub a: MatDesc,
+    pub b: MatDesc,
+    pub c: MatDesc,
+    pub vd: VecDim,
+}
+
+impl GemmOp {
+    pub fn flops(&self) -> u64 {
+        2 * (self.m as u64) * (self.n as u64) * (self.k as u64)
+    }
+}
+
+/// Bulk host-side transforms: layout packing, operator-specific expansions
+/// and boundary padding. Executed as bandwidth-costed block operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformOp {
+    pub kind: TransformKind,
+}
+
+/// The transform vocabulary. Buffer dimensions are tracked in the program's
+/// buffer table; kinds carry the semantic parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformKind {
+    /// im2col expansion of an NCHW input into the `(Ni·Kr·Kc) × (B·Ro·Co)`
+    /// column matrix (explicit-GEMM convolution, Fig. 2 left).
+    Im2col { shape: ConvShape, src: MemBufId, dst: MemBufId },
+    /// Materialise spatial zero padding: NCHW input → padded NCHW copy
+    /// (`ri + 2·pad` × `ci + 2·pad`), so downstream tiling sees `pad = 0`.
+    PadImageNchw { shape: ConvShape, src: MemBufId, dst: MemBufId },
+    /// Winograd filter transform `[No][Ni][3][3] → [16][No][Ni]`
+    /// (or `[16][Ni][No]` when `transposed` — the column-major layout).
+    WinogradFilter { shape: ConvShape, src: MemBufId, dst: MemBufId, transposed: bool },
+    /// Winograd input transform NCHW → `[16][Ni][nt_pad]`: the tile axis is
+    /// zero-padded to `nt_pad` at generation time so the batched GEMMs see
+    /// an aligned N dimension.
+    WinogradInput { shape: ConvShape, src: MemBufId, dst: MemBufId, nt_pad: usize },
+    /// Winograd inverse output transform `[16][No][nt_pad]` → NCHW.
+    WinogradOutput { shape: ConvShape, src: MemBufId, dst: MemBufId, nt_pad: usize },
+    /// Materialised dimension permutation of a dense tensor
+    /// (layout transformation): `dst = permute(src, perm)`.
+    PackTensor { src: MemBufId, dst: MemBufId, src_dims: Vec<usize>, perm: Vec<usize> },
+    /// Rotate a filter 180° spatially and swap its channel axes:
+    /// `dst[ni][no][kr][kc] = src[no][ni][Kr-1-kr][Kc-1-kc]` — the weight
+    /// transform of backward-data convolution.
+    RotateFilter { shape: ConvShape, src: MemBufId, dst: MemBufId },
+    /// Copy sub-matrix `src[r0.., c0..]` (clipped to `take_rows×take_cols`)
+    /// into the top-left of `dst` (`dst_rows × dst_cols`, row-major),
+    /// zeroing the remainder — the padding primitive. `zero_first` decides
+    /// whether the whole destination is cleared (aux buffers are reused).
+    PadSubmatrix {
+        src: MemBufId,
+        src_rows: usize,
+        src_cols: usize,
+        r0: usize,
+        c0: usize,
+        take_rows: usize,
+        take_cols: usize,
+        dst: MemBufId,
+        dst_rows: usize,
+        dst_cols: usize,
+        zero_first: bool,
+    },
+    /// Copy the top-left `take_rows × take_cols` of `src` into
+    /// `dst[r0.., c0..]` — the un-padding primitive for outputs.
+    UnpadSubmatrix {
+        src: MemBufId,
+        src_rows: usize,
+        src_cols: usize,
+        dst: MemBufId,
+        dst_rows: usize,
+        dst_cols: usize,
+        r0: usize,
+        c0: usize,
+        take_rows: usize,
+        take_cols: usize,
+    },
+    /// Zero an entire buffer.
+    ZeroBuf { buf: MemBufId },
+}
+
+impl TransformKind {
+    /// (elements read, elements written, extra flops per written element) —
+    /// the inputs to the transform cost model.
+    pub fn traffic(&self) -> (u64, u64, u64) {
+        match self {
+            TransformKind::Im2col { shape, .. } => {
+                let written = swtensor::im2col::im2col_elems(shape) as u64;
+                // Each written element is read once from the input.
+                (written, written, 0)
+            }
+            TransformKind::PadImageNchw { shape, .. } => {
+                let read = shape.input_shape().numel() as u64;
+                let written =
+                    (shape.b * shape.ni * (shape.ri() + 2 * shape.pad) * (shape.ci() + 2 * shape.pad))
+                        as u64;
+                (read, written, 0)
+            }
+            TransformKind::WinogradFilter { shape, .. } => {
+                let read = (shape.no * shape.ni * 9) as u64;
+                let written = (16 * shape.no * shape.ni) as u64;
+                // G g Gᵀ: ~4 multiply-adds per output element.
+                (read, written, 8)
+            }
+            TransformKind::WinogradInput { shape, nt_pad, .. } => {
+                let written = 16 * (shape.ni * nt_pad) as u64;
+                (written, written, 8)
+            }
+            TransformKind::WinogradOutput { shape, nt_pad, .. } => {
+                let read = 16 * (shape.no * nt_pad) as u64;
+                let written = (shape.b * shape.no * shape.ro * shape.co) as u64;
+                (read, written, 8)
+            }
+            TransformKind::PackTensor { src_dims, .. } => {
+                let n: u64 = src_dims.iter().product::<usize>() as u64;
+                (n, n, 0)
+            }
+            TransformKind::RotateFilter { shape, .. } => {
+                let n = shape.weight_shape().numel() as u64;
+                (n, n, 0)
+            }
+            TransformKind::PadSubmatrix {
+                take_rows, take_cols, dst_rows, dst_cols, zero_first, ..
+            } => {
+                let copied = (take_rows * take_cols) as u64;
+                let zeroed =
+                    if *zero_first { (dst_rows * dst_cols) as u64 - copied } else { 0 };
+                (copied, copied + zeroed, 0)
+            }
+            TransformKind::UnpadSubmatrix { take_rows, take_cols, .. } => {
+                let n = (take_rows * take_cols) as u64;
+                (n, n, 0)
+            }
+            TransformKind::ZeroBuf { .. } => (0, 0, 0),
+        }
+    }
+}
+
+/// An IR statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Sequential composition.
+    Seq(Vec<Stmt>),
+    /// `for var in 0..extent` (splits normalise min to 0, stride to 1).
+    For { var: VarId, extent: usize, body: Box<Stmt> },
+    /// `if cond { then_ } else { else_ }`.
+    If { cond: Cond, then_: Box<Stmt>, else_: Option<Box<Stmt>> },
+    /// Core-group-level DMA (pre-inference form).
+    DmaCg(DmaCg),
+    /// Per-CPE DMA (executable form).
+    DmaCpe(DmaCpe),
+    /// Wait for `times` completions on a reply word.
+    DmaWait { reply: ReplyId, times: usize },
+    /// Tensorized GEMM primitive.
+    Gemm(GemmOp),
+    /// Bulk host-side transform.
+    Transform(TransformOp),
+    /// No-op (useful as a neutral element for builders).
+    Nop,
+}
+
+impl Stmt {
+    /// Wrap statements in a `Seq`, flattening nested `Seq`s and dropping
+    /// `Nop`s.
+    pub fn seq(stmts: Vec<Stmt>) -> Stmt {
+        fn push(out: &mut Vec<Stmt>, s: Stmt) {
+            match s {
+                Stmt::Seq(inner) => inner.into_iter().for_each(|x| push(out, x)),
+                Stmt::Nop => {}
+                other => out.push(other),
+            }
+        }
+        let mut out = Vec::new();
+        stmts.into_iter().for_each(|s| push(&mut out, s));
+        match out.len() {
+            0 => Stmt::Nop,
+            1 => out.into_iter().next().unwrap(),
+            _ => Stmt::Seq(out),
+        }
+    }
+
+    /// `for var in 0..extent { body }`.
+    pub fn for_(var: VarId, extent: usize, body: Stmt) -> Stmt {
+        Stmt::For { var, extent, body: Box::new(body) }
+    }
+
+    /// `if cond { then_ }`.
+    pub fn if_(cond: Cond, then_: Stmt) -> Stmt {
+        Stmt::If { cond, then_: Box::new(then_), else_: None }
+    }
+
+    /// `if cond { then_ } else { else_ }`.
+    pub fn if_else(cond: Cond, then_: Stmt, else_: Stmt) -> Stmt {
+        Stmt::If { cond, then_: Box::new(then_), else_: Some(Box::new(else_)) }
+    }
+
+    /// Visit every node (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::Seq(ss) => ss.iter().for_each(|s| s.visit(f)),
+            Stmt::For { body, .. } => body.visit(f),
+            Stmt::If { then_, else_, .. } => {
+                then_.visit(f);
+                if let Some(e) = else_ {
+                    e.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Count nodes matching a predicate.
+    pub fn count(&self, pred: impl Fn(&Stmt) -> bool) -> usize {
+        let mut n = 0;
+        self.visit(&mut |s| {
+            if pred(s) {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+
+    #[test]
+    fn seq_flattens_and_drops_nops() {
+        let s = Stmt::seq(vec![
+            Stmt::Nop,
+            Stmt::Seq(vec![Stmt::Nop, Stmt::DmaWait { reply: ReplyId(0), times: 1 }]),
+        ]);
+        assert!(matches!(s, Stmt::DmaWait { .. }));
+        assert_eq!(Stmt::seq(vec![]), Stmt::Nop);
+    }
+
+    #[test]
+    fn visit_traverses_everything() {
+        let body = Stmt::seq(vec![
+            Stmt::DmaWait { reply: ReplyId(0), times: 1 },
+            Stmt::if_(
+                Cond::lt_const(AffineExpr::loop_var(0), 3),
+                Stmt::DmaWait { reply: ReplyId(1), times: 1 },
+            ),
+        ]);
+        let tree = Stmt::for_(0, 4, body);
+        assert_eq!(tree.count(|s| matches!(s, Stmt::DmaWait { .. })), 2);
+        assert_eq!(tree.count(|s| matches!(s, Stmt::For { .. })), 1);
+        assert_eq!(tree.count(|s| matches!(s, Stmt::If { .. })), 1);
+    }
+
+    #[test]
+    fn slot_bufs() {
+        let d = SpmSlot::Double {
+            even: SpmBufId(0),
+            odd: SpmBufId(1),
+            sel: AffineExpr::loop_var(0),
+        };
+        assert_eq!(d.bufs(), vec![SpmBufId(0), SpmBufId(1)]);
+        assert_eq!(SpmSlot::single(SpmBufId(7)).bufs(), vec![SpmBufId(7)]);
+    }
+
+    #[test]
+    fn pad_traffic_counts_lightweight_vs_full() {
+        // Full pad of a 100×100 into 128×128 writes 128² elements; a strip
+        // pad of 4×100 into 32×128 writes 32·128. The ratio is the paper's
+        // Fig. 11 story in miniature.
+        let full = TransformKind::PadSubmatrix {
+            src: MemBufId(0), src_rows: 100, src_cols: 100,
+            r0: 0, c0: 0, take_rows: 100, take_cols: 100,
+            dst: MemBufId(1), dst_rows: 128, dst_cols: 128, zero_first: true,
+        };
+        let strip = TransformKind::PadSubmatrix {
+            src: MemBufId(0), src_rows: 100, src_cols: 100,
+            r0: 96, c0: 0, take_rows: 4, take_cols: 100,
+            dst: MemBufId(2), dst_rows: 32, dst_cols: 128, zero_first: true,
+        };
+        let (fr, fw, _) = full.traffic();
+        let (sr, sw, _) = strip.traffic();
+        assert_eq!(fr, 10_000);
+        assert_eq!(fw, 128 * 128);
+        assert_eq!(sr, 400);
+        assert_eq!(sw, 32 * 128);
+        assert!(sw * 3 < fw);
+    }
+
+    #[test]
+    fn gemm_flops() {
+        let d = MatDesc {
+            slot: SpmSlot::single(SpmBufId(0)),
+            layout: MatLayout::RowMajor,
+            ld: 8,
+        };
+        let g = GemmOp {
+            m: 64, n: 32, k: 16, alpha: 1.0, beta: 1.0,
+            a: d.clone(), b: d.clone(), c: d, vd: swkernels::VecDim::M,
+        };
+        assert_eq!(g.flops(), 2 * 64 * 32 * 16);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the IR: affine algebra laws and loop
+//! transformations preserving iteration semantics.
+
+use proptest::prelude::*;
+use swatop_ir::transform::{perfect_nest, reorder, split, subst_var};
+use swatop_ir::{AVar, AffineExpr, Cond, DmaCpe, Env, MemBufId, ReplyId, SpmBufId, SpmSlot, Stmt};
+
+fn arb_expr() -> impl Strategy<Value = AffineExpr> {
+    (
+        proptest::collection::vec((0usize..4, -20i64..20), 0..4),
+        -100i64..100,
+    )
+        .prop_map(|(terms, konst)| {
+            let mut e = AffineExpr::konst(konst);
+            for (v, c) in terms {
+                e = e.add_term(AVar::Loop(v), c);
+            }
+            e
+        })
+}
+
+fn env(vals: &[i64; 4]) -> Env {
+    let mut e = Env::new(4);
+    for (i, &v) in vals.iter().enumerate() {
+        e.set(i, v);
+    }
+    e
+}
+
+proptest! {
+    /// Substitution commutes with evaluation:
+    /// eval(e[v := f]) == eval(e) with env[v] := eval(f).
+    #[test]
+    fn subst_eval_commute(
+        e in arb_expr(), f in arb_expr(),
+        vals in proptest::array::uniform4(-50i64..50),
+        var in 0usize..4,
+    ) {
+        let environment = env(&vals);
+        let f_val = f.eval(&environment, 0, 0);
+        let mut env2 = environment.clone();
+        env2.set(var, f_val);
+        let direct = e.eval(&env2, 0, 0);
+        let substituted = e.subst(var, &f).eval(&environment, 0, 0);
+        prop_assert_eq!(direct, substituted);
+    }
+
+    /// Addition and scaling behave like the affine functions they denote.
+    #[test]
+    fn add_scale_semantics(
+        a in arb_expr(), b in arb_expr(), k in -10i64..10,
+        vals in proptest::array::uniform4(-50i64..50),
+    ) {
+        let environment = env(&vals);
+        prop_assert_eq!(
+            a.add(&b).eval(&environment, 0, 0),
+            a.eval(&environment, 0, 0) + b.eval(&environment, 0, 0)
+        );
+        prop_assert_eq!(a.scale(k).eval(&environment, 0, 0), k * a.eval(&environment, 0, 0));
+    }
+
+    /// `split` preserves the set of addresses a loop touches, for any
+    /// extent/factor combination (boundary guard included).
+    #[test]
+    fn split_preserves_iteration_space(extent in 1usize..30, factor in 1usize..12) {
+        let body = Stmt::DmaCpe(DmaCpe {
+            buf: MemBufId(0),
+            offset: AffineExpr::loop_var(0).scale(3).add_const(7),
+            block: 1,
+            stride: 1,
+            n_blocks: 1,
+            direction: sw26010::DmaDirection::MemToSpm,
+            spm: SpmSlot::Single(SpmBufId(0)),
+            reply: ReplyId(0),
+        });
+        let orig = Stmt::for_(0, extent, body);
+        let s = split(&orig, factor, 1, 2);
+        prop_assert_eq!(collect_offsets(&orig), collect_offsets(&s));
+    }
+
+    /// `reorder` permutes but never changes the multiset of addresses.
+    #[test]
+    fn reorder_preserves_multiset(e0 in 1usize..6, e1 in 1usize..6, swapped: bool) {
+        let body = Stmt::DmaCpe(DmaCpe {
+            buf: MemBufId(0),
+            offset: AffineExpr::loop_var(0).scale(100).add(&AffineExpr::loop_var(1)),
+            block: 1,
+            stride: 1,
+            n_blocks: 1,
+            direction: sw26010::DmaDirection::MemToSpm,
+            spm: SpmSlot::Single(SpmBufId(0)),
+            reply: ReplyId(0),
+        });
+        let nest = Stmt::for_(0, e0, Stmt::for_(1, e1, body));
+        let perm = if swapped { vec![1, 0] } else { vec![0, 1] };
+        let r = reorder(&nest, &perm);
+        let mut a = collect_offsets(&nest);
+        let mut b = collect_offsets(&r);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // And the nest structure survives.
+        let (loops, _) = perfect_nest(&r);
+        prop_assert_eq!(loops.len(), 2);
+    }
+
+    /// Substituting a variable a statement does not use is the identity.
+    #[test]
+    fn subst_unused_var_identity(extent in 1usize..10) {
+        let body = Stmt::DmaCpe(DmaCpe {
+            buf: MemBufId(0),
+            offset: AffineExpr::loop_var(0),
+            block: 1,
+            stride: 1,
+            n_blocks: 1,
+            direction: sw26010::DmaDirection::MemToSpm,
+            spm: SpmSlot::Single(SpmBufId(0)),
+            reply: ReplyId(0),
+        });
+        let s = Stmt::for_(0, extent, body);
+        prop_assert_eq!(subst_var(&s, 3, &AffineExpr::konst(42)), s);
+    }
+
+    /// Conditions evaluate consistently with their affine parts.
+    #[test]
+    fn cond_semantics(a in arb_expr(), b in arb_expr(), vals in proptest::array::uniform4(-50i64..50)) {
+        let environment = env(&vals);
+        let (av, bv) = (a.eval(&environment, 0, 0), b.eval(&environment, 0, 0));
+        prop_assert_eq!(Cond::Lt(a.clone(), b.clone()).eval(&environment, 0, 0), av < bv);
+        prop_assert_eq!(Cond::Ge(a.clone(), b.clone()).eval(&environment, 0, 0), av >= bv);
+        prop_assert_eq!(Cond::Eq(a, b).eval(&environment, 0, 0), av == bv);
+    }
+}
+
+/// Enumerate the addresses a (guarded) nest touches.
+fn collect_offsets(stmt: &Stmt) -> Vec<i64> {
+    fn walk(s: &Stmt, env: &mut Env, out: &mut Vec<i64>) {
+        match s {
+            Stmt::Seq(ss) => ss.iter().for_each(|x| walk(x, env, out)),
+            Stmt::For { var, extent, body } => {
+                for i in 0..*extent {
+                    env.set(*var, i as i64);
+                    walk(body, env, out);
+                }
+            }
+            Stmt::If { cond, then_, else_ } => {
+                if cond.eval(env, 0, 0) {
+                    walk(then_, env, out);
+                } else if let Some(e) = else_ {
+                    walk(e, env, out);
+                }
+            }
+            Stmt::DmaCpe(d) => out.push(d.offset.eval(env, 0, 0)),
+            _ => {}
+        }
+    }
+    let mut env = Env::new(8);
+    let mut out = Vec::new();
+    walk(stmt, &mut env, &mut out);
+    out
+}

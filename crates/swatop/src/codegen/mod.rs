@@ -1,0 +1,89 @@
+//! Code generation: SPM allocation planning and C source emission.
+//!
+//! The paper's code generator "analyzes the memory usage information in the
+//! IR and allocates all buffers into a single coalesced region" (Sec. 4.7).
+//! [`plan`] performs that allocation for the simulated machine and rejects
+//! programs that exceed the 64 KB scratch pad — the same capacity filter the
+//! scheduler applies while enumerating candidates.
+
+pub mod c_emit;
+
+use sw26010::{MachineConfig, MachineError, MachineResult};
+use swatop_ir::{Program, SpmBufId};
+
+/// A program with a concrete SPM allocation, ready to execute or emit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Executable {
+    pub program: Program,
+    /// Element offset of each SPM buffer within the coalesced region.
+    pub spm_offsets: Vec<usize>,
+    /// Total per-CPE SPM elements used.
+    pub spm_used: usize,
+}
+
+impl Executable {
+    /// Offset of an SPM buffer.
+    pub fn spm_offset(&self, id: SpmBufId) -> usize {
+        self.spm_offsets[id.0]
+    }
+
+    /// Emit C-like source for the program (the offline-compiler output).
+    pub fn emit_c(&self) -> String {
+        c_emit::emit(self)
+    }
+}
+
+/// Plan the coalesced SPM allocation for `program` under `cfg`.
+///
+/// Buffers are packed in declaration order; the high-water mark must fit in
+/// the SPM. A failure here marks the schedule candidate invalid.
+pub fn plan(program: Program, cfg: &MachineConfig) -> MachineResult<Executable> {
+    let mut planner = sw26010::spm::SpmPlanner::new();
+    let mut offsets = Vec::with_capacity(program.spm_bufs.len());
+    for b in &program.spm_bufs {
+        offsets.push(planner.alloc(b.len));
+    }
+    if !planner.fits(cfg.spm_bytes) {
+        return Err(MachineError::SpmOverflow {
+            cpe: 0,
+            offset: 0,
+            len: planner.used(),
+            capacity: cfg.spm_elems(),
+        });
+    }
+    Ok(Executable { program, spm_offsets: offsets, spm_used: planner.used() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swatop_ir::Program;
+
+    #[test]
+    fn plan_packs_in_order() {
+        let cfg = MachineConfig::default();
+        let mut p = Program::new("t");
+        let a = p.spm_buf("a", 100);
+        let b = p.spm_buf("b", 50);
+        let exe = plan(p, &cfg).unwrap();
+        assert_eq!(exe.spm_offset(a), 0);
+        assert_eq!(exe.spm_offset(b), 100);
+        assert_eq!(exe.spm_used, 150);
+    }
+
+    #[test]
+    fn plan_rejects_oversized() {
+        let cfg = MachineConfig::default();
+        let mut p = Program::new("t");
+        p.spm_buf("big", cfg.spm_elems() + 1);
+        assert!(plan(p, &cfg).is_err());
+    }
+
+    #[test]
+    fn plan_accepts_exact_fit() {
+        let cfg = MachineConfig::default();
+        let mut p = Program::new("t");
+        p.spm_buf("big", cfg.spm_elems());
+        assert!(plan(p, &cfg).is_ok());
+    }
+}

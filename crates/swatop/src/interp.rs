@@ -1,0 +1,762 @@
+//! The IR interpreter: runs an [`Executable`] on a [`CoreGroup`].
+//!
+//! This is the machine-facing back half of the code generator. Walking the
+//! statement tree with a loop-variable environment, it
+//!
+//! * expands each `DMA_CPE` node into the 64 per-CPE engine requests (the
+//!   `rid`/`cid` terms of the node's affine offset give every CPE its own
+//!   address),
+//! * resolves double-buffer slots through their parity selectors,
+//! * invokes the `spm_gemm` tensorized primitive, and
+//! * applies bulk host-side transforms with a bandwidth-based cost.
+//!
+//! In [`ExecMode::Functional`](sw26010::ExecMode) all data movement and
+//! arithmetic really happen, so an incorrect schedule (wrong DMA offset,
+//! wrong `ld`, wrong boundary guard) produces wrong output — the test suite
+//! compares every generated schedule against the host references.
+
+use sw26010::cluster::ReplyId as CgReply;
+use sw26010::{
+    cid, rid, CoreGroup, Cycles, DmaRequest, ExecMode, MachineError, MachineResult, N_CPE,
+};
+use swkernels::spm_gemm::SpmMatrix;
+use swtensor::Tensor;
+
+use swatop_ir::{Env, MatDesc, Program, SpmSlot, Stmt, TransformKind};
+
+use crate::codegen::Executable;
+
+/// Binding of a program's main-memory buffer table to concrete machine
+/// buffers.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    pub bufs: Vec<sw26010::BufferId>,
+}
+
+/// Allocate machine buffers for every declaration of the program.
+pub fn instantiate(cg: &mut CoreGroup, exe: &Executable) -> Binding {
+    let bufs = exe
+        .program
+        .mem_bufs
+        .iter()
+        .map(|d| cg.mem.alloc(&d.name, d.len))
+        .collect();
+    Binding { bufs }
+}
+
+struct Interp<'a> {
+    exe: &'a Executable,
+    binding: &'a Binding,
+    replies: Vec<CgReply>,
+}
+
+/// Execute the program, returning the simulated cycles it took (the compute
+/// clock advance from entry to exit).
+pub fn execute(cg: &mut CoreGroup, exe: &Executable, binding: &Binding) -> MachineResult<Cycles> {
+    assert_eq!(
+        binding.bufs.len(),
+        exe.program.mem_bufs.len(),
+        "binding does not match program buffer table"
+    );
+    let replies = (0..exe.program.n_replies).map(|_| cg.alloc_reply()).collect();
+    let interp = Interp { exe, binding, replies };
+    let start = cg.now();
+    let mut env = Env::new(exe.program.n_vars());
+    interp.stmt(cg, &exe.program.body, &mut env)?;
+    Ok(cg.now() - start)
+}
+
+impl Interp<'_> {
+    fn program(&self) -> &Program {
+        &self.exe.program
+    }
+
+    fn stmt(&self, cg: &mut CoreGroup, s: &Stmt, env: &mut Env) -> MachineResult<()> {
+        match s {
+            Stmt::Nop => Ok(()),
+            Stmt::Seq(ss) => {
+                for x in ss {
+                    self.stmt(cg, x, env)?;
+                }
+                Ok(())
+            }
+            Stmt::For { var, extent, body } => {
+                for i in 0..*extent {
+                    env.set(*var, i as i64);
+                    self.stmt(cg, body, env)?;
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then_, else_ } => {
+                if cond.eval(env, 0, 0) {
+                    self.stmt(cg, then_, env)
+                } else if let Some(e) = else_ {
+                    self.stmt(cg, e, env)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::DmaCg(_) => Err(MachineError::Invalid(
+                "DMA_CG node reached the interpreter: run DMA inference first".into(),
+            )),
+            Stmt::DmaCpe(d) => {
+                let spm_off = self.resolve_slot(&d.spm, env)?;
+                let base = cg.mem.base(self.binding.bufs[d.buf.0]);
+                let len = cg.mem.len_of(self.binding.bufs[d.buf.0]);
+                let span = (d.n_blocks - 1) * d.stride + d.block;
+                if cg.mode() == ExecMode::CostOnly {
+                    // Fast path: aggregate engine totals without building
+                    // request structures (identical clock semantics).
+                    let spm_needed = spm_off + d.block * d.n_blocks;
+                    if spm_needed > cg.cfg.spm_elems() {
+                        return Err(MachineError::SpmOverflow {
+                            cpe: 0,
+                            offset: spm_off,
+                            len: d.block * d.n_blocks,
+                            capacity: cg.cfg.spm_elems(),
+                        });
+                    }
+                    let txn = cg.cfg.dram_transaction_bytes;
+                    let mut bus = 0usize;
+                    for cpe in 0..N_CPE {
+                        let off = d.offset.eval(env, rid(cpe) as i64, cid(cpe) as i64);
+                        if off < 0 {
+                            return Err(MachineError::Invalid(format!(
+                                "negative DMA offset {off} on CPE {cpe}"
+                            )));
+                        }
+                        let off = off as usize;
+                        if off + span > len {
+                            return Err(MachineError::MainMemoryOutOfBounds {
+                                offset: base + off,
+                                len: span,
+                                size: base + len,
+                            });
+                        }
+                        bus += sw26010::dma::bus_bytes(
+                            base + off, d.block, d.stride, d.n_blocks, txn,
+                        );
+                    }
+                    let payload = d.block * d.n_blocks * 4 * N_CPE;
+                    return cg.dma_totals(
+                        bus,
+                        d.n_blocks * N_CPE,
+                        payload,
+                        self.replies[d.reply.0],
+                    );
+                }
+                let mut reqs = Vec::with_capacity(N_CPE);
+                for cpe in 0..N_CPE {
+                    let off = d.offset.eval(env, rid(cpe) as i64, cid(cpe) as i64);
+                    if off < 0 {
+                        return Err(MachineError::Invalid(format!(
+                            "negative DMA offset {off} on CPE {cpe}"
+                        )));
+                    }
+                    let off = off as usize;
+                    // The last touched element must stay inside the buffer.
+                    if off + span > len {
+                        return Err(MachineError::MainMemoryOutOfBounds {
+                            offset: base + off,
+                            len: span,
+                            size: base + len,
+                        });
+                    }
+                    reqs.push(DmaRequest {
+                        cpe,
+                        direction: d.direction,
+                        mem_offset: base + off,
+                        spm_offset: spm_off,
+                        block_elems: d.block,
+                        stride_elems: d.stride,
+                        n_blocks: d.n_blocks,
+                    });
+                }
+                cg.dma(d.direction, &reqs, self.replies[d.reply.0])
+            }
+            Stmt::DmaWait { reply, times } => cg.dma_wait(self.replies[reply.0], *times),
+            Stmt::Gemm(g) => {
+                let a = self.mat(&g.a, env)?;
+                let b = self.mat(&g.b, env)?;
+                let c = self.mat(&g.c, env)?;
+                swkernels::spm_gemm(cg, g.m, g.n, g.k, g.alpha, a, b, g.beta, c, g.vd)
+            }
+            Stmt::Transform(t) => self.transform(cg, &t.kind),
+        }
+    }
+
+    fn resolve_slot(&self, slot: &SpmSlot, env: &Env) -> MachineResult<usize> {
+        let id = match slot {
+            SpmSlot::Single(b) => *b,
+            SpmSlot::Double { even, odd, sel } => {
+                let v = sel.eval(env, 0, 0);
+                if v.rem_euclid(2) == 0 {
+                    *even
+                } else {
+                    *odd
+                }
+            }
+        };
+        Ok(self.exe.spm_offset(id))
+    }
+
+    fn mat(&self, m: &MatDesc, env: &Env) -> MachineResult<SpmMatrix> {
+        Ok(SpmMatrix::new(self.resolve_slot(&m.slot, env)?, m.layout, m.ld))
+    }
+
+    fn transform(&self, cg: &mut CoreGroup, kind: &TransformKind) -> MachineResult<()> {
+        // Cost: transforms are tiled CPE loops streaming through the DMA
+        // engine — bandwidth-bound unless heavy per-element arithmetic.
+        let (reads, writes, flops_per_write) = kind.traffic();
+        let bytes = 4 * (reads + writes);
+        let transfer = (bytes as f64 / cg.cfg.mem_bytes_per_cycle).ceil() as u64;
+        // 64 CPEs × 4-wide ops; 1 + flops_per_write operations per element.
+        let compute = writes * (1 + flops_per_write) / (N_CPE as u64 * 4);
+        let cycles = cg.cfg.dma_startup + Cycles(transfer.max(compute));
+        cg.compute(cycles, transform_label(kind));
+
+        if cg.mode() != ExecMode::Functional {
+            return Ok(());
+        }
+        self.apply_transform(cg, kind)
+    }
+
+    fn buf_data(&self, cg: &CoreGroup, id: swatop_ir::MemBufId) -> Vec<f32> {
+        cg.mem.buffer(self.binding.bufs[id.0]).to_vec()
+    }
+
+    fn write_buf(
+        &self,
+        cg: &mut CoreGroup,
+        id: swatop_ir::MemBufId,
+        data: &[f32],
+    ) -> MachineResult<()> {
+        let len = cg.mem.len_of(self.binding.bufs[id.0]);
+        if data.len() != len {
+            return Err(MachineError::Invalid(format!(
+                "transform output size {} != buffer '{}' size {len}",
+                data.len(),
+                self.program().mem_bufs[id.0].name
+            )));
+        }
+        cg.mem.write(self.binding.bufs[id.0], 0, data)
+    }
+
+    fn apply_transform(&self, cg: &mut CoreGroup, kind: &TransformKind) -> MachineResult<()> {
+        match kind {
+            TransformKind::Im2col { shape, src, dst } => {
+                let input = Tensor::from_vec(
+                    shape.input_shape().dims().to_vec(),
+                    self.buf_data(cg, *src),
+                );
+                let cols = swtensor::im2col::im2col(shape, &input);
+                self.write_buf(cg, *dst, cols.data())
+            }
+            TransformKind::PadImageNchw { shape, src, dst } => {
+                let p = shape.pad;
+                let (ri, ci) = (shape.ri(), shape.ci());
+                let (rp, cp) = (ri + 2 * p, ci + 2 * p);
+                let x = self.buf_data(cg, *src);
+                let mut out = vec![0.0f32; shape.b * shape.ni * rp * cp];
+                for bi in 0..shape.b {
+                    for n in 0..shape.ni {
+                        for r in 0..ri {
+                            let so = ((bi * shape.ni + n) * ri + r) * ci;
+                            let d_o = ((bi * shape.ni + n) * rp + r + p) * cp + p;
+                            out[d_o..d_o + ci].copy_from_slice(&x[so..so + ci]);
+                        }
+                    }
+                }
+                self.write_buf(cg, *dst, &out)
+            }
+            TransformKind::WinogradFilter { shape, src, dst, transposed } => {
+                let w = Tensor::from_vec(
+                    shape.weight_shape().dims().to_vec(),
+                    self.buf_data(cg, *src),
+                );
+                let u = swtensor::winograd::batched_filter_transform(shape, &w);
+                let u = if *transposed { u.permuted(&[0, 2, 1]) } else { u };
+                self.write_buf(cg, *dst, u.data())
+            }
+            TransformKind::WinogradInput { shape, src, dst, nt_pad } => {
+                let x = Tensor::from_vec(
+                    shape.input_shape().dims().to_vec(),
+                    self.buf_data(cg, *src),
+                );
+                let v = swtensor::winograd::batched_input_transform(shape, &x);
+                let nt = swtensor::winograd::n_tiles(shape);
+                let mut out = vec![0.0f32; 16 * shape.ni * nt_pad];
+                for pos in 0..16 {
+                    for n in 0..shape.ni {
+                        let so = (pos * shape.ni + n) * nt;
+                        let d_o = (pos * shape.ni + n) * nt_pad;
+                        out[d_o..d_o + nt].copy_from_slice(&v.data()[so..so + nt]);
+                    }
+                }
+                self.write_buf(cg, *dst, &out)
+            }
+            TransformKind::WinogradOutput { shape, src, dst, nt_pad } => {
+                let nt = swtensor::winograd::n_tiles(shape);
+                let padded = self.buf_data(cg, *src);
+                let mut m = vec![0.0f32; 16 * shape.no * nt];
+                for pos in 0..16 {
+                    for n in 0..shape.no {
+                        let so = (pos * shape.no + n) * nt_pad;
+                        let d_o = (pos * shape.no + n) * nt;
+                        m[d_o..d_o + nt].copy_from_slice(&padded[so..so + nt]);
+                    }
+                }
+                let m = Tensor::from_vec(vec![16, shape.no, nt], m);
+                let y = swtensor::winograd::batched_output_transform(shape, &m);
+                self.write_buf(cg, *dst, y.data())
+            }
+            TransformKind::PackTensor { src, dst, src_dims, perm } => {
+                let t = Tensor::from_vec(src_dims.clone(), self.buf_data(cg, *src));
+                let p = t.permuted(perm);
+                self.write_buf(cg, *dst, p.data())
+            }
+            TransformKind::RotateFilter { shape, src, dst } => {
+                let w = Tensor::from_vec(
+                    shape.weight_shape().dims().to_vec(),
+                    self.buf_data(cg, *src),
+                );
+                let mut out =
+                    Tensor::zeros(vec![shape.ni, shape.no, shape.kr, shape.kc]);
+                for no in 0..shape.no {
+                    for ni in 0..shape.ni {
+                        for kr in 0..shape.kr {
+                            for kc in 0..shape.kc {
+                                *out.at_mut(&[
+                                    ni,
+                                    no,
+                                    shape.kr - 1 - kr,
+                                    shape.kc - 1 - kc,
+                                ]) = w.at(&[no, ni, kr, kc]);
+                            }
+                        }
+                    }
+                }
+                self.write_buf(cg, *dst, out.data())
+            }
+            TransformKind::PadSubmatrix {
+                src,
+                src_rows,
+                src_cols,
+                r0,
+                c0,
+                take_rows,
+                take_cols,
+                dst,
+                dst_rows,
+                dst_cols,
+                zero_first,
+            } => {
+                let s = self.buf_data(cg, *src);
+                if s.len() != src_rows * src_cols {
+                    return Err(MachineError::Invalid("pad: src size mismatch".into()));
+                }
+                let mut d = if *zero_first {
+                    vec![0.0f32; dst_rows * dst_cols]
+                } else {
+                    self.buf_data(cg, *dst)
+                };
+                if d.len() != dst_rows * dst_cols {
+                    return Err(MachineError::Invalid("pad: dst size mismatch".into()));
+                }
+                let rows = (*take_rows).min(src_rows.saturating_sub(*r0)).min(*dst_rows);
+                let cols = (*take_cols).min(src_cols.saturating_sub(*c0)).min(*dst_cols);
+                for r in 0..rows {
+                    let so = (r0 + r) * src_cols + c0;
+                    let d_o = r * dst_cols;
+                    d[d_o..d_o + cols].copy_from_slice(&s[so..so + cols]);
+                }
+                self.write_buf(cg, *dst, &d)
+            }
+            TransformKind::UnpadSubmatrix {
+                src,
+                src_rows,
+                src_cols,
+                dst,
+                dst_rows,
+                dst_cols,
+                r0,
+                c0,
+                take_rows,
+                take_cols,
+            } => {
+                let s = self.buf_data(cg, *src);
+                if s.len() != src_rows * src_cols {
+                    return Err(MachineError::Invalid("unpad: src size mismatch".into()));
+                }
+                let mut d = self.buf_data(cg, *dst);
+                if d.len() != dst_rows * dst_cols {
+                    return Err(MachineError::Invalid("unpad: dst size mismatch".into()));
+                }
+                let rows = (*take_rows).min(*src_rows).min(dst_rows.saturating_sub(*r0));
+                let cols = (*take_cols).min(*src_cols).min(dst_cols.saturating_sub(*c0));
+                for r in 0..rows {
+                    let so = r * src_cols;
+                    let d_o = (r0 + r) * dst_cols + c0;
+                    d[d_o..d_o + cols].copy_from_slice(&s[so..so + cols]);
+                }
+                self.write_buf(cg, *dst, &d)
+            }
+            TransformKind::ZeroBuf { buf } => {
+                cg.mem.buffer_mut(self.binding.bufs[buf.0]).fill(0.0);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn transform_label(kind: &TransformKind) -> &'static str {
+    match kind {
+        TransformKind::Im2col { .. } => "im2col",
+        TransformKind::PadImageNchw { .. } => "pad_image",
+        TransformKind::WinogradFilter { .. } => "winograd_filter",
+        TransformKind::WinogradInput { .. } => "winograd_input",
+        TransformKind::WinogradOutput { .. } => "winograd_output",
+        TransformKind::PackTensor { .. } => "pack",
+        TransformKind::RotateFilter { .. } => "rotate_filter",
+        TransformKind::PadSubmatrix { .. } => "pad",
+        TransformKind::UnpadSubmatrix { .. } => "unpad",
+        TransformKind::ZeroBuf { .. } => "zero",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::plan;
+    use sw26010::DmaDirection::*;
+    use sw26010::MachineConfig;
+    use swatop_ir::{AVar, AffineExpr, DmaCpe, MemRole, Program, TransformOp};
+    use swkernels::VecDim;
+    use swtensor::init::random_vec;
+    use swtensor::MatLayout;
+
+    fn functional_cg() -> CoreGroup {
+        CoreGroup::with_mode(ExecMode::Functional)
+    }
+
+    /// 64×64 matmul through IR: distribute A and B by DMA, gemm, collect C.
+    /// Exercises DMA offset math end-to-end: wrong rid/cid coefficients
+    /// would scramble the result.
+    #[test]
+    fn ir_matmul_roundtrip() {
+        let (m, n, k) = (64, 64, 64);
+        let (mb, nb, kb) = (m / 8, n / 8, k / 8);
+        let mut p = Program::new("mm");
+        let a = p.mem_buf("A", m * k, MemRole::Input);
+        let b = p.mem_buf("B", k * n, MemRole::Input);
+        let c = p.mem_buf("C", m * n, MemRole::Output);
+        let sa = p.spm_buf("a", mb * kb);
+        let sb = p.spm_buf("b", kb * nb);
+        let sc = p.spm_buf("c", mb * nb);
+        let r = p.fresh_reply();
+
+        // Row-major matrices: CPE (rid, cid) takes block (rid, cid).
+        let dma_in = |buf, rows: usize, cols: usize, spm| {
+            Stmt::DmaCpe(DmaCpe {
+                buf,
+                offset: AffineExpr::zero()
+                    .add_term(AVar::Rid, (rows / 8 * cols) as i64)
+                    .add_term(AVar::Cid, (cols / 8) as i64),
+                block: cols / 8,
+                stride: cols,
+                n_blocks: rows / 8,
+                direction: MemToSpm,
+                spm: SpmSlot::Single(spm),
+                reply: r,
+            })
+        };
+        let dma_out = Stmt::DmaCpe(DmaCpe {
+            buf: c,
+            offset: AffineExpr::zero()
+                .add_term(AVar::Rid, (mb * n) as i64)
+                .add_term(AVar::Cid, nb as i64),
+            block: nb,
+            stride: n,
+            n_blocks: mb,
+            direction: SpmToMem,
+            spm: SpmSlot::Single(sc),
+            reply: r,
+        });
+        let gemm = Stmt::Gemm(swatop_ir::GemmOp {
+            m,
+            n,
+            k,
+            alpha: 1.0,
+            beta: 1.0,
+            a: MatDesc { slot: SpmSlot::Single(sa), layout: MatLayout::RowMajor, ld: kb },
+            b: MatDesc { slot: SpmSlot::Single(sb), layout: MatLayout::RowMajor, ld: nb },
+            c: MatDesc { slot: SpmSlot::Single(sc), layout: MatLayout::RowMajor, ld: nb },
+            vd: VecDim::M,
+        });
+        p.body = Stmt::seq(vec![
+            dma_in(a, m, k, sa),
+            dma_in(b, k, n, sb),
+            Stmt::DmaWait { reply: r, times: 2 },
+            gemm,
+            dma_out,
+            Stmt::DmaWait { reply: r, times: 1 },
+        ]);
+
+        let exe = plan(p, &MachineConfig::default()).unwrap();
+        let mut cg = functional_cg();
+        let binding = instantiate(&mut cg, &exe);
+        let av = random_vec(m * k, 1);
+        let bv = random_vec(k * n, 2);
+        cg.mem.write(binding.bufs[0], 0, &av).unwrap();
+        cg.mem.write(binding.bufs[1], 0, &bv).unwrap();
+
+        let cycles = execute(&mut cg, &exe, &binding).unwrap();
+        assert!(cycles.get() > 0);
+
+        let mut expect = vec![0.0f32; m * n];
+        swtensor::gemm::gemm_rowmajor(m, n, k, &av, &bv, &mut expect);
+        let got = cg.mem.buffer(binding.bufs[2]).to_vec();
+        swtensor::compare::assert_close(&got, &expect, 1e-4, 1e-5, "ir matmul");
+    }
+
+    #[test]
+    fn unlowered_dma_cg_is_an_error() {
+        let mut p = Program::new("bad");
+        let buf = p.mem_buf("x", 64, MemRole::Input);
+        let s = p.spm_buf("s", 8);
+        let r = p.fresh_reply();
+        p.body = Stmt::DmaCg(swatop_ir::DmaCg {
+            buf,
+            offset: AffineExpr::zero(),
+            rows: 8,
+            cols: 8,
+            row_stride: 8,
+            mesh_swap: false,
+            direction: MemToSpm,
+            spm: SpmSlot::Single(s),
+            reply: r,
+        });
+        let exe = plan(p, &MachineConfig::default()).unwrap();
+        let mut cg = functional_cg();
+        let binding = instantiate(&mut cg, &exe);
+        assert!(execute(&mut cg, &exe, &binding).is_err());
+    }
+
+    #[test]
+    fn double_buffer_slot_alternates() {
+        // A loop DMAs into alternating buffers; final contents of the even
+        // buffer must come from the last even iteration.
+        let mut p = Program::new("dbl");
+        let v = p.fresh_var("i");
+        let src = p.mem_buf("src", 4 * 64, MemRole::Input);
+        let even = p.spm_buf("even", 1);
+        let odd = p.spm_buf("odd", 1);
+        let r = p.fresh_reply();
+        let dma = Stmt::DmaCpe(DmaCpe {
+            buf: src,
+            // Element (i*64 + cpe_linear) — use rid*8+cid to spread CPEs.
+            offset: AffineExpr::loop_var(v)
+                .scale(64)
+                .add_term(AVar::Rid, 8)
+                .add_term(AVar::Cid, 1),
+            block: 1,
+            stride: 1,
+            n_blocks: 1,
+            direction: MemToSpm,
+            spm: SpmSlot::Double { even, odd, sel: AffineExpr::loop_var(v) },
+            reply: r,
+        });
+        p.body = Stmt::for_(
+            v,
+            4,
+            Stmt::seq(vec![dma, Stmt::DmaWait { reply: r, times: 1 }]),
+        );
+        let exe = plan(p, &MachineConfig::default()).unwrap();
+        let mut cg = functional_cg();
+        let binding = instantiate(&mut cg, &exe);
+        let data: Vec<f32> = (0..4 * 64).map(|x| x as f32).collect();
+        cg.mem.write(binding.bufs[0], 0, &data).unwrap();
+        execute(&mut cg, &exe, &binding).unwrap();
+        let even_off = exe.spm_offset(even);
+        let odd_off = exe.spm_offset(odd);
+        // Last even iteration is i=2 → value 128 + cpe; last odd is i=3.
+        assert_eq!(cg.spm(0).load(even_off).unwrap(), 128.0);
+        assert_eq!(cg.spm(0).load(odd_off).unwrap(), 192.0);
+        assert_eq!(cg.spm(63).load(odd_off).unwrap(), 192.0 + 63.0);
+    }
+
+    #[test]
+    fn guard_conditions_gate_execution() {
+        let mut p = Program::new("guard");
+        let v = p.fresh_var("i");
+        let src = p.mem_buf("src", 1024, MemRole::Input);
+        let s = p.spm_buf("s", 1);
+        let r = p.fresh_reply();
+        let dma = |off: i64| {
+            Stmt::DmaCpe(DmaCpe {
+                buf: src,
+                offset: AffineExpr::konst(off),
+                block: 1,
+                stride: 1,
+                n_blocks: 1,
+                direction: MemToSpm,
+                spm: SpmSlot::Single(s),
+                reply: r,
+            })
+        };
+        // for i in 0..5 { if i < 4 { dma@0 } else { dma@100 } ; wait }
+        p.body = Stmt::for_(
+            v,
+            5,
+            Stmt::seq(vec![
+                Stmt::if_else(
+                    swatop_ir::Cond::lt_const(AffineExpr::loop_var(v), 4),
+                    dma(0),
+                    dma(100),
+                ),
+                Stmt::DmaWait { reply: r, times: 1 },
+            ]),
+        );
+        let exe = plan(p, &MachineConfig::default()).unwrap();
+        let mut cg = functional_cg();
+        let binding = instantiate(&mut cg, &exe);
+        let mut data = vec![0.0f32; 1024];
+        data[100] = 42.0;
+        cg.mem.write(binding.bufs[0], 0, &data).unwrap();
+        execute(&mut cg, &exe, &binding).unwrap();
+        // Final iteration hit the else branch.
+        assert_eq!(cg.spm(0).load(exe.spm_offset(s)).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn dma_bounds_are_enforced() {
+        let mut p = Program::new("oob");
+        let src = p.mem_buf("src", 16, MemRole::Input);
+        let s = p.spm_buf("s", 64);
+        let r = p.fresh_reply();
+        p.body = Stmt::DmaCpe(DmaCpe {
+            buf: src,
+            offset: AffineExpr::zero(),
+            block: 32, // longer than the buffer
+            stride: 32,
+            n_blocks: 1,
+            direction: MemToSpm,
+            spm: SpmSlot::Single(s),
+            reply: r,
+        });
+        let exe = plan(p, &MachineConfig::default()).unwrap();
+        let mut cg = functional_cg();
+        let binding = instantiate(&mut cg, &exe);
+        assert!(matches!(
+            execute(&mut cg, &exe, &binding),
+            Err(MachineError::MainMemoryOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn pack_transform_permutes_and_costs() {
+        let mut p = Program::new("pack");
+        let src = p.mem_buf("src", 6, MemRole::Input);
+        let dst = p.mem_buf("dst", 6, MemRole::Temp);
+        p.body = Stmt::Transform(TransformOp {
+            kind: TransformKind::PackTensor {
+                src,
+                dst,
+                src_dims: vec![2, 3],
+                perm: vec![1, 0],
+            },
+        });
+        let exe = plan(p, &MachineConfig::default()).unwrap();
+        let mut cg = functional_cg();
+        let binding = instantiate(&mut cg, &exe);
+        cg.mem.write(binding.bufs[0], 0, &[0., 1., 2., 10., 11., 12.]).unwrap();
+        let cycles = execute(&mut cg, &exe, &binding).unwrap();
+        assert!(cycles.get() > 0);
+        assert_eq!(cg.mem.buffer(binding.bufs[1]), &[0., 10., 1., 11., 2., 12.]);
+    }
+
+    #[test]
+    fn pad_and_unpad_transforms() {
+        let mut p = Program::new("pad");
+        let src = p.mem_buf("src", 3 * 5, MemRole::Input);
+        let padded = p.mem_buf("padded", 4 * 8, MemRole::Temp);
+        let out = p.mem_buf("out", 3 * 5, MemRole::Output);
+        p.body = Stmt::seq(vec![
+            Stmt::Transform(TransformOp {
+                kind: TransformKind::PadSubmatrix {
+                    src,
+                    src_rows: 3,
+                    src_cols: 5,
+                    r0: 0,
+                    c0: 0,
+                    take_rows: 3,
+                    take_cols: 5,
+                    dst: padded,
+                    dst_rows: 4,
+                    dst_cols: 8,
+                    zero_first: true,
+                },
+            }),
+            Stmt::Transform(TransformOp {
+                kind: TransformKind::UnpadSubmatrix {
+                    src: padded,
+                    src_rows: 4,
+                    src_cols: 8,
+                    dst: out,
+                    dst_rows: 3,
+                    dst_cols: 5,
+                    r0: 0,
+                    c0: 0,
+                    take_rows: 3,
+                    take_cols: 5,
+                },
+            }),
+        ]);
+        let exe = plan(p, &MachineConfig::default()).unwrap();
+        let mut cg = functional_cg();
+        let binding = instantiate(&mut cg, &exe);
+        let data = random_vec(15, 9);
+        cg.mem.write(binding.bufs[0], 0, &data).unwrap();
+        execute(&mut cg, &exe, &binding).unwrap();
+        assert_eq!(cg.mem.buffer(binding.bufs[2]), data.as_slice());
+        // Padded region beyond the copied block is zero.
+        let padded_data = cg.mem.buffer(binding.bufs[1]);
+        assert_eq!(padded_data[5], 0.0);
+        assert_eq!(padded_data[3 * 8 + 4], 0.0);
+    }
+
+    #[test]
+    fn cost_only_mode_reports_same_cycles_as_functional() {
+        // Clock advance must be identical between modes (determinism of the
+        // cost model), so black-box tuning in CostOnly is faithful.
+        let build = || {
+            let mut p = Program::new("mm");
+            let a = p.mem_buf("A", 64 * 64, MemRole::Input);
+            let s = p.spm_buf("a", 64);
+            let r = p.fresh_reply();
+            let _ = a;
+            p.body = Stmt::seq(vec![
+                Stmt::DmaCpe(DmaCpe {
+                    buf: swatop_ir::MemBufId(0),
+                    offset: AffineExpr::zero().add_term(AVar::Rid, 64).add_term(AVar::Cid, 8),
+                    block: 8,
+                    stride: 64,
+                    n_blocks: 8,
+                    direction: MemToSpm,
+                    spm: SpmSlot::Single(s),
+                    reply: r,
+                }),
+                Stmt::DmaWait { reply: r, times: 1 },
+            ]);
+            plan(p, &MachineConfig::default()).unwrap()
+        };
+        let exe = build();
+        let mut f = functional_cg();
+        let bf = instantiate(&mut f, &exe);
+        let cf = execute(&mut f, &exe, &bf).unwrap();
+        let mut c = CoreGroup::with_mode(ExecMode::CostOnly);
+        let bc = instantiate(&mut c, &exe);
+        let cc = execute(&mut c, &exe, &bc).unwrap();
+        assert_eq!(cf, cc);
+    }
+}

@@ -1,0 +1,132 @@
+//! Weighted least-squares fitting of the Eq. (2) GEMM cost model.
+//!
+//! "We fit a linear function to estimate the computation time by collecting
+//! the execution time of GEMM operations using different dimension
+//! parameters" (Sec. 4.6). The features follow Eq. (2):
+//! `T = α·K + β·K·M + γ·K·M·N + δ` (the paper's /4 and vecM factors are
+//! absorbed into per-variant coefficients, since we fit one model per
+//! kernel variant). Weights `1/y²` minimise *relative* error, which is what
+//! ranking schedules needs.
+
+/// Number of model features.
+pub const N_FEATURES: usize = 4;
+
+/// Feature vector of one (M, N, K) sample.
+pub fn features(m: usize, n: usize, k: usize) -> [f64; N_FEATURES] {
+    let (m, n, k) = (m as f64, n as f64, k as f64);
+    [k, k * m, k * m * n, 1.0]
+}
+
+/// Solve the weighted least-squares problem for samples `(x_i, y_i)` with
+/// weights `w_i`, returning the coefficient vector.
+pub fn wls(samples: &[([f64; N_FEATURES], f64, f64)]) -> [f64; N_FEATURES] {
+    // Normal equations: (XᵀWX) β = XᵀWy.
+    let mut a = [[0.0f64; N_FEATURES]; N_FEATURES];
+    let mut b = [0.0f64; N_FEATURES];
+    for (x, y, w) in samples {
+        for i in 0..N_FEATURES {
+            for j in 0..N_FEATURES {
+                a[i][j] += w * x[i] * x[j];
+            }
+            b[i] += w * x[i] * y;
+        }
+    }
+    solve4(a, b)
+}
+
+/// Gaussian elimination with partial pivoting for the 4×4 system.
+fn solve4(mut a: [[f64; N_FEATURES]; N_FEATURES], mut b: [f64; N_FEATURES]) -> [f64; N_FEATURES] {
+    for col in 0..N_FEATURES {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..N_FEATURES {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let d = a[col][col];
+        if d.abs() < 1e-12 {
+            continue; // singular direction: leave coefficient at 0
+        }
+        for r in 0..N_FEATURES {
+            if r == col {
+                continue;
+            }
+            let f = a[r][col] / d;
+            for c in col..N_FEATURES {
+                a[r][c] -= f * a[col][c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut x = [0.0f64; N_FEATURES];
+    for i in 0..N_FEATURES {
+        x[i] = if a[i][i].abs() < 1e-12 { 0.0 } else { b[i] / a[i][i] };
+    }
+    x
+}
+
+/// Predict with a coefficient vector.
+pub fn predict(coef: &[f64; N_FEATURES], m: usize, n: usize, k: usize) -> f64 {
+    let x = features(m, n, k);
+    coef.iter().zip(&x).map(|(c, f)| c * f).sum::<f64>().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_data_recovers_coefficients() {
+        let truth = [3.0, 0.25, 0.031, 140.0];
+        let mut samples = Vec::new();
+        for &m in &[32usize, 64, 128] {
+            for &n in &[32usize, 64, 96] {
+                for &k in &[8usize, 16, 64] {
+                    let x = features(m, n, k);
+                    let y: f64 = truth.iter().zip(&x).map(|(c, f)| c * f).sum();
+                    samples.push((x, y, 1.0 / (y * y)));
+                }
+            }
+        }
+        let fit = wls(&samples);
+        for (a, b) in fit.iter().zip(&truth) {
+            assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "fit {fit:?} vs {truth:?}");
+        }
+    }
+
+    #[test]
+    fn noisy_data_fits_within_tolerance() {
+        let truth = [2.0, 0.1, 0.02, 50.0];
+        let mut samples = Vec::new();
+        let mut noise = 0.97f64;
+        for &m in &[32usize, 64, 96, 128] {
+            for &n in &[32usize, 64, 128] {
+                for &k in &[16usize, 32, 64, 128] {
+                    let x = features(m, n, k);
+                    let y: f64 = truth.iter().zip(&x).map(|(c, f)| c * f).sum::<f64>() * noise;
+                    noise = if noise > 1.0 { 0.97 } else { 1.03 };
+                    samples.push((x, y, 1.0 / (y * y)));
+                }
+            }
+        }
+        let fit = wls(&samples);
+        // Predictions within ~5% on the samples.
+        for &m in &[32usize, 128] {
+            for &k in &[16usize, 128] {
+                let y: f64 =
+                    truth.iter().zip(&features(m, 64, k)).map(|(c, f)| c * f).sum();
+                let p = predict(&fit, m, 64, k);
+                assert!((p - y).abs() / y < 0.05, "pred {p} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn predict_is_positive() {
+        let coef = [-100.0, 0.0, 0.0, 0.0];
+        assert!(predict(&coef, 8, 8, 8) >= 1.0);
+    }
+}

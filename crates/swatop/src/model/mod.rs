@@ -1,0 +1,310 @@
+//! The static performance model (paper Sec. 4.6).
+//!
+//! * **Eq. (1)** — DMA time: start-up latency plus transaction-quantised
+//!   transfer volume over the peak bandwidth share. The model assumes the
+//!   first block of every transfer is 128-byte aligned and infers per-block
+//!   waste from the stride; the simulated engine computes *exact* waste per
+//!   block and charges a per-descriptor overhead the model does not know —
+//!   that gap is the model error Fig. 9 quantifies.
+//! * **Eq. (2)** — GEMM time: a linear function `αK + βKM + γKMN + δ` fitted
+//!   per kernel variant against the pipeline-scoreboard ground truth
+//!   ([`GemmModel::calibrate`]).
+//! * **T_overall = max(T_DMA, T_compute)** under software prefetching
+//!   (the autotuner estimates the *pre-prefetch* IR and applies the overlap
+//!   formula, exactly like the paper assumes the optimizer will hide the
+//!   latency).
+
+pub mod fit;
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use sw26010::{Cycles, MachineConfig, N_CPE};
+use swatop_ir::{Env, Program, Stmt, TransformKind};
+use swkernels::{gemm_cycles, GemmVariant, VecDim, ALL_VARIANTS};
+
+/// Eq. (1): model cycles for one DMA batch (64 symmetric per-CPE requests
+/// of `n_blocks` blocks of `block_elems` elements, `stride_elems` apart).
+pub fn dma_eq1_cycles(
+    cfg: &MachineConfig,
+    block_elems: usize,
+    n_blocks: usize,
+    stride_elems: usize,
+) -> f64 {
+    let txn = cfg.dram_transaction_bytes;
+    let block_bytes = block_elems * 4;
+    // "We assume the first block is 128 B aligned, and waste_size of each
+    // block can be inferred by the stride size."
+    let stride_aligned = (stride_elems * 4) % txn == 0 || n_blocks == 1;
+    let bus_block = if stride_aligned {
+        block_bytes.div_ceil(txn) * txn
+    } else {
+        // Unaligned strides straddle transaction boundaries: expect one
+        // extra transaction of waste per block.
+        block_bytes.div_ceil(txn) * txn + txn
+    };
+    let total_bytes = (bus_block * n_blocks * N_CPE) as f64;
+    // The start-up and per-block descriptor constants are calibrated from
+    // DMA micro-benchmarks (as the paper does, following Xu et al. [24]):
+    // strided transfers with many small blocks pay a per-descriptor cost on
+    // top of the bandwidth term.
+    let descriptor = (cfg.dma_block_overhead.get() * (n_blocks * N_CPE) as u64) as f64;
+    cfg.dma_startup.get() as f64 + descriptor + total_bytes / cfg.mem_bytes_per_cycle
+}
+
+/// Cost model for the bulk host-side transforms, shared verbatim with the
+/// interpreter (so transform costs contribute zero model error).
+pub fn transform_cost(cfg: &MachineConfig, kind: &TransformKind) -> Cycles {
+    let (reads, writes, flops_per_write) = kind.traffic();
+    let bytes = 4 * (reads + writes);
+    let transfer = (bytes as f64 / cfg.mem_bytes_per_cycle).ceil() as u64;
+    let compute = writes * (1 + flops_per_write) / (N_CPE as u64 * 4);
+    cfg.dma_startup + Cycles(transfer.max(compute))
+}
+
+/// The calibrated Eq. (2) model: one coefficient vector per kernel variant.
+#[derive(Debug, Clone)]
+pub struct GemmModel {
+    pub coef: [[f64; fit::N_FEATURES]; 8],
+}
+
+static MODEL_CACHE: Mutex<Option<HashMap<u64, GemmModel>>> = Mutex::new(None);
+
+impl GemmModel {
+    /// Fit all eight variants against the scoreboard ground truth. Cached
+    /// per machine configuration (calibration is a one-time cost, like the
+    /// paper's offline kernel benchmarking).
+    pub fn calibrate(cfg: &MachineConfig) -> GemmModel {
+        let key = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            cfg.vmad_latency.hash(&mut h);
+            cfg.bcast_latency.hash(&mut h);
+            cfg.vldd_latency.hash(&mut h);
+            cfg.kernel_call_overhead.get().hash(&mut h);
+            h.finish()
+        };
+        if let Some(m) = MODEL_CACHE.lock().as_ref().and_then(|c| c.get(&key)) {
+            return m.clone();
+        }
+        let mut coef = [[0.0; fit::N_FEATURES]; 8];
+        for v in ALL_VARIANTS {
+            let mut samples = Vec::new();
+            for &m in &[32usize, 64, 96, 128, 160, 192, 256, 320] {
+                for &n in &[32usize, 48, 64, 96, 128, 192, 256] {
+                    for &k in &[8usize, 16, 24, 32, 64, 96, 128, 192, 256] {
+                        if !valid_shape(v, m, n, k) {
+                            continue;
+                        }
+                        let y = gemm_cycles(cfg, v, m, n, k).get() as f64;
+                        samples.push((fit::features(m, n, k), y, 1.0 / (y * y)));
+                    }
+                }
+            }
+            coef[v.index()] = fit::wls(&samples);
+        }
+        let model = GemmModel { coef };
+        MODEL_CACHE
+            .lock()
+            .get_or_insert_with(HashMap::new)
+            .insert(key, model.clone());
+        model
+    }
+
+    /// Predicted cycles for one `spm_gemm(M, N, K)` call.
+    pub fn predict(&self, variant: GemmVariant, m: usize, n: usize, k: usize) -> f64 {
+        fit::predict(&self.coef[variant.index()], m, n, k)
+    }
+}
+
+/// Is (M, N, K) a legal shape for this variant? (mesh divisibility and
+/// per-CPE vector alignment — same rules as `spm_gemm::validate`.)
+pub fn valid_shape(v: GemmVariant, m: usize, n: usize, k: usize) -> bool {
+    if m % 8 != 0 || n % 8 != 0 || k % 8 != 0 {
+        return false;
+    }
+    match v.vec {
+        VecDim::M => (m / 8) % 4 == 0,
+        VecDim::N => (n / 8) % 4 == 0,
+    }
+}
+
+/// Static cost estimate of a program.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Estimate {
+    /// Modelled DMA engine time (Eq. 1 summed over all transfers).
+    pub t_dma: f64,
+    /// Modelled instruction-stream time (Eq. 2 + transform costs).
+    pub t_compute: f64,
+}
+
+impl Estimate {
+    /// `T_overall`: with prefetching DMA and compute overlap (`max`);
+    /// without, they serialise (`sum`).
+    pub fn overall(&self, prefetched: bool) -> f64 {
+        if prefetched {
+            self.t_dma.max(self.t_compute)
+        } else {
+            self.t_dma + self.t_compute
+        }
+    }
+}
+
+/// Estimate a lowered (pre-prefetch) program.
+///
+/// Loops whose bodies are control-flow-free are costed symbolically (body
+/// cost × extent); loops containing guards that depend on their variable
+/// (boundary switching) are walked concretely. Either way no machine state
+/// is touched — this is what makes the model-based autotuner orders of
+/// magnitude faster than black-box execution (Tab. 3).
+pub fn estimate_program(cfg: &MachineConfig, model: &GemmModel, p: &Program) -> Estimate {
+    let mut env = Env::new(p.n_vars().max(1));
+    let mut est = Estimate::default();
+    estimate_stmt(cfg, model, &p.body, &mut env, 1.0, &mut est);
+    est
+}
+
+fn cond_depends_on(cond: &swatop_ir::Cond, var: usize) -> bool {
+    use swatop_ir::Cond::*;
+    match cond {
+        Lt(a, b) | Ge(a, b) | Eq(a, b) => a.depends_on(var) || b.depends_on(var),
+        And(a, b) => cond_depends_on(a, var) || cond_depends_on(b, var),
+    }
+}
+
+fn subtree_has_dependent_if(s: &Stmt, var: usize) -> bool {
+    let mut found = false;
+    s.visit(&mut |x| {
+        if let Stmt::If { cond, .. } = x {
+            if cond_depends_on(cond, var) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn estimate_stmt(
+    cfg: &MachineConfig,
+    model: &GemmModel,
+    s: &Stmt,
+    env: &mut Env,
+    mult: f64,
+    est: &mut Estimate,
+) {
+    match s {
+        Stmt::Nop => {}
+        Stmt::Seq(ss) => ss.iter().for_each(|x| estimate_stmt(cfg, model, x, env, mult, est)),
+        Stmt::For { var, extent, body } => {
+            if subtree_has_dependent_if(body, *var) {
+                // Boundary guards: walk concretely so each branch is
+                // counted exactly.
+                for i in 0..*extent {
+                    env.set(*var, i as i64);
+                    estimate_stmt(cfg, model, body, env, mult, est);
+                }
+            } else {
+                env.set(*var, 0);
+                estimate_stmt(cfg, model, body, env, mult * (*extent as f64), est);
+            }
+        }
+        Stmt::If { cond, then_, else_ } => {
+            if cond.eval(env, 0, 0) {
+                estimate_stmt(cfg, model, then_, env, mult, est);
+            } else if let Some(e) = else_ {
+                estimate_stmt(cfg, model, e, env, mult, est);
+            }
+        }
+        Stmt::DmaCg(d) => {
+            // Estimate as if lowered (cols/8 blocks etc.).
+            let node = crate::optimizer::dma_inference::lower_node(d);
+            est.t_dma += mult * dma_eq1_cycles(cfg, node.block, node.n_blocks, node.stride);
+        }
+        Stmt::DmaCpe(d) => {
+            est.t_dma += mult * dma_eq1_cycles(cfg, d.block, d.n_blocks, d.stride);
+        }
+        Stmt::DmaWait { .. } => {
+            est.t_compute += mult * cfg.dma_wait_poll.get() as f64;
+        }
+        Stmt::Gemm(g) => {
+            let variant =
+                GemmVariant { a_layout: g.a.layout, b_layout: g.b.layout, vec: g.vd };
+            est.t_compute += mult * model.predict(variant, g.m, g.n, g.k);
+        }
+        Stmt::Transform(t) => {
+            // Transforms stream through memory: they occupy both the DMA
+            // engine and the CPEs; charge the same cost to both clocks
+            // (they cannot be overlapped with the main loop).
+            let c = transform_cost(cfg, &t.kind).get() as f64;
+            est.t_compute += mult * c;
+            est.t_dma += mult * c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_scales_with_volume_and_penalises_misalignment() {
+        let cfg = MachineConfig::default();
+        let small = dma_eq1_cycles(&cfg, 32, 8, 32);
+        let big = dma_eq1_cycles(&cfg, 32, 64, 32);
+        assert!(big > 4.0 * small / 2.0);
+        // Aligned stride (32 elems = 128 B) vs unaligned (33 elems).
+        let aligned = dma_eq1_cycles(&cfg, 16, 64, 32);
+        let unaligned = dma_eq1_cycles(&cfg, 16, 64, 33);
+        assert!(unaligned > aligned, "{unaligned} !> {aligned}");
+    }
+
+    #[test]
+    fn gemm_model_tracks_ground_truth_within_tolerance() {
+        let cfg = MachineConfig::default();
+        let model = GemmModel::calibrate(&cfg);
+        let mut worst: f64 = 0.0;
+        for v in ALL_VARIANTS {
+            for &(m, n, k) in &[(64usize, 64usize, 64usize), (128, 64, 32), (256, 128, 128)] {
+                if !valid_shape(v, m, n, k) {
+                    continue;
+                }
+                let truth = gemm_cycles(&cfg, v, m, n, k).get() as f64;
+                let pred = model.predict(v, m, n, k);
+                let err = (pred - truth).abs() / truth;
+                worst = worst.max(err);
+            }
+        }
+        assert!(worst < 0.25, "worst relative error {worst}");
+    }
+
+    #[test]
+    fn model_ranks_fast_variant_above_slow() {
+        let cfg = MachineConfig::default();
+        let model = GemmModel::calibrate(&cfg);
+        let fast = ALL_VARIANTS.iter().find(|v| v.vector_load_ok()).unwrap();
+        let slow = ALL_VARIANTS.iter().find(|v| !v.vector_load_ok()).unwrap();
+        assert!(
+            model.predict(*fast, 128, 128, 128) < model.predict(*slow, 128, 128, 128),
+            "model must preserve the variant ordering"
+        );
+    }
+
+    #[test]
+    fn overall_combines_overlap() {
+        let e = Estimate { t_dma: 100.0, t_compute: 60.0 };
+        assert_eq!(e.overall(true), 100.0);
+        assert_eq!(e.overall(false), 160.0);
+    }
+
+    #[test]
+    fn valid_shape_rules() {
+        use swtensor::MatLayout::*;
+        let vm = GemmVariant { a_layout: ColMajor, b_layout: RowMajor, vec: VecDim::M };
+        assert!(valid_shape(vm, 32, 8, 8));
+        assert!(!valid_shape(vm, 16, 8, 8)); // mb=2 not vector-aligned
+        assert!(!valid_shape(vm, 33, 8, 8)); // not mesh-divisible
+        let vn = GemmVariant { a_layout: ColMajor, b_layout: RowMajor, vec: VecDim::N };
+        assert!(valid_shape(vn, 8, 32, 8));
+        assert!(!valid_shape(vn, 8, 16, 8));
+    }
+}

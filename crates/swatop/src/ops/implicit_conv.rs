@@ -1,0 +1,474 @@
+//! Implicit-GEMM convolution (paper Alg. 2, Fig. 2 right).
+//!
+//! The direct convolution is tensorized by replacing the innermost loops
+//! with GEMM primitives: for each output row `ro`, filter tap `(kr, kc)`
+//! and channel chunk, a `No × Ni` weight slab multiplies an
+//! `Ni × (B · t_co)` input slab, accumulating into an `No × (B · t_co)`
+//! output slab. Fusing `t_co` adjacent output pixels into the GEMM's N
+//! dimension is the paper's loop-fusion "enlarging a specific dimension of
+//! GEMM primitives by merging loops".
+//!
+//! Layouts are schedule decisions: the input is packed to
+//! `[Ri][Ni][Ci][B]` (row-major `D_i`) or `[Ri][Ci][B][Ni]` (column-major
+//! `D_i`), the weight to `[Kr][Kc][No][Ni]` or `[Kr][Kc][Ni][No]`, and the
+//! output accumulates in `[Ro][No][Co][B]` before being unpacked to NCHW.
+//!
+//! Constraints: stride 1 (strided layers take the explicit-GEMM path, as
+//! swDNN does) and mesh-divisible channel counts — which is why the paper
+//! excludes each network's first layer ("its input channel is too small to
+//! be handled by implicit CONV"). Spatial padding is materialised by a
+//! padded-input transform before packing.
+
+use sw26010::DmaDirection::{MemToSpm, SpmToMem};
+use swatop_dsl::{factors_of, SchedulePoint, ScheduleSpace, Seed};
+use swatop_ir::{
+    AVar, AffineExpr, DmaCg, GemmOp, MatDesc, MemRole, Program, SpmSlot, Stmt, TransformKind,
+    TransformOp,
+};
+use swkernels::VecDim;
+use swtensor::{ConvShape, MatLayout};
+
+use crate::scheduler::Operator;
+
+/// Implicit-GEMM convolution operator instance.
+#[derive(Debug, Clone)]
+pub struct ImplicitConvOp {
+    pub shape: ConvShape,
+}
+
+impl ImplicitConvOp {
+    pub fn new(shape: ConvShape) -> Self {
+        ImplicitConvOp { shape }
+    }
+
+    /// Whether the implicit method applies to this shape at all.
+    pub fn applicable(shape: &ConvShape) -> bool {
+        shape.stride == 1 && shape.ni % 8 == 0 && shape.no % 8 == 0
+    }
+
+    /// The shape after materialising spatial padding.
+    fn padded_shape(&self) -> ConvShape {
+        ConvShape { pad: 0, ..self.shape }
+    }
+}
+
+/// Divisor candidates of `n` that are multiples of `mult`, capped in count.
+fn divisor_menu(n: usize, mult: usize, cap: usize) -> Vec<usize> {
+    let v: Vec<usize> =
+        factors_of(n).into_iter().filter(|d| d % mult == 0).collect();
+    spread(v, cap)
+}
+
+/// Keep at most `cap` values, evenly spread (always including the largest).
+fn spread(v: Vec<usize>, cap: usize) -> Vec<usize> {
+    if v.len() <= cap {
+        return v;
+    }
+    let step = (v.len() - 1) as f64 / (cap - 1) as f64;
+    let mut out: Vec<usize> = (0..cap).map(|i| v[(i as f64 * step).round() as usize]).collect();
+    out.dedup();
+    out
+}
+
+impl Operator for ImplicitConvOp {
+    fn name(&self) -> String {
+        let s = &self.shape;
+        format!("implicit_conv_b{}_ni{}_no{}_r{}x{}", s.b, s.ni, s.no, s.ro, s.co)
+    }
+
+    fn seed(&self) -> Seed {
+        Seed::implicit_conv(self.name(), self.shape)
+    }
+
+    fn space(&self) -> ScheduleSpace {
+        let s = &self.shape;
+        let mut sp = ScheduleSpace::new();
+        sp.factor("t_no", divisor_menu(s.no, 8, 4));
+        sp.factor("t_ni", divisor_menu(s.ni, 8, 4));
+        sp.factor("t_co", spread(factors_of(s.co), 4));
+        sp.choice("w_layout", vec!["row".into(), "col".into()]);
+        sp.choice("d_layout", vec!["row".into(), "col".into()]);
+        sp.toggle("vec_m");
+        sp.choice("order", vec!["kr_kc_ni".into(), "ni_kr_kc".into()]);
+        sp
+    }
+
+    fn lower(&self, space: &ScheduleSpace, point: &SchedulePoint) -> Option<Program> {
+        let s = self.padded_shape();
+        if !Self::applicable(&self.shape) {
+            return None;
+        }
+        let t_no = point.factor(space, "t_no");
+        let t_ni = point.factor(space, "t_ni");
+        let t_co = point.factor(space, "t_co");
+        let w_col = point.choice(space, "w_layout") == "col";
+        let d_col = point.choice(space, "d_layout") == "col";
+        let vec_m = point.toggle(space, "vec_m");
+        let ni_outer = point.choice(space, "order") == "ni_kr_kc";
+
+        let n_dim = t_co * s.b;
+        // Kernel contract: mesh divisibility + vector alignment.
+        if n_dim % 8 != 0 || t_no % 8 != 0 || t_ni % 8 != 0 {
+            return None;
+        }
+        // Prior-knowledge pruning: candidates whose GEMM-invocation count
+        // is far above the best achievable for this shape are DMA-latency
+        // bound and never competitive; drop them before they slow black-box
+        // tuning to a crawl.
+        {
+            let space_min = |len: usize, menu_max: usize| len.div_ceil(menu_max).max(1);
+            let max_no = swatop_dsl::factors_of(s.no).into_iter().filter(|d| d % 8 == 0).max().unwrap_or(8);
+            let max_ni = swatop_dsl::factors_of(s.ni).into_iter().filter(|d| d % 8 == 0).max().unwrap_or(8);
+            let max_co = s.co;
+            let min_inv = s.ro
+                * space_min(s.no, max_no)
+                * space_min(s.co, max_co)
+                * s.kr
+                * s.kc
+                * space_min(s.ni, max_ni);
+            let inv = s.ro * (s.no / t_no) * (s.co / t_co) * s.kr * s.kc * (s.ni / t_ni);
+            if inv > 16 * min_inv && inv > 4096 {
+                return None;
+            }
+        }
+        if vec_m && (t_no / 8) % 4 != 0 {
+            return None;
+        }
+        if !vec_m && (n_dim / 8) % 4 != 0 {
+            return None;
+        }
+
+        let (b, ni, no) = (s.b, s.ni, s.no);
+        let (ro, co) = (s.ro, s.co);
+        let (kr, kc) = (s.kr, s.kc);
+        let (ri, ci) = (s.ri(), s.ci());
+
+        let mut p = Program::new(self.name());
+        let in_buf = p.mem_buf("in", self.shape.input_shape().numel(), MemRole::Input);
+        let w_buf = p.mem_buf("weight", s.weight_shape().numel(), MemRole::Input);
+        let out_buf = p.mem_buf("out", s.output_shape().numel(), MemRole::Output);
+
+        let mut setup = Vec::new();
+
+        // Materialise spatial zero padding, if any, as a padded NCHW copy.
+        let nchw_buf = if self.shape.pad > 0 {
+            let padded = p.mem_buf("in_padded", b * ni * ri * ci, MemRole::Temp);
+            setup.push(Stmt::Transform(TransformOp {
+                kind: TransformKind::PadImageNchw {
+                    shape: self.shape,
+                    src: in_buf,
+                    dst: padded,
+                },
+            }));
+            padded
+        } else {
+            in_buf
+        };
+
+        // Layout packing.
+        let d_buf = p.mem_buf("d_packed", b * ni * ri * ci, MemRole::Temp);
+        setup.push(Stmt::Transform(TransformOp {
+            kind: TransformKind::PackTensor {
+                src: nchw_buf,
+                dst: d_buf,
+                src_dims: vec![b, ni, ri, ci],
+                // [Ri][Ni][Ci][B] or [Ri][Ci][B][Ni].
+                perm: if d_col { vec![2, 3, 0, 1] } else { vec![2, 1, 3, 0] },
+            },
+        }));
+        let w_packed = p.mem_buf("w_packed", no * ni * kr * kc, MemRole::Temp);
+        setup.push(Stmt::Transform(TransformOp {
+            kind: TransformKind::PackTensor {
+                src: w_buf,
+                dst: w_packed,
+                src_dims: vec![no, ni, kr, kc],
+                // [Kr][Kc][No][Ni] or [Kr][Kc][Ni][No].
+                perm: if w_col { vec![2, 3, 1, 0] } else { vec![2, 3, 0, 1] },
+            },
+        }));
+        let o_buf = p.mem_buf("o_acc", ro * no * co * b, MemRole::Temp);
+
+        // SPM buffers.
+        let spm_w = p.spm_buf("spm_w", (t_no / 8) * (t_ni / 8));
+        let spm_d = p.spm_buf("spm_d", (t_ni / 8) * (n_dim / 8));
+        let spm_o = p.spm_buf("spm_o", (t_no / 8) * (n_dim / 8));
+        let r_in = p.fresh_reply();
+        let r_oget = p.fresh_reply();
+        let r_oput = p.fresh_reply();
+
+        // Loop variables.
+        let v_ro = p.fresh_var("ro");
+        let v_not = p.fresh_var("no_t");
+        let v_cot = p.fresh_var("co_t");
+        let v_kr = p.fresh_var("kr");
+        let v_kc = p.fresh_var("kc");
+        let v_nit = p.fresh_var("ni_t");
+
+        let lv = AffineExpr::loop_var;
+
+        // Weight tile DMA.
+        let w_get = {
+            let slab = lv(v_kr).scale((kc * no * ni) as i64).add(&lv(v_kc).scale((no * ni) as i64));
+            let (rows, cols, row_stride, offset) = if w_col {
+                (
+                    t_ni,
+                    t_no,
+                    no,
+                    slab.add(&lv(v_nit).scale((t_ni * no) as i64))
+                        .add(&lv(v_not).scale(t_no as i64)),
+                )
+            } else {
+                (
+                    t_no,
+                    t_ni,
+                    ni,
+                    slab.add(&lv(v_not).scale((t_no * ni) as i64))
+                        .add(&lv(v_nit).scale(t_ni as i64)),
+                )
+            };
+            Stmt::DmaCg(DmaCg {
+                buf: w_packed,
+                offset,
+                rows,
+                cols,
+                row_stride,
+                mesh_swap: w_col,
+                direction: MemToSpm,
+                spm: SpmSlot::Single(spm_w),
+                reply: r_in,
+            })
+        };
+
+        // Input tile DMA: ri = ro + kr, ci window = (co_t·t_co + kc)·B.
+        let d_get = {
+            let ri_expr = lv(v_ro).add(&lv(v_kr));
+            let (rows, cols, row_stride, offset) = if d_col {
+                // [Ri][Ci][B][Ni]
+                (
+                    n_dim,
+                    t_ni,
+                    ni,
+                    ri_expr
+                        .scale((ci * b * ni) as i64)
+                        .add(&lv(v_cot).scale((t_co * b * ni) as i64))
+                        .add(&lv(v_kc).scale((b * ni) as i64))
+                        .add(&lv(v_nit).scale(t_ni as i64)),
+                )
+            } else {
+                // [Ri][Ni][Ci][B]
+                (
+                    t_ni,
+                    n_dim,
+                    ci * b,
+                    ri_expr
+                        .scale((ni * ci * b) as i64)
+                        .add(&lv(v_nit).scale((t_ni * ci * b) as i64))
+                        .add(&lv(v_cot).scale((t_co * b) as i64))
+                        .add(&lv(v_kc).scale(b as i64)),
+                )
+            };
+            Stmt::DmaCg(DmaCg {
+                buf: d_buf,
+                offset,
+                rows,
+                cols,
+                row_stride,
+                mesh_swap: d_col,
+                direction: MemToSpm,
+                spm: SpmSlot::Single(spm_d),
+                reply: r_in,
+            })
+        };
+
+        // Output accumulator tile in [Ro][No][Co][B].
+        let o_offset = lv(v_ro)
+            .scale((no * co * b) as i64)
+            .add(&lv(v_not).scale((t_no * co * b) as i64))
+            .add(&lv(v_cot).scale((t_co * b) as i64));
+        let o_dma = |direction, reply| {
+            Stmt::DmaCg(DmaCg {
+                buf: o_buf,
+                offset: o_offset.clone(),
+                rows: t_no,
+                cols: n_dim,
+                row_stride: co * b,
+                mesh_swap: false,
+                direction,
+                spm: SpmSlot::Single(spm_o),
+                reply,
+            })
+        };
+
+        let gemm = Stmt::Gemm(GemmOp {
+            m: t_no,
+            n: n_dim,
+            k: t_ni,
+            alpha: 1.0,
+            beta: 1.0,
+            a: MatDesc {
+                slot: SpmSlot::Single(spm_w),
+                layout: if w_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
+                ld: if w_col { t_no / 8 } else { t_ni / 8 },
+            },
+            b: MatDesc {
+                slot: SpmSlot::Single(spm_d),
+                layout: if d_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
+                ld: if d_col { t_ni / 8 } else { n_dim / 8 },
+            },
+            c: MatDesc {
+                slot: SpmSlot::Single(spm_o),
+                layout: MatLayout::RowMajor,
+                ld: n_dim / 8,
+            },
+            vd: if vec_m { VecDim::M } else { VecDim::N },
+        });
+
+        // Reduction nest over (kr, kc, ni_t) — order is a schedule choice.
+        let inner_body = Stmt::seq(vec![
+            w_get,
+            d_get,
+            Stmt::DmaWait { reply: r_in, times: 2 },
+            gemm,
+        ]);
+        let red_nest = if ni_outer {
+            Stmt::for_(v_nit, ni / t_ni, Stmt::for_(v_kr, kr, Stmt::for_(v_kc, kc, inner_body)))
+        } else {
+            Stmt::for_(v_kr, kr, Stmt::for_(v_kc, kc, Stmt::for_(v_nit, ni / t_ni, inner_body)))
+        };
+
+        let tile_body = Stmt::seq(vec![
+            o_dma(MemToSpm, r_oget),
+            Stmt::DmaWait { reply: r_oget, times: 1 },
+            red_nest,
+            o_dma(SpmToMem, r_oput),
+            Stmt::DmaWait { reply: r_oput, times: 1 },
+        ]);
+
+        let nest = Stmt::for_(
+            v_ro,
+            ro,
+            Stmt::for_(v_not, no / t_no, Stmt::for_(v_cot, co / t_co, tile_body)),
+        );
+
+        // Unpack [Ro][No][Co][B] → NCHW.
+        let unpack = Stmt::Transform(TransformOp {
+            kind: TransformKind::PackTensor {
+                src: o_buf,
+                dst: out_buf,
+                src_dims: vec![ro, no, co, b],
+                perm: vec![3, 1, 0, 2],
+            },
+        });
+
+        let mut body = setup;
+        body.push(nest);
+        body.push(unpack);
+        p.body = Stmt::seq(body);
+        let _ = AVar::Rid; // (mesh terms are injected by DMA inference)
+        Some(p)
+    }
+
+    fn input_data(&self, _program: &Program) -> Vec<Vec<f32>> {
+        vec![
+            swtensor::init::random_vec(self.shape.input_shape().numel(), 0x1D),
+            swtensor::init::random_vec(self.shape.weight_shape().numel(), 0x2D),
+        ]
+    }
+
+    fn reference_output(&self, inputs: &[Vec<f32>]) -> Vec<f32> {
+        let input = swtensor::Tensor::from_vec(
+            self.shape.input_shape().dims().to_vec(),
+            inputs[0].clone(),
+        );
+        let weight = swtensor::Tensor::from_vec(
+            self.shape.weight_shape().dims().to_vec(),
+            inputs[1].clone(),
+        );
+        swtensor::conv::conv2d_ref(&self.shape, &input, &weight).into_vec()
+    }
+
+    fn flops(&self) -> u64 {
+        self.shape.flops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::verify_candidate;
+    use crate::scheduler::Scheduler;
+    use sw26010::MachineConfig;
+
+    fn verify_shape(shape: ConvShape, max_points: usize) {
+        let cfg = MachineConfig::default();
+        let op = ImplicitConvOp::new(shape);
+        let sched = Scheduler::new(cfg.clone());
+        let space = op.space();
+        let mut checked = 0;
+        for point in space.points() {
+            let Some(cand) = sched.lower_point(&op, &space, &point) else {
+                continue;
+            };
+            let err = verify_candidate(&cfg, &op, &cand)
+                .unwrap_or_else(|e| panic!("{}: {e}", point.describe(&space)));
+            assert!(err < 1e-3, "{}: max err {err}", point.describe(&space));
+            checked += 1;
+            if checked >= max_points {
+                break;
+            }
+        }
+        assert!(checked > 0, "no valid candidates for {shape:?}");
+    }
+
+    #[test]
+    fn small_conv_batch8_correct() {
+        verify_shape(ConvShape::square(8, 16, 16, 4), 8);
+    }
+
+    #[test]
+    fn batch1_needs_co_fusion() {
+        // B = 1: the GEMM N dimension comes entirely from fused pixels.
+        verify_shape(ConvShape::square(1, 32, 32, 8), 4);
+    }
+
+    #[test]
+    fn rectangular_kernel_and_channels() {
+        let shape = ConvShape { b: 4, ni: 24, no: 16, ro: 4, co: 8, kr: 1, kc: 3, stride: 1, pad: 0 };
+        verify_shape(shape, 3);
+    }
+
+    #[test]
+    fn padded_conv_correct() {
+        let shape = ConvShape { b: 8, ni: 16, no: 16, ro: 8, co: 8, kr: 3, kc: 3, stride: 1, pad: 1 };
+        verify_shape(shape, 3);
+    }
+
+    #[test]
+    fn strided_shape_is_inapplicable() {
+        let mut shape = ConvShape::square(4, 16, 16, 4);
+        shape.stride = 2;
+        assert!(!ImplicitConvOp::applicable(&shape));
+        let op = ImplicitConvOp::new(shape);
+        let space = op.space();
+        assert!(op.lower(&space, &space.point(0)).is_none());
+    }
+
+    #[test]
+    fn tiny_channels_are_inapplicable() {
+        let shape = ConvShape { b: 4, ni: 3, no: 16, ro: 4, co: 4, kr: 3, kc: 3, stride: 1, pad: 0 };
+        assert!(!ImplicitConvOp::applicable(&shape));
+    }
+
+    #[test]
+    fn schedules_get_prefetched() {
+        let cfg = MachineConfig::default();
+        let op = ImplicitConvOp::new(ConvShape::square(8, 16, 16, 4));
+        let sched = Scheduler::new(cfg);
+        let cands = sched.enumerate(&op);
+        assert!(!cands.is_empty());
+        assert!(
+            cands.iter().any(|c| c.prefetched),
+            "at least some implicit-conv schedules must double-buffer"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! The operator library: tensorized DL operators expressed as DSL seeds,
+//! schedule spaces and IR lowerings.
+//!
+//! * [`matmul`] — matrix multiplication (the xMath comparison, Tab. 2);
+//! * [`implicit_conv`] — implicit-GEMM convolution (Alg. 2, Fig. 5);
+//! * [`explicit_conv`] — explicit-GEMM (im2col) convolution (Fig. 7);
+//! * [`winograd_conv`] — Winograd F(2×2,3×3) convolution (Fig. 6);
+//! * [`tiling`] — the shared boundary-processing machinery: dimension
+//!   tiling with parameter switching and lightweight / traditional zero
+//!   padding (Sec. 4.5.3).
+
+pub mod batched_matmul;
+pub mod conv_grad;
+pub mod explicit_conv;
+pub mod implicit_conv;
+pub mod matmul;
+pub mod tiling;
+pub mod winograd_conv;
+
+pub use batched_matmul::BatchedMatmulOp;
+pub use conv_grad::{ConvBackwardDataOp, ConvBackwardFilterOp};
+pub use explicit_conv::ExplicitConvOp;
+pub use implicit_conv::ImplicitConvOp;
+pub use matmul::MatmulOp;
+pub use winograd_conv::WinogradConvOp;
+
+use sw26010::{CoreGroup, ExecMode, MachineConfig, MachineResult};
+use swatop_ir::MemRole;
+
+use crate::interp::{execute, instantiate};
+use crate::scheduler::{Candidate, Operator};
+
+/// Functionally execute a candidate and compare its output against the
+/// operator's golden reference. Returns the maximum absolute error.
+pub fn verify_candidate(
+    cfg: &MachineConfig,
+    op: &dyn Operator,
+    cand: &Candidate,
+) -> MachineResult<f32> {
+    let mut cg = CoreGroup::new(cfg.clone(), ExecMode::Functional);
+    let binding = instantiate(&mut cg, &cand.exe);
+    let inputs = op.input_data(&cand.exe.program);
+    let input_ids = cand.exe.program.bufs_with_role(MemRole::Input);
+    assert_eq!(inputs.len(), input_ids.len(), "input count mismatch");
+    for (id, data) in input_ids.iter().zip(&inputs) {
+        cg.mem.write(binding.bufs[id.0], 0, data)?;
+    }
+    execute(&mut cg, &cand.exe, &binding)?;
+    let out_ids = cand.exe.program.bufs_with_role(MemRole::Output);
+    assert_eq!(out_ids.len(), 1, "operators declare exactly one output");
+    let got = cg.mem.buffer(binding.bufs[out_ids[0].0]);
+    let expect = op.reference_output(&inputs);
+    Ok(swtensor::compare::max_abs_diff(got, &expect))
+}
+
+/// Relative-error bound used when asserting functional correctness of
+/// generated schedules (f32 accumulation over long K chains).
+pub fn verify_tolerance(flops: u64) -> f32 {
+    // Scale loosely with reduction depth; inputs are in [-1, 1).
+    1e-4 * ((flops as f32).sqrt().log2().max(1.0))
+}

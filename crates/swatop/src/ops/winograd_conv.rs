@@ -1,0 +1,385 @@
+//! Winograd F(2×2,3×3) convolution (paper Fig. 2, middle).
+//!
+//! The input and filter are transformed into the 4×4 tile domain; each of
+//! the **16** transform positions becomes an independent GEMM
+//!
+//! ```text
+//! M[pos] (No × nt) = U[pos] (No × Ni) · V[pos] (Ni × nt)
+//! ```
+//!
+//! and the results are inverse-transformed back. The tile axis is padded to
+//! `nt_pad = ⌈nt/32⌉·32` *inside the input transform*, so every GEMM shape
+//! is kernel-legal without boundary buffers — generation-time padding is
+//! cheaper than runtime boundary switching here because the transform
+//! already touches every element.
+//!
+//! Schedule knobs: channel tiles `t_no`/`t_ni`, tile-axis tile `t_nt`,
+//! the U layout (row/column-major — the latter enables the fast
+//! vector-load path under M-vectorisation) and the vectorised dimension.
+
+use sw26010::DmaDirection::{MemToSpm, SpmToMem};
+use swatop_dsl::{factors_of, SchedulePoint, ScheduleSpace, Seed};
+use swatop_ir::{
+    AffineExpr, DmaCg, GemmOp, MatDesc, MemRole, Program, SpmSlot, Stmt, TransformKind,
+    TransformOp,
+};
+use swkernels::VecDim;
+use swtensor::{ConvShape, MatLayout};
+
+use crate::ops::tiling::DimTiles;
+use crate::optimizer::boundary::round_up;
+use crate::scheduler::Operator;
+
+/// Winograd convolution operator instance.
+#[derive(Debug, Clone)]
+pub struct WinogradConvOp {
+    pub shape: ConvShape,
+}
+
+impl WinogradConvOp {
+    pub fn new(shape: ConvShape) -> Self {
+        WinogradConvOp { shape }
+    }
+
+    /// Winograd applies to 3×3 stride-1 layers with mesh-aligned channels.
+    pub fn applicable(shape: &ConvShape) -> bool {
+        shape.winograd_applicable() && shape.ni % 8 == 0 && shape.no % 8 == 0
+    }
+
+    fn nt(&self) -> usize {
+        swtensor::winograd::n_tiles(&self.shape)
+    }
+
+    fn nt_pad(&self) -> usize {
+        round_up(self.nt(), 32)
+    }
+}
+
+fn divisor_menu(n: usize, mult: usize, cap: usize) -> Vec<usize> {
+    let v: Vec<usize> = factors_of(n).into_iter().filter(|d| d % mult == 0).collect();
+    spread(v, cap)
+}
+
+/// Keep at most `cap` values, evenly spread (always including the largest).
+fn spread(v: Vec<usize>, cap: usize) -> Vec<usize> {
+    if v.len() <= cap {
+        return v;
+    }
+    let step = (v.len() - 1) as f64 / (cap - 1) as f64;
+    let mut out: Vec<usize> = (0..cap).map(|i| v[(i as f64 * step).round() as usize]).collect();
+    out.dedup();
+    out
+}
+
+const NT_MENU: &[usize] = &[32, 64, 128, 256, 512];
+
+impl Operator for WinogradConvOp {
+    fn name(&self) -> String {
+        let s = &self.shape;
+        format!("winograd_conv_b{}_ni{}_no{}_r{}x{}", s.b, s.ni, s.no, s.ro, s.co)
+    }
+
+    fn seed(&self) -> Seed {
+        Seed::winograd_conv(self.name(), self.shape)
+    }
+
+    fn space(&self) -> ScheduleSpace {
+        let s = &self.shape;
+        let mut sp = ScheduleSpace::new();
+        sp.factor("t_no", divisor_menu(s.no, 8, 4));
+        sp.factor("t_ni", divisor_menu(s.ni, 8, 4));
+        sp.factor("t_nt", crate::ops::matmul::tile_menu(self.nt_pad(), 32, NT_MENU, 64));
+        sp.choice("u_layout", vec!["row".into(), "col".into()]);
+        sp.toggle("vec_m");
+        sp
+    }
+
+    fn lower(&self, space: &ScheduleSpace, point: &SchedulePoint) -> Option<Program> {
+        if !Self::applicable(&self.shape) {
+            return None;
+        }
+        let s = &self.shape;
+        let t_no = point.factor(space, "t_no");
+        let t_ni = point.factor(space, "t_ni");
+        let t_nt = point.factor(space, "t_nt");
+        let u_col = point.choice(space, "u_layout") == "col";
+        let vec_m = point.toggle(space, "vec_m");
+
+        if t_no % 8 != 0 || t_ni % 8 != 0 || t_nt % 32 != 0 {
+            return None;
+        }
+        if vec_m && (t_no / 8) % 4 != 0 {
+            return None;
+        }
+        let (no, ni) = (s.no, s.ni);
+        let nt_pad = self.nt_pad();
+        // Prior-knowledge pruning (see implicit conv): cap the GEMM
+        // invocation count relative to the best achievable.
+        {
+            let max_no = swatop_dsl::factors_of(no).into_iter().filter(|d| d % 8 == 0).max().unwrap_or(8);
+            let max_ni = swatop_dsl::factors_of(ni).into_iter().filter(|d| d % 8 == 0).max().unwrap_or(8);
+            let max_nt = 512usize.min(crate::optimizer::boundary::round_up(nt_pad, 32));
+            let min_inv = 16 * (no / max_no).max(1) * nt_pad.div_ceil(max_nt) * (ni / max_ni).max(1);
+            let inv = 16 * (no / t_no) * nt_pad.div_ceil(t_nt) * (ni / t_ni);
+            if inv > 16 * min_inv && inv > 4096 {
+                return None;
+            }
+        }
+        // Tile-axis segments: full tiles plus an aligned (switchable) tail.
+        let nt_tiles = DimTiles::new(nt_pad, t_nt, 32);
+        debug_assert!(!nt_tiles.tail_aux, "nt_pad and t_nt are 32-aligned");
+
+        let mut p = Program::new(self.name());
+        let in_buf = p.mem_buf("in", s.input_shape().numel(), MemRole::Input);
+        let w_buf = p.mem_buf("weight", s.weight_shape().numel(), MemRole::Input);
+        let out_buf = p.mem_buf("out", s.output_shape().numel(), MemRole::Output);
+        let u_buf = p.mem_buf("U", 16 * no * ni, MemRole::Temp);
+        let v_buf = p.mem_buf("V", 16 * ni * nt_pad, MemRole::Temp);
+        let m_buf = p.mem_buf("M", 16 * no * nt_pad, MemRole::Temp);
+
+        let setup = vec![
+            Stmt::Transform(TransformOp {
+                kind: TransformKind::WinogradFilter {
+                    shape: *s,
+                    src: w_buf,
+                    dst: u_buf,
+                    transposed: u_col,
+                },
+            }),
+            Stmt::Transform(TransformOp {
+                kind: TransformKind::WinogradInput {
+                    shape: *s,
+                    src: in_buf,
+                    dst: v_buf,
+                    nt_pad,
+                },
+            }),
+        ];
+
+        let spm_u = p.spm_buf("spm_u", (t_no / 8) * (t_ni / 8));
+        let spm_v = p.spm_buf("spm_v", (t_ni / 8) * (t_nt / 8));
+        let spm_m = p.spm_buf("spm_m", (t_no / 8) * (t_nt / 8));
+        let r_in = p.fresh_reply();
+        let r_mget = p.fresh_reply();
+        let r_mput = p.fresh_reply();
+
+        let lv = AffineExpr::loop_var;
+        let mut nests = Vec::new();
+        for seg in nt_tiles.segs() {
+            let v_pos = p.fresh_var("pos");
+            let v_not = p.fresh_var("no_t");
+            let v_ntt = p.fresh_var("nt_t");
+            let v_nit = p.fresh_var("ni_t");
+
+            let u_get = {
+                let (rows, cols, rs, offset) = if u_col {
+                    (
+                        t_ni,
+                        t_no,
+                        no,
+                        lv(v_pos)
+                            .scale((ni * no) as i64)
+                            .add(&lv(v_nit).scale((t_ni * no) as i64))
+                            .add(&lv(v_not).scale(t_no as i64)),
+                    )
+                } else {
+                    (
+                        t_no,
+                        t_ni,
+                        ni,
+                        lv(v_pos)
+                            .scale((no * ni) as i64)
+                            .add(&lv(v_not).scale((t_no * ni) as i64))
+                            .add(&lv(v_nit).scale(t_ni as i64)),
+                    )
+                };
+                Stmt::DmaCg(DmaCg {
+                    buf: u_buf,
+                    offset,
+                    rows,
+                    cols,
+                    row_stride: rs,
+                    mesh_swap: u_col,
+                    direction: MemToSpm,
+                    spm: SpmSlot::Single(spm_u),
+                    reply: r_in,
+                })
+            };
+            let v_get = Stmt::DmaCg(DmaCg {
+                buf: v_buf,
+                offset: lv(v_pos)
+                    .scale((ni * nt_pad) as i64)
+                    .add(&lv(v_nit).scale((t_ni * nt_pad) as i64))
+                    .add(&lv(v_ntt).scale(seg.stride as i64))
+                    .add_const(seg.start as i64),
+                rows: t_ni,
+                cols: seg.size,
+                row_stride: nt_pad,
+                mesh_swap: false,
+                direction: MemToSpm,
+                spm: SpmSlot::Single(spm_v),
+                reply: r_in,
+            });
+            let m_offset = lv(v_pos)
+                .scale((no * nt_pad) as i64)
+                .add(&lv(v_not).scale((t_no * nt_pad) as i64))
+                .add(&lv(v_ntt).scale(seg.stride as i64))
+                .add_const(seg.start as i64);
+            let m_dma = |direction, reply| {
+                Stmt::DmaCg(DmaCg {
+                    buf: m_buf,
+                    offset: m_offset.clone(),
+                    rows: t_no,
+                    cols: seg.size,
+                    row_stride: nt_pad,
+                    mesh_swap: false,
+                    direction,
+                    spm: SpmSlot::Single(spm_m),
+                    reply,
+                })
+            };
+            let gemm = Stmt::Gemm(GemmOp {
+                m: t_no,
+                n: seg.size,
+                k: t_ni,
+                alpha: 1.0,
+                beta: 1.0,
+                a: MatDesc {
+                    slot: SpmSlot::Single(spm_u),
+                    layout: if u_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
+                    ld: if u_col { t_no / 8 } else { t_ni / 8 },
+                },
+                b: MatDesc {
+                    slot: SpmSlot::Single(spm_v),
+                    layout: MatLayout::RowMajor,
+                    ld: seg.size / 8,
+                },
+                c: MatDesc {
+                    slot: SpmSlot::Single(spm_m),
+                    layout: MatLayout::RowMajor,
+                    ld: seg.size / 8,
+                },
+                vd: if vec_m { VecDim::M } else { VecDim::N },
+            });
+
+            let ni_loop = Stmt::for_(
+                v_nit,
+                ni / t_ni,
+                Stmt::seq(vec![u_get, v_get, Stmt::DmaWait { reply: r_in, times: 2 }, gemm]),
+            );
+            let tile_body = Stmt::seq(vec![
+                m_dma(MemToSpm, r_mget),
+                Stmt::DmaWait { reply: r_mget, times: 1 },
+                ni_loop,
+                m_dma(SpmToMem, r_mput),
+                Stmt::DmaWait { reply: r_mput, times: 1 },
+            ]);
+            nests.push(Stmt::for_(
+                v_pos,
+                16,
+                Stmt::for_(v_not, no / t_no, Stmt::for_(v_ntt, seg.count, tile_body)),
+            ));
+        }
+
+        let output = Stmt::Transform(TransformOp {
+            kind: TransformKind::WinogradOutput { shape: *s, src: m_buf, dst: out_buf, nt_pad },
+        });
+
+        let mut body = setup;
+        body.extend(nests);
+        body.push(output);
+        p.body = Stmt::seq(body);
+        Some(p)
+    }
+
+    fn input_data(&self, _program: &Program) -> Vec<Vec<f32>> {
+        vec![
+            swtensor::init::random_vec(self.shape.input_shape().numel(), 0x5F),
+            swtensor::init::random_vec(self.shape.weight_shape().numel(), 0x6F),
+        ]
+    }
+
+    fn reference_output(&self, inputs: &[Vec<f32>]) -> Vec<f32> {
+        let input = swtensor::Tensor::from_vec(
+            self.shape.input_shape().dims().to_vec(),
+            inputs[0].clone(),
+        );
+        let weight = swtensor::Tensor::from_vec(
+            self.shape.weight_shape().dims().to_vec(),
+            inputs[1].clone(),
+        );
+        swtensor::conv::conv2d_ref(&self.shape, &input, &weight).into_vec()
+    }
+
+    fn flops(&self) -> u64 {
+        // Direct-convolution FLOPs: the efficiency denominator, which is why
+        // Winograd "efficiency" may exceed 100% (paper Fig. 8).
+        self.shape.flops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::verify_candidate;
+    use crate::scheduler::Scheduler;
+    use sw26010::MachineConfig;
+
+    fn verify_some(shape: ConvShape, max_points: usize) {
+        let cfg = MachineConfig::default();
+        let op = WinogradConvOp::new(shape);
+        let sched = Scheduler::new(cfg.clone());
+        let space = op.space();
+        let mut checked = 0;
+        for point in space.points() {
+            let Some(cand) = sched.lower_point(&op, &space, &point) else {
+                continue;
+            };
+            let err = verify_candidate(&cfg, &op, &cand)
+                .unwrap_or_else(|e| panic!("{}: {e}", point.describe(&space)));
+            assert!(err < 5e-3, "{}: max err {err}", point.describe(&space));
+            checked += 1;
+            if checked >= max_points {
+                break;
+            }
+        }
+        assert!(checked > 0, "no valid candidates for {shape:?}");
+    }
+
+    #[test]
+    fn square_conv_correct() {
+        verify_some(ConvShape::square(2, 16, 16, 8), 6);
+    }
+
+    #[test]
+    fn odd_output_needs_padded_tiles() {
+        // ro = 7 → 4×4 tile grid with cropped edges; nt = 2·16 = 32.
+        verify_some(ConvShape::square(2, 8, 8, 7), 3);
+    }
+
+    #[test]
+    fn unaligned_tile_count_padded() {
+        // b=1, ro=14 → nt = 49, padded to 64.
+        let op = WinogradConvOp::new(ConvShape::square(1, 8, 8, 14));
+        assert_eq!(op.nt(), 49);
+        assert_eq!(op.nt_pad(), 64);
+        verify_some(op.shape, 3);
+    }
+
+    #[test]
+    fn padded_conv_correct() {
+        let shape = ConvShape { b: 1, ni: 8, no: 8, ro: 8, co: 8, kr: 3, kc: 3, stride: 1, pad: 1 };
+        verify_some(shape, 3);
+    }
+
+    #[test]
+    fn inapplicable_shapes() {
+        let mut shape = ConvShape::square(1, 8, 8, 8);
+        shape.kr = 5;
+        shape.kc = 5;
+        assert!(!WinogradConvOp::applicable(&shape));
+        let mut strided = ConvShape::square(1, 8, 8, 8);
+        strided.stride = 2;
+        assert!(!WinogradConvOp::applicable(&strided));
+    }
+}

@@ -1,0 +1,26 @@
+//! The IR optimizer: the three optimisations of paper Sec. 4.5.
+//!
+//! * [`dma_inference`] — lower `DMA_CG` nodes to per-CPE strided `DMA_CPE`
+//!   nodes and hoist loop-invariant transfers away from `gemm_op`;
+//! * [`prefetch`] — hide memory latency by double buffering, with
+//!   next-iteration index inference over the enclosing loop nest;
+//! * [`boundary`] — boundary-processing helpers: tile-size arithmetic and
+//!   the lightweight zero-padding plan used by the operator lowerings.
+
+pub mod boundary;
+pub mod dma_inference;
+pub mod prefetch;
+
+use swatop_ir::Program;
+
+/// Run the standard optimization pipeline on a lowered program:
+/// DMA inference (lower + hoist), then — if `enable_prefetch` — double
+/// buffering of the innermost steady-state loop nest.
+pub fn optimize(mut program: Program, enable_prefetch: bool) -> Program {
+    program.body = dma_inference::lower_dma(&program.body);
+    program.body = dma_inference::hoist_invariant_dma(&program.body);
+    if enable_prefetch {
+        program = prefetch::apply_double_buffering(program);
+    }
+    program
+}

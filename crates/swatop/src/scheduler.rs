@@ -1,0 +1,136 @@
+//! The scheduler (paper Sec. 4.3): enumerate the schedule space, lower each
+//! valid strategy to IR, run the IR optimizer, and hand the candidates to
+//! the autotuner.
+//!
+//! Validity filtering happens in two places, mirroring the paper: the
+//! operator lowering itself rejects points whose factors violate kernel
+//! constraints (mesh divisibility, vector alignment), and the code
+//! generator's SPM planner rejects points whose working set exceeds the
+//! 64 KB scratch pad — double buffering included, since prefetching doubles
+//! the streamed buffers.
+
+use sw26010::MachineConfig;
+use swatop_dsl::{SchedulePoint, ScheduleSpace, Seed};
+use swatop_ir::{Program, SpmSlot, Stmt};
+
+use crate::codegen::{plan, Executable};
+use crate::optimizer;
+
+/// An operator that swATOP can tune: a schedule seed, a schedule space, and
+/// a lowering from schedule points to IR.
+pub trait Operator {
+    /// Operator name (used in reports).
+    fn name(&self) -> String;
+
+    /// The DSL schedule seed (computation description).
+    fn seed(&self) -> Seed;
+
+    /// The DSL schedule space.
+    fn space(&self) -> ScheduleSpace;
+
+    /// Lower one schedule point to un-optimized IR. `None` marks the point
+    /// invalid (factor combination violates a kernel or capacity rule that
+    /// is cheaper to check here than to discover in `plan`).
+    fn lower(&self, space: &ScheduleSpace, point: &SchedulePoint) -> Option<Program>;
+
+    /// Deterministic input data for each `Input`-role buffer, in
+    /// declaration order (used by functional verification).
+    fn input_data(&self, program: &Program) -> Vec<Vec<f32>>;
+
+    /// Golden output for the given inputs (row-major in the output buffer's
+    /// declared layout).
+    fn reference_output(&self, inputs: &[Vec<f32>]) -> Vec<f32>;
+
+    /// FLOPs of the operator (direct-convolution-normalised for convs).
+    fn flops(&self) -> u64;
+}
+
+/// One lowered, optimized, plannable schedule strategy.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Index of the schedule point within the space.
+    pub point_index: usize,
+    /// Human-readable knob assignment.
+    pub describe: String,
+    /// IR after DMA inference but *before* prefetching — the form the
+    /// static performance model evaluates.
+    pub raw: Program,
+    /// Fully optimized executable (prefetched + SPM-planned).
+    pub exe: Executable,
+    /// Whether double buffering was applied (decides the overlap formula).
+    pub prefetched: bool,
+}
+
+/// The scheduler: enumerates and lowers an operator's schedule space.
+pub struct Scheduler {
+    pub cfg: MachineConfig,
+    /// Disable the prefetch pass (for the Fig. 10 ablation).
+    pub enable_prefetch: bool,
+}
+
+impl Scheduler {
+    pub fn new(cfg: MachineConfig) -> Self {
+        Scheduler { cfg, enable_prefetch: true }
+    }
+
+    /// Enumerate all valid candidates of `op`'s space.
+    pub fn enumerate(&self, op: &dyn Operator) -> Vec<Candidate> {
+        let space = op.space();
+        let mut out = Vec::new();
+        for point in space.points() {
+            if let Some(c) = self.lower_point(op, &space, &point) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Lower a single point (returns `None` if the point is invalid).
+    pub fn lower_point(
+        &self,
+        op: &dyn Operator,
+        space: &ScheduleSpace,
+        point: &SchedulePoint,
+    ) -> Option<Candidate> {
+        let program = op.lower(space, point)?;
+        let raw = optimizer::optimize(program.clone(), false);
+        // Capacity check on the *raw* form first (cheap reject).
+        plan(raw.clone(), &self.cfg).ok()?;
+        let opt = if self.enable_prefetch {
+            optimizer::optimize(program, true)
+        } else {
+            raw.clone()
+        };
+        let exe = match plan(opt, &self.cfg) {
+            Ok(exe) => exe,
+            // Double buffering blew the SPM budget: fall back to the
+            // un-prefetched schedule rather than dropping the point.
+            Err(_) => plan(raw.clone(), &self.cfg).ok()?,
+        };
+        let prefetched = has_double_slot(&exe.program.body);
+        Some(Candidate {
+            point_index: point.index(space),
+            describe: point.describe(space),
+            raw,
+            exe,
+            prefetched,
+        })
+    }
+}
+
+fn has_double_slot(stmt: &Stmt) -> bool {
+    let mut found = false;
+    stmt.visit(&mut |s| {
+        let check = |slot: &SpmSlot| matches!(slot, SpmSlot::Double { .. });
+        match s {
+            Stmt::DmaCpe(d) if check(&d.spm) => found = true,
+            Stmt::Gemm(g)
+                if check(&g.a.slot) || check(&g.b.slot) || check(&g.c.slot) =>
+            {
+                found = true
+            }
+            _ => {}
+        }
+    });
+    found
+}

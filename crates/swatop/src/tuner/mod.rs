@@ -1,0 +1,151 @@
+//! The autotuner (paper Sec. 4.6): performance-model-based and black-box.
+//!
+//! * [`blackbox_tune`] "runs every single schedule strategy of the schedule
+//!   space to identify the optimal code" — here, executes every candidate on
+//!   the simulated machine in cost-only mode and picks the fastest.
+//! * [`model_tune`] "only runs the best strategy identified by the
+//!   performance model": it evaluates the static model (Eq. 1 + Eq. 2 with
+//!   `T_overall = max`) on every candidate analytically and executes only
+//!   the winner to report its real (simulated) time.
+//!
+//! Both report wall-clock tuning time, which is what Tab. 3 compares; the
+//! quality gap between the model's pick and the black-box optimum is what
+//! Fig. 9 reports.
+
+pub mod search;
+
+use std::time::{Duration, Instant};
+
+use sw26010::{CoreGroup, Cycles, ExecMode, MachineConfig, MachineResult};
+
+use crate::interp::{execute, instantiate};
+use crate::model::{estimate_program, GemmModel};
+use crate::scheduler::Candidate;
+
+/// Result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// Position of the chosen candidate in the input slice.
+    pub best: usize,
+    /// Simulated cycles of the chosen candidate.
+    pub cycles: Cycles,
+    /// Host wall-clock time spent tuning.
+    pub wall: Duration,
+    /// Number of candidates whose code was actually *executed*.
+    pub executed: usize,
+    /// Simulated cycles of every executed candidate (same order as input;
+    /// `None` when not executed or invalid at runtime).
+    pub all_cycles: Vec<Option<Cycles>>,
+}
+
+/// Execute one candidate in cost-only mode, returning its simulated cycles
+/// (including the one-time CPE kernel launch).
+pub fn run_candidate(cfg: &MachineConfig, cand: &Candidate) -> MachineResult<Cycles> {
+    let mut cg = CoreGroup::new(cfg.clone(), ExecMode::CostOnly);
+    let binding = instantiate(&mut cg, &cand.exe);
+    Ok(execute(&mut cg, &cand.exe, &binding)? + cfg.kernel_launch)
+}
+
+/// Brute-force black-box autotuner: execute everything, keep the fastest.
+pub fn blackbox_tune(cfg: &MachineConfig, candidates: &[Candidate]) -> Option<TuneOutcome> {
+    let start = Instant::now();
+    let mut all = vec![None; candidates.len()];
+    let mut best: Option<(usize, Cycles)> = None;
+    for (i, c) in candidates.iter().enumerate() {
+        let Ok(cycles) = run_candidate(cfg, c) else {
+            continue;
+        };
+        all[i] = Some(cycles);
+        if best.map_or(true, |(_, b)| cycles < b) {
+            best = Some((i, cycles));
+        }
+    }
+    let (best, cycles) = best?;
+    Some(TuneOutcome {
+        best,
+        cycles,
+        wall: start.elapsed(),
+        executed: candidates.len(),
+        all_cycles: all,
+    })
+}
+
+/// Performance-model-based autotuner: estimate everything analytically,
+/// execute only the top-k predictions and keep the fastest — the paper's
+/// "predict and pick best (or top k) implementations".
+pub fn model_tune_topk(
+    cfg: &MachineConfig,
+    candidates: &[Candidate],
+    k: usize,
+) -> Option<TuneOutcome> {
+    let start = Instant::now();
+    let model = GemmModel::calibrate(cfg);
+    let mut ranked: Vec<(usize, f64)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let est = estimate_program(cfg, &model, &c.raw);
+            (i, est.overall(c.prefetched))
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let mut all = vec![None; candidates.len()];
+    let mut executed = 0;
+    let mut best: Option<(usize, Cycles)> = None;
+    for &(i, _) in &ranked {
+        if executed >= k && best.is_some() {
+            break;
+        }
+        executed += 1;
+        if let Ok(cycles) = run_candidate(cfg, &candidates[i]) {
+            all[i] = Some(cycles);
+            if best.map_or(true, |(_, b)| cycles < b) {
+                best = Some((i, cycles));
+            }
+        }
+    }
+    let (best, cycles) = best?;
+    Some(TuneOutcome { best, cycles, wall: start.elapsed(), executed, all_cycles: all })
+}
+
+/// Model-based autotuner with the default top-k (3) validation depth.
+pub fn model_tune(cfg: &MachineConfig, candidates: &[Candidate]) -> Option<TuneOutcome> {
+    model_tune_topk(cfg, candidates, 3)
+}
+
+/// Rank every candidate by the model without executing any of them
+/// (used by space-exploration statistics and the Fig. 9 harness).
+pub fn model_rank(cfg: &MachineConfig, candidates: &[Candidate]) -> Vec<(usize, f64)> {
+    let model = GemmModel::calibrate(cfg);
+    let mut ranked: Vec<(usize, f64)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let est = estimate_program(cfg, &model, &c.raw);
+            (i, est.overall(c.prefetched))
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+    ranked
+}
+
+/// Optimize, plan and execute a raw program in cost-only mode (used by
+/// hand-constructed baseline schedules that bypass the scheduler).
+pub fn run_program(cfg: &MachineConfig, program: swatop_ir::Program) -> MachineResult<Cycles> {
+    run_program_with_launches(cfg, program, 1)
+}
+
+/// Like [`run_program`] but charging `launches` CPE kernel launches —
+/// baseline code that makes N library calls spawns the CPE cluster N
+/// times, where fused generated code spawns once.
+pub fn run_program_with_launches(
+    cfg: &MachineConfig,
+    program: swatop_ir::Program,
+    launches: u64,
+) -> MachineResult<Cycles> {
+    let opt = crate::optimizer::optimize(program, true);
+    let exe = crate::codegen::plan(opt, cfg)?;
+    let mut cg = CoreGroup::new(cfg.clone(), ExecMode::CostOnly);
+    let binding = instantiate(&mut cg, &exe);
+    Ok(execute(&mut cg, &exe, &binding)? + Cycles(cfg.kernel_launch.get() * launches))
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the framework: random schedule points of a
+//! random matmul shape must compute the right answer, and optimizer passes
+//! must never change results.
+
+use proptest::prelude::*;
+use sw26010::MachineConfig;
+use swatop::ops::tiling::{DimTiles, PadMode};
+use swatop::ops::{verify_candidate, MatmulOp};
+use swatop::optimizer::boundary::round_up;
+use swatop::scheduler::{Operator, Scheduler};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any valid schedule point of any (small, possibly unaligned) matmul
+    /// computes the correct product — boundary machinery, layouts and
+    /// vectorisation choices included.
+    #[test]
+    fn random_matmul_schedules_are_correct(
+        m in 8usize..130,
+        n in 8usize..130,
+        k in 4usize..80,
+        point_seed in 0usize..10_000,
+        traditional: bool,
+    ) {
+        let cfg = MachineConfig::default();
+        let op = if traditional {
+            MatmulOp::new(m, n, k).with_pad_mode(PadMode::Traditional)
+        } else {
+            MatmulOp::new(m, n, k)
+        };
+        let sched = Scheduler::new(cfg.clone());
+        let space = op.space();
+        let point = space.point(point_seed % space.size());
+        if let Some(cand) = sched.lower_point(&op, &space, &point) {
+            let err = verify_candidate(&cfg, &op, &cand).unwrap();
+            prop_assert!(
+                err < 1e-2,
+                "m={m} n={n} k={k} {}: err {err}",
+                point.describe(&space)
+            );
+        }
+    }
+
+    /// The prefetch pass never changes results, only timing — and never
+    /// makes the schedule slower.
+    #[test]
+    fn prefetch_preserves_results_and_helps(
+        m in 8usize..100, n in 8usize..100, k in 8usize..64, point_seed in 0usize..10_000,
+    ) {
+        let cfg = MachineConfig::default();
+        let op = MatmulOp::new(m, n, k);
+        let space = op.space();
+        let point = space.point(point_seed % space.size());
+        let with_pf = Scheduler::new(cfg.clone());
+        let mut without_pf = Scheduler::new(cfg.clone());
+        without_pf.enable_prefetch = false;
+        let (Some(a), Some(b)) = (
+            with_pf.lower_point(&op, &space, &point),
+            without_pf.lower_point(&op, &space, &point),
+        ) else {
+            return Ok(());
+        };
+        let ea = verify_candidate(&cfg, &op, &a).unwrap();
+        let eb = verify_candidate(&cfg, &op, &b).unwrap();
+        prop_assert!(ea < 1e-2 && eb < 1e-2);
+        let ca = swatop::tuner::run_candidate(&cfg, &a).unwrap();
+        let cb = swatop::tuner::run_candidate(&cfg, &b).unwrap();
+        prop_assert!(ca <= cb, "prefetched {ca} slower than baseline {cb}");
+    }
+
+    /// Tiling invariants: full tiles plus the true tail cover the
+    /// dimension exactly; padded tails are aligned and minimal.
+    #[test]
+    fn dim_tiles_cover(len in 1usize..2000, tile_pow in 0usize..5, align_pow in 0usize..3) {
+        let align = 8 << align_pow;           // 8, 16, 32
+        let tile = align * (1 << tile_pow);   // aligned tile
+        let d = DimTiles::new(len, tile, align);
+        prop_assert_eq!(d.full * d.tile + d.tail, len);
+        prop_assert_eq!(d.padded_len() % align, 0);
+        prop_assert!(d.padded_len() >= len);
+        prop_assert!(d.padded_len() < len + align);
+        for s in d.segs() {
+            // Every segment's kernel size satisfies the alignment.
+            prop_assert_eq!(s.size % align, 0, "{:?}", d);
+            prop_assert!(s.count >= 1);
+        }
+        // The tail segment (if any) starts where the full tiles end.
+        if d.tail > 0 {
+            let segs = d.segs();
+            let tail_seg = segs.last().unwrap();
+            prop_assert_eq!(tail_seg.start, d.full * d.tile);
+            prop_assert!(tail_seg.size >= d.tail);
+            prop_assert_eq!(tail_seg.aux, d.tail % align != 0);
+        }
+    }
+
+    /// round_up is the least aligned value ≥ n.
+    #[test]
+    fn round_up_minimal(n in 0usize..10_000, align_pow in 0usize..6) {
+        let align = 1usize << (align_pow + 2);
+        let r = round_up(n, align);
+        prop_assert!(r >= n && r % align == 0 && r < n + align);
+    }
+}

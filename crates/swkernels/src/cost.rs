@@ -1,0 +1,116 @@
+//! Cached kernel cost queries.
+//!
+//! Black-box tuning executes thousands of candidate schedules, each invoking
+//! `spm_gemm` many times with a handful of distinct shapes. The scoreboard
+//! simulation is deterministic, so its results are memoised here, keyed on
+//! the variant, per-CPE block shape and a fingerprint of the machine
+//! configuration's timing parameters.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use parking_lot::Mutex;
+use sw26010::{Cycles, MachineConfig, MESH};
+
+use crate::microkernel::per_cpe_cycles;
+use crate::variant::{GemmVariant, VecDim};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    variant: usize,
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    cfg_fp: u64,
+}
+
+fn cfg_fingerprint(cfg: &MachineConfig) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    cfg.vmad_latency.hash(&mut h);
+    cfg.vldd_latency.hash(&mut h);
+    cfg.bcast_latency.hash(&mut h);
+    cfg.vstd_latency.hash(&mut h);
+    cfg.regcomm_switch.get().hash(&mut h);
+    cfg.kernel_call_overhead.get().hash(&mut h);
+    h.finish()
+}
+
+static CACHE: Mutex<Option<HashMap<Key, u64>>> = Mutex::new(None);
+
+/// Cycle cost of one `spm_gemm(M, N, K)` call with the given variant.
+///
+/// Dimensions are the *global* matrix dimensions; they must already satisfy
+/// the kernel contract (divisible by the mesh; vectorised per-CPE dimension
+/// divisible by 4) — [`crate::spm_gemm`] validates before costing.
+pub fn gemm_cycles(cfg: &MachineConfig, variant: GemmVariant, m: usize, n: usize, k: usize) -> Cycles {
+    let (mb, nb, kb) = (m / MESH, n / MESH, k / MESH);
+    let key = Key { variant: variant.index(), mb, nb, kb, cfg_fp: cfg_fingerprint(cfg) };
+    {
+        let guard = CACHE.lock();
+        if let Some(map) = guard.as_ref() {
+            if let Some(&c) = map.get(&key) {
+                return Cycles(c);
+            }
+        }
+    }
+    let (v_len, s_len) = match variant.vec {
+        VecDim::M => (mb, nb),
+        VecDim::N => (nb, mb),
+    };
+    let cycles = per_cpe_cycles(cfg, v_len, s_len, kb, variant.vector_load_ok());
+    let mut guard = CACHE.lock();
+    guard.get_or_insert_with(HashMap::new).insert(key, cycles);
+    Cycles(cycles)
+}
+
+/// Number of entries currently memoised (observability for tests/benches).
+pub fn cache_len() -> usize {
+    CACHE.lock().as_ref().map_or(0, |m| m.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::ALL_VARIANTS;
+
+    #[test]
+    fn cache_returns_consistent_results() {
+        let cfg = MachineConfig::default();
+        let v = ALL_VARIANTS[4]; // A col-major, vec M: fast vector loads
+        let a = gemm_cycles(&cfg, v, 64, 64, 64);
+        let b = gemm_cycles(&cfg, v, 64, 64, 64);
+        assert_eq!(a, b);
+        assert!(a.get() > 0);
+    }
+
+    #[test]
+    fn variants_differ_in_cost() {
+        let cfg = MachineConfig::default();
+        // Fast-vector-load variant must beat the scalar-extend fallback.
+        let fast = ALL_VARIANTS.iter().find(|v| v.vector_load_ok()).unwrap();
+        let slow = ALL_VARIANTS.iter().find(|v| !v.vector_load_ok()).unwrap();
+        let cf = gemm_cycles(&cfg, *fast, 128, 128, 128);
+        let cs = gemm_cycles(&cfg, *slow, 128, 128, 128);
+        assert!(cf < cs, "fast {cf} !< slow {cs}");
+    }
+
+    #[test]
+    fn cost_monotone_in_k() {
+        let cfg = MachineConfig::default();
+        let v = ALL_VARIANTS[0];
+        let c1 = gemm_cycles(&cfg, v, 64, 64, 64);
+        let c2 = gemm_cycles(&cfg, v, 64, 64, 128);
+        assert!(c2 > c1);
+    }
+
+    #[test]
+    fn config_changes_invalidate_cache_key() {
+        let cfg = MachineConfig::default();
+        let mut slow_cfg = cfg.clone();
+        slow_cfg.vmad_latency = 20;
+        let v = ALL_VARIANTS[4];
+        let base = gemm_cycles(&cfg, v, 64, 64, 64);
+        let slower = gemm_cycles(&slow_cfg, v, 64, 64, 64);
+        assert!(slower >= base);
+    }
+}

@@ -1,0 +1,331 @@
+//! The `spm_gemm` tensorized primitive.
+//!
+//! Mirrors the paper's interface (Sec. 4.1):
+//!
+//! ```c
+//! spm_gemm(int M, int N, int K, float ALPHA, float* A, int LDA,
+//!          float* B, int LDB, float BETA, float* C, int LDC, swVecDim vd)
+//! ```
+//!
+//! `A`, `B`, `C` reside in the SPMs, block-partitioned 8×8 across the mesh
+//! ([`crate::distribute`]). The kernel variant is determined by the operand
+//! layouts plus the vectorisation dimension `vd`; its cycle cost comes from
+//! the pipeline-scoreboard simulation ([`crate::cost`]), and in
+//! [`ExecMode::Functional`](sw26010::ExecMode) the arithmetic is actually
+//! performed so that schedule bugs surface as wrong results.
+
+use sw26010::{CoreGroup, ExecMode, MachineError, MachineResult, MESH};
+use swtensor::MatLayout;
+
+use crate::cost::gemm_cycles;
+use crate::variant::{GemmVariant, VecDim};
+
+/// Descriptor of one SPM-resident distributed matrix operand: every CPE
+/// holds its block at the same SPM `offset`, stored with `layout` and
+/// leading dimension `ld` (in elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmMatrix {
+    pub offset: usize,
+    pub layout: MatLayout,
+    pub ld: usize,
+}
+
+impl SpmMatrix {
+    pub fn new(offset: usize, layout: MatLayout, ld: usize) -> Self {
+        SpmMatrix { offset, layout, ld }
+    }
+
+    /// SPM elements spanned by an `rows × cols` block in this descriptor.
+    fn span(&self, rows: usize, cols: usize) -> usize {
+        match self.layout {
+            MatLayout::RowMajor => (rows - 1) * self.ld + cols,
+            MatLayout::ColMajor => (cols - 1) * self.ld + rows,
+        }
+    }
+
+    fn check_ld(&self, rows: usize, cols: usize, name: &str) -> MachineResult<()> {
+        if self.ld < self.layout.min_ld(rows, cols) {
+            return Err(MachineError::BadKernelArgs(format!(
+                "{name}: ld {} < minimum {} for {rows}×{cols} {:?} block",
+                self.ld,
+                self.layout.min_ld(rows, cols),
+                self.layout
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Validate an `spm_gemm` call and return the kernel variant it will use.
+pub fn validate(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &SpmMatrix,
+    b: &SpmMatrix,
+    c: &SpmMatrix,
+    vd: VecDim,
+) -> MachineResult<GemmVariant> {
+    if m == 0 || n == 0 || k == 0 {
+        return Err(MachineError::BadKernelArgs("zero dimension".into()));
+    }
+    if m % MESH != 0 || n % MESH != 0 || k % MESH != 0 {
+        return Err(MachineError::BadKernelArgs(format!(
+            "dims ({m},{n},{k}) not divisible by the {MESH}×{MESH} mesh"
+        )));
+    }
+    let (mb, nb, kb) = (m / MESH, n / MESH, k / MESH);
+    let v_len = match vd {
+        VecDim::M => mb,
+        VecDim::N => nb,
+    };
+    if v_len % 4 != 0 {
+        return Err(MachineError::BadKernelArgs(format!(
+            "vectorised per-CPE dim {v_len} not divisible by the vector width 4"
+        )));
+    }
+    a.check_ld(mb, kb, "A")?;
+    b.check_ld(kb, nb, "B")?;
+    c.check_ld(mb, nb, "C")?;
+    Ok(GemmVariant { a_layout: a.layout, b_layout: b.layout, vec: vd })
+}
+
+/// Execute `C = ALPHA·A·B + BETA·C` on the distributed SPM operands.
+#[allow(clippy::too_many_arguments)]
+pub fn spm_gemm(
+    cg: &mut CoreGroup,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: SpmMatrix,
+    b: SpmMatrix,
+    beta: f32,
+    c: SpmMatrix,
+    vd: VecDim,
+) -> MachineResult<()> {
+    let variant = validate(m, n, k, &a, &b, &c, vd)?;
+    let (mb, nb, kb) = (m / MESH, n / MESH, k / MESH);
+
+    if cg.mode() == ExecMode::Functional {
+        // Gather the distributed operands into whole host matrices. On the
+        // machine this data movement is the register communication already
+        // priced into the kernel cycles.
+        let ga = gather(cg, a, m, k, mb, kb)?;
+        let gb = gather(cg, b, k, n, kb, nb)?;
+        let mut gc = gather(cg, c, m, n, mb, nb)?;
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += ga[i * k + p] * gb[p * n + j];
+                }
+                gc[i * n + j] = alpha * acc + beta * gc[i * n + j];
+            }
+        }
+        scatter(cg, c, &gc, m, n, mb, nb)?;
+    } else {
+        // Cost-only: still verify the blocks fit in the SPM.
+        for (mat, rows, cols) in [(&a, mb, kb), (&b, kb, nb), (&c, mb, nb)] {
+            let span = mat.span(rows, cols);
+            let cap = cg.cfg.spm_elems();
+            if mat.offset + span > cap {
+                return Err(MachineError::SpmOverflow {
+                    cpe: 0,
+                    offset: mat.offset,
+                    len: span,
+                    capacity: cap,
+                });
+            }
+        }
+    }
+
+    let cycles = gemm_cycles(&cg.cfg, variant, m, n, k);
+    let flops = 2 * (m as u64) * (n as u64) * (k as u64);
+    cg.kernel(cycles, flops, m, n, k);
+    Ok(())
+}
+
+/// Read a distributed matrix out of the 64 SPMs into a row-major host copy.
+fn gather(
+    cg: &CoreGroup,
+    mat: SpmMatrix,
+    rows: usize,
+    cols: usize,
+    br: usize,
+    bc: usize,
+) -> MachineResult<Vec<f32>> {
+    let mut out = vec![0.0f32; rows * cols];
+    for cpe in 0..sw26010::N_CPE {
+        let (r0, c0) = (sw26010::rid(cpe) * br, sw26010::cid(cpe) * bc);
+        let spm = cg.spm(cpe);
+        let span = mat.span(br, bc);
+        let block = spm.slice(mat.offset, span)?;
+        for lr in 0..br {
+            for lc in 0..bc {
+                out[(r0 + lr) * cols + (c0 + lc)] = block[mat.layout.offset(lr, lc, mat.ld)];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Write a row-major host matrix back into its 64 distributed SPM blocks.
+fn scatter(
+    cg: &mut CoreGroup,
+    mat: SpmMatrix,
+    data: &[f32],
+    _rows: usize,
+    cols: usize,
+    br: usize,
+    bc: usize,
+) -> MachineResult<()> {
+    for cpe in 0..sw26010::N_CPE {
+        let (r0, c0) = (sw26010::rid(cpe) * br, sw26010::cid(cpe) * bc);
+        let span = mat.span(br, bc);
+        let spm = cg.spm_mut(cpe);
+        let block = spm.slice_mut(mat.offset, span)?;
+        for lr in 0..br {
+            for lc in 0..bc {
+                block[mat.layout.offset(lr, lc, mat.ld)] = data[(r0 + lr) * cols + (c0 + lc)];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Load a row-major host matrix into the distributed SPM blocks (test and
+/// baseline helper; generated schedules use DMA instead).
+pub fn load_distributed(
+    cg: &mut CoreGroup,
+    mat: SpmMatrix,
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+) -> MachineResult<()> {
+    let (br, bc) = crate::distribute::block_dims(rows, cols)?;
+    scatter(cg, mat, data, rows, cols, br, bc)
+}
+
+/// Read a distributed matrix back into a row-major host copy (test helper).
+pub fn read_distributed(
+    cg: &CoreGroup,
+    mat: SpmMatrix,
+    rows: usize,
+    cols: usize,
+) -> MachineResult<Vec<f32>> {
+    let (br, bc) = crate::distribute::block_dims(rows, cols)?;
+    gather(cg, mat, rows, cols, br, bc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw26010::{CoreGroup, ExecMode};
+    use swtensor::compare::assert_close;
+    use swtensor::gemm::gemm_rowmajor;
+    use swtensor::init::random_vec;
+    use swtensor::MatLayout::*;
+
+    fn run_case(m: usize, n: usize, k: usize, la: MatLayout, lb: MatLayout, vd: VecDim) {
+        let mut cg = CoreGroup::with_mode(ExecMode::Functional);
+        let (mb, nb, kb) = (m / 8, n / 8, k / 8);
+        let a_desc = SpmMatrix::new(0, la, la.min_ld(mb, kb));
+        let b_off = a_desc.span(mb, kb);
+        let b_desc = SpmMatrix::new(b_off, lb, lb.min_ld(kb, nb));
+        let c_off = b_off + b_desc.span(kb, nb);
+        let c_desc = SpmMatrix::new(c_off, RowMajor, nb);
+
+        let a = random_vec(m * k, 1);
+        let b = random_vec(k * n, 2);
+        let c0 = random_vec(m * n, 3);
+        load_distributed(&mut cg, a_desc, &a, m, k).unwrap();
+        load_distributed(&mut cg, b_desc, &b, k, n).unwrap();
+        load_distributed(&mut cg, c_desc, &c0, m, n).unwrap();
+
+        spm_gemm(&mut cg, m, n, k, 1.0, a_desc, b_desc, 1.0, c_desc, vd).unwrap();
+
+        let mut expect = c0.clone();
+        gemm_rowmajor(m, n, k, &a, &b, &mut expect);
+        let got = read_distributed(&cg, c_desc, m, n).unwrap();
+        assert_close(&got, &expect, 1e-4, 1e-5, "spm_gemm");
+        assert!(cg.now().get() > 0, "kernel must cost cycles");
+        assert_eq!(cg.flops, 2 * (m * n * k) as u64);
+    }
+
+    #[test]
+    fn all_eight_variants_compute_correctly() {
+        for la in [RowMajor, ColMajor] {
+            for lb in [RowMajor, ColMajor] {
+                for vd in [VecDim::M, VecDim::N] {
+                    run_case(32, 32, 16, la, lb, vd);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        run_case(64, 32, 8, ColMajor, RowMajor, VecDim::M);
+        run_case(32, 64, 24, RowMajor, RowMajor, VecDim::N);
+    }
+
+    #[test]
+    fn alpha_beta() {
+        let (m, n, k) = (32, 32, 8);
+        let mut cg = CoreGroup::with_mode(ExecMode::Functional);
+        let a_desc = SpmMatrix::new(0, RowMajor, k / 8);
+        let b_desc = SpmMatrix::new(64, RowMajor, n / 8);
+        let c_desc = SpmMatrix::new(128, RowMajor, n / 8);
+        let a = random_vec(m * k, 4);
+        let b = random_vec(k * n, 5);
+        let c0 = random_vec(m * n, 6);
+        load_distributed(&mut cg, a_desc, &a, m, k).unwrap();
+        load_distributed(&mut cg, b_desc, &b, k, n).unwrap();
+        load_distributed(&mut cg, c_desc, &c0, m, n).unwrap();
+        spm_gemm(&mut cg, m, n, k, 2.0, a_desc, b_desc, -1.0, c_desc, VecDim::M).unwrap();
+        let mut prod = vec![0.0; m * n];
+        gemm_rowmajor(m, n, k, &a, &b, &mut prod);
+        let expect: Vec<f32> =
+            prod.iter().zip(&c0).map(|(p, c)| 2.0 * p - c).collect();
+        let got = read_distributed(&cg, c_desc, m, n).unwrap();
+        assert_close(&got, &expect, 1e-4, 1e-5, "alpha/beta");
+    }
+
+    #[test]
+    fn contract_violations_rejected() {
+        let mut cg = CoreGroup::with_mode(ExecMode::Functional);
+        let d = SpmMatrix::new(0, RowMajor, 8);
+        // Not divisible by mesh.
+        assert!(spm_gemm(&mut cg, 30, 32, 8, 1.0, d, d, 1.0, d, VecDim::M).is_err());
+        // Vector dim (mb = 16/8 = 2) not divisible by 4.
+        assert!(spm_gemm(&mut cg, 16, 32, 8, 1.0, d, d, 1.0, d, VecDim::M).is_err());
+        // ld too small for the block.
+        let tiny = SpmMatrix::new(0, RowMajor, 1);
+        assert!(spm_gemm(&mut cg, 32, 32, 32, 1.0, tiny, d, 1.0, d, VecDim::M).is_err());
+        // Zero dimension.
+        assert!(spm_gemm(&mut cg, 0, 32, 8, 1.0, d, d, 1.0, d, VecDim::M).is_err());
+    }
+
+    #[test]
+    fn cost_only_skips_math_but_counts_cycles() {
+        let mut cg = CoreGroup::with_mode(ExecMode::CostOnly);
+        let (m, n, k) = (32, 32, 8);
+        let a_desc = SpmMatrix::new(0, RowMajor, k / 8);
+        let b_desc = SpmMatrix::new(64, RowMajor, n / 8);
+        let c_desc = SpmMatrix::new(128, RowMajor, n / 8);
+        spm_gemm(&mut cg, m, n, k, 1.0, a_desc, b_desc, 1.0, c_desc, VecDim::M).unwrap();
+        assert!(cg.now().get() > 0);
+        // SPM untouched.
+        assert_eq!(cg.spm(0).load(128).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cost_only_still_checks_spm_capacity() {
+        let mut cg = CoreGroup::with_mode(ExecMode::CostOnly);
+        let cap = cg.cfg.spm_elems();
+        let a_desc = SpmMatrix::new(cap - 4, RowMajor, 8);
+        let d = SpmMatrix::new(0, RowMajor, 8);
+        assert!(spm_gemm(&mut cg, 64, 64, 64, 1.0, a_desc, d, 1.0, d, VecDim::M).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Explicit-GEMM convolution support: the `im2col` expansion.
+//!
+//! The explicit method (paper Fig. 2, left) first expands the image into a
+//! column matrix, then performs one big matrix multiplication against the
+//! filter matrix:
+//!
+//! ```text
+//! cols   : (Ni·Kr·Kc) × (B·Ro·Co)
+//! filter : No × (Ni·Kr·Kc)        (weights reshaped)
+//! output : No × (B·Ro·Co) = filter · cols
+//! ```
+
+use crate::conv::ConvShape;
+use crate::gemm::gemm_rowmajor;
+use crate::tensor::Tensor;
+
+/// Expand an NCHW input into the im2col column matrix, stored row-major as
+/// `(Ni·Kr·Kc) × (B·Ro·Co)`.
+pub fn im2col(shape: &ConvShape, input: &Tensor) -> Tensor {
+    assert_eq!(input.shape(), &shape.input_shape());
+    let rows = shape.ni * shape.kr * shape.kc;
+    let cols = shape.b * shape.ro * shape.co;
+    let (ri, ci) = (shape.ri(), shape.ci());
+    let mut out = Tensor::zeros([rows, cols]);
+    for ni in 0..shape.ni {
+        for kr in 0..shape.kr {
+            for kc in 0..shape.kc {
+                let row = (ni * shape.kr + kr) * shape.kc + kc;
+                for b in 0..shape.b {
+                    for ro in 0..shape.ro {
+                        for co in 0..shape.co {
+                            let col = (b * shape.ro + ro) * shape.co + co;
+                            let r = (ro * shape.stride + kr) as isize - shape.pad as isize;
+                            let c = (co * shape.stride + kc) as isize - shape.pad as isize;
+                            let v = if r < 0 || c < 0 || r as usize >= ri || c as usize >= ci {
+                                0.0
+                            } else {
+                                input.at(&[b, ni, r as usize, c as usize])
+                            };
+                            *out.at_mut(&[row, col]) = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Number of f32 elements in the im2col matrix (the method's extra memory).
+pub fn im2col_elems(shape: &ConvShape) -> usize {
+    shape.ni * shape.kr * shape.kc * shape.b * shape.ro * shape.co
+}
+
+/// Full explicit-GEMM convolution on the host: im2col + reference GEMM +
+/// reshape back to NCHW. Golden reference for the explicit method.
+pub fn conv2d_explicit_ref(shape: &ConvShape, input: &Tensor, weight: &Tensor) -> Tensor {
+    assert_eq!(weight.shape(), &shape.weight_shape());
+    let cols = im2col(shape, input);
+    let k = shape.ni * shape.kr * shape.kc;
+    let n = shape.b * shape.ro * shape.co;
+    // Weight [No][Ni][Kr][Kc] is already the No × K filter matrix row-major.
+    let mut prod = vec![0.0f32; shape.no * n];
+    gemm_rowmajor(shape.no, n, k, weight.data(), cols.data(), &mut prod);
+    // prod is No × (B·Ro·Co); output must be NCHW = [B][No][Ro][Co].
+    let mut out = Tensor::zeros(shape.output_shape());
+    for no in 0..shape.no {
+        for b in 0..shape.b {
+            for ro in 0..shape.ro {
+                for co in 0..shape.co {
+                    let col = (b * shape.ro + ro) * shape.co + co;
+                    *out.at_mut(&[b, no, ro, co]) = prod[no * n + col];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::assert_close;
+    use crate::conv::conv2d_ref;
+    use crate::init::random_tensor;
+
+    #[test]
+    fn matches_direct_conv() {
+        let s = ConvShape::square(2, 4, 3, 5);
+        let input = random_tensor(s.input_shape().dims().to_vec(), 1);
+        let weight = random_tensor(s.weight_shape().dims().to_vec(), 2);
+        let direct = conv2d_ref(&s, &input, &weight);
+        let explicit = conv2d_explicit_ref(&s, &input, &weight);
+        assert_close(direct.data(), explicit.data(), 1e-4, 1e-5, "explicit vs direct");
+    }
+
+    #[test]
+    fn matches_direct_with_stride_and_pad() {
+        let s = ConvShape { b: 1, ni: 3, no: 2, ro: 4, co: 4, kr: 3, kc: 3, stride: 2, pad: 1 };
+        let input = random_tensor(s.input_shape().dims().to_vec(), 3);
+        let weight = random_tensor(s.weight_shape().dims().to_vec(), 4);
+        let direct = conv2d_ref(&s, &input, &weight);
+        let explicit = conv2d_explicit_ref(&s, &input, &weight);
+        assert_close(direct.data(), explicit.data(), 1e-4, 1e-5, "strided explicit");
+    }
+
+    #[test]
+    fn column_matrix_shape() {
+        let s = ConvShape::square(2, 4, 3, 5);
+        let input = random_tensor(s.input_shape().dims().to_vec(), 1);
+        let cols = im2col(&s, &input);
+        assert_eq!(cols.shape().dims(), &[4 * 9, 2 * 25]);
+        assert_eq!(im2col_elems(&s), cols.shape().numel());
+    }
+
+    #[test]
+    fn one_by_one_kernel_is_reshape() {
+        let s = ConvShape { b: 1, ni: 3, no: 2, ro: 4, co: 4, kr: 1, kc: 1, stride: 1, pad: 0 };
+        let input = random_tensor(s.input_shape().dims().to_vec(), 9);
+        let cols = im2col(&s, &input);
+        // With a 1×1 kernel the column matrix is just the input reshaped.
+        assert_eq!(cols.data(), input.data());
+    }
+}

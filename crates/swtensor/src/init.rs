@@ -1,0 +1,79 @@
+//! Deterministic pseudo-random tensor initialisation.
+//!
+//! A tiny xorshift generator keeps the crate dependency-free and guarantees
+//! bit-identical tensors across runs, which the black-box-vs-model tuning
+//! comparisons rely on.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Deterministic xorshift64* stream.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    pub fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point.
+        XorShift { state: seed.wrapping_mul(2685821657736338717).max(1) }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform f32 in [-1, 1).
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        let bits = (self.next_u64() >> 40) as u32; // 24 random bits
+        (bits as f32 / (1u32 << 23) as f32) - 1.0
+    }
+}
+
+/// Fill a new tensor with uniform values in [-1, 1).
+pub fn random_tensor(shape: impl Into<Shape>, seed: u64) -> Tensor {
+    let shape = shape.into();
+    let mut rng = XorShift::new(seed);
+    let data = (0..shape.numel()).map(|_| rng.next_f32()).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Fill a new vector with uniform values in [-1, 1).
+pub fn random_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = XorShift::new(seed);
+    (0..n).map(|_| rng.next_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = random_tensor([4, 4], 7);
+        let b = random_tensor([4, 4], 7);
+        let c = random_tensor([4, 4], 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_in_range() {
+        let t = random_tensor([100], 1);
+        assert!(t.data().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn not_constant() {
+        let t = random_vec(1000, 3);
+        let first = t[0];
+        assert!(t.iter().any(|&x| x != first));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the tensor substrate: every decomposition of
+//! convolution must agree with the naive MAC reference on arbitrary shapes.
+
+use proptest::prelude::*;
+use swtensor::compare::allclose;
+use swtensor::conv::{conv2d_ref, ConvShape};
+use swtensor::gemm::{gemm_ref, MatLayout};
+use swtensor::im2col::conv2d_explicit_ref;
+use swtensor::init::random_tensor;
+use swtensor::winograd::conv2d_winograd_ref;
+use swtensor::Tensor;
+
+fn arb_shape() -> impl Strategy<Value = ConvShape> {
+    (1usize..3, 1usize..6, 1usize..6, 2usize..8, 1usize..3, 0usize..2).prop_map(
+        |(b, ni, no, ro, stride, pad)| ConvShape {
+            b,
+            ni,
+            no,
+            ro,
+            co: ro,
+            kr: 3,
+            kc: 3,
+            stride,
+            pad,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Explicit (im2col) convolution equals direct convolution for any
+    /// shape, stride and padding.
+    #[test]
+    fn explicit_equals_direct(shape in arb_shape(), seed in 0u64..1000) {
+        let input = random_tensor(shape.input_shape().dims().to_vec(), seed);
+        let weight = random_tensor(shape.weight_shape().dims().to_vec(), seed + 1);
+        let a = conv2d_ref(&shape, &input, &weight);
+        let b = conv2d_explicit_ref(&shape, &input, &weight);
+        prop_assert!(allclose(a.data(), b.data(), 1e-3, 1e-4));
+    }
+
+    /// Winograd F(2×2,3×3) equals direct convolution whenever applicable.
+    #[test]
+    fn winograd_equals_direct(shape in arb_shape(), seed in 0u64..1000) {
+        prop_assume!(shape.winograd_applicable());
+        let input = random_tensor(shape.input_shape().dims().to_vec(), seed);
+        let weight = random_tensor(shape.weight_shape().dims().to_vec(), seed + 1);
+        let a = conv2d_ref(&shape, &input, &weight);
+        let b = conv2d_winograd_ref(&shape, &input, &weight);
+        prop_assert!(allclose(a.data(), b.data(), 5e-3, 5e-4));
+    }
+
+    /// GEMM with any operand layout equals row-major GEMM.
+    #[test]
+    fn gemm_layouts_agree(
+        m in 1usize..8, n in 1usize..8, k in 1usize..8,
+        a_col: bool, b_col: bool, seed in 0u64..1000,
+    ) {
+        let a = random_tensor([m, k], seed);
+        let b = random_tensor([k, n], seed + 1);
+        let mut c_rm = vec![0.0f32; m * n];
+        swtensor::gemm::gemm_rowmajor(m, n, k, a.data(), b.data(), &mut c_rm);
+
+        let (a_dat, la, lda) = if a_col {
+            (a.permuted(&[1, 0]), MatLayout::ColMajor, m)
+        } else {
+            (a.clone(), MatLayout::RowMajor, k)
+        };
+        let (b_dat, lb, ldb) = if b_col {
+            (b.permuted(&[1, 0]), MatLayout::ColMajor, k)
+        } else {
+            (b.clone(), MatLayout::RowMajor, n)
+        };
+        let mut c = vec![0.0f32; m * n];
+        gemm_ref(m, n, k, 1.0, a_dat.data(), la, lda, b_dat.data(), lb, ldb, 0.0,
+                 &mut c, MatLayout::RowMajor, n);
+        prop_assert!(allclose(&c_rm, &c, 1e-4, 1e-5));
+    }
+
+    /// Permutation round-trips through its inverse for any rank-3 tensor.
+    #[test]
+    fn permute_roundtrip(d0 in 1usize..5, d1 in 1usize..5, d2 in 1usize..5, seed in 0u64..1000) {
+        let t = random_tensor([d0, d1, d2], seed);
+        let perms: [[usize; 3]; 6] =
+            [[0,1,2],[0,2,1],[1,0,2],[1,2,0],[2,0,1],[2,1,0]];
+        for perm in perms {
+            let p = t.permuted(&perm);
+            // inverse[perm[i]] = i
+            let mut inv = [0usize; 3];
+            for (i, &x) in perm.iter().enumerate() {
+                inv[x] = i;
+            }
+            let back = p.permuted(&inv);
+            prop_assert_eq!(&back, &t);
+        }
+    }
+
+    /// Padding then cropping is the identity.
+    #[test]
+    fn pad_crop_roundtrip(r in 1usize..6, c in 1usize..6, pr in 0usize..4, pc in 0usize..4, seed in 0u64..1000) {
+        let t = random_tensor([r, c], seed);
+        let p = t.padded_to(&[r + pr, c + pc]);
+        prop_assert_eq!(Tensor::cropped_to(&p, &[r, c]), t);
+    }
+}

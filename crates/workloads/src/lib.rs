@@ -1,0 +1,20 @@
+//! # workloads — the evaluation inputs of the paper
+//!
+//! * [`networks`] — the convolution layers of the three classic CNNs the
+//!   paper evaluates (Sec. 5.1.1): VGG16, ResNet and YOLO;
+//! * [`sweep`] — the synthetic parameter sweeps: Listing 1 (75 convolution
+//!   configurations × 3 batch sizes = 225 cases) and Listing 2 (216
+//!   unaligned + 343 aligned = 559 matrix-multiplication cases).
+//!
+//! Because the machine is simulated, the harness optionally *caps the
+//! spatial size* of network layers (`spatial_cap`): channels, batch and
+//! kernel geometry — the parameters that drive schedule choice — are kept
+//! verbatim, while 224×224 feature maps are scaled down so simulating a
+//! whole network stays in seconds. `EXPERIMENTS.md` records the caps used
+//! for every reported number.
+
+pub mod networks;
+pub mod sweep;
+
+pub use networks::{resnet_layers, vgg16_layers, yolo_layers, ConvLayer, Network};
+pub use sweep::{conv_sweep, gemm_sweep, GemmCase, CONV_BATCHES};

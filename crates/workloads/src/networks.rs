@@ -1,0 +1,200 @@
+//! Convolution layers of the three classic CNNs (paper Sec. 5.1.1):
+//! VGG16 (Simonyan & Zisserman 2014), ResNet (He et al. 2016) and YOLO
+//! (Redmon et al. 2016).
+//!
+//! Each table lists the *distinct* convolution shapes in network order
+//! (repeated identical blocks appear once, as is standard in per-layer
+//! evaluations). The first layer of each network has `Ni = 3`, which is
+//! why the paper excludes it from the implicit-conv comparison.
+
+use swtensor::ConvShape;
+
+/// One named convolution layer.
+#[derive(Debug, Clone)]
+pub struct ConvLayer {
+    pub name: &'static str,
+    pub ni: usize,
+    pub no: usize,
+    /// Output spatial size (square).
+    pub out: usize,
+    pub k: usize,
+    pub stride: usize,
+    pub pad: usize,
+}
+
+impl ConvLayer {
+    const fn new(
+        name: &'static str,
+        ni: usize,
+        no: usize,
+        out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        ConvLayer { name, ni, no, out, k, stride, pad }
+    }
+
+    /// Concretise with a batch size and an optional spatial cap.
+    pub fn shape(&self, batch: usize, spatial_cap: Option<usize>) -> ConvShape {
+        let out = spatial_cap.map_or(self.out, |cap| self.out.min(cap));
+        ConvShape {
+            b: batch,
+            ni: self.ni,
+            no: self.no,
+            ro: out,
+            co: out,
+            kr: self.k,
+            kc: self.k,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+}
+
+/// The three evaluated networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Network {
+    Vgg16,
+    ResNet,
+    Yolo,
+}
+
+impl Network {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Network::Vgg16 => "VGG16",
+            Network::ResNet => "ResNet",
+            Network::Yolo => "Yolo",
+        }
+    }
+
+    pub fn layers(&self) -> &'static [ConvLayer] {
+        match self {
+            Network::Vgg16 => vgg16_layers(),
+            Network::ResNet => resnet_layers(),
+            Network::Yolo => yolo_layers(),
+        }
+    }
+
+    pub const ALL: [Network; 3] = [Network::Vgg16, Network::ResNet, Network::Yolo];
+}
+
+/// The 13 convolution layers of VGG16 (all 3×3, stride 1, pad 1).
+pub fn vgg16_layers() -> &'static [ConvLayer] {
+    const L: &[ConvLayer] = &[
+        ConvLayer::new("conv1_1", 3, 64, 224, 3, 1, 1),
+        ConvLayer::new("conv1_2", 64, 64, 224, 3, 1, 1),
+        ConvLayer::new("conv2_1", 64, 128, 112, 3, 1, 1),
+        ConvLayer::new("conv2_2", 128, 128, 112, 3, 1, 1),
+        ConvLayer::new("conv3_1", 128, 256, 56, 3, 1, 1),
+        ConvLayer::new("conv3_2", 256, 256, 56, 3, 1, 1),
+        ConvLayer::new("conv3_3", 256, 256, 56, 3, 1, 1),
+        ConvLayer::new("conv4_1", 256, 512, 28, 3, 1, 1),
+        ConvLayer::new("conv4_2", 512, 512, 28, 3, 1, 1),
+        ConvLayer::new("conv4_3", 512, 512, 28, 3, 1, 1),
+        ConvLayer::new("conv5_1", 512, 512, 14, 3, 1, 1),
+        ConvLayer::new("conv5_2", 512, 512, 14, 3, 1, 1),
+        ConvLayer::new("conv5_3", 512, 512, 14, 3, 1, 1),
+    ];
+    L
+}
+
+/// The distinct convolution shapes of ResNet-50: the 7×7 stem plus the
+/// 1×1 / 3×3 bottleneck convolutions of each stage (strided variants
+/// included).
+pub fn resnet_layers() -> &'static [ConvLayer] {
+    const L: &[ConvLayer] = &[
+        ConvLayer::new("conv1", 3, 64, 112, 7, 2, 3),
+        // Stage 2 (56×56).
+        ConvLayer::new("res2_1x1a", 64, 64, 56, 1, 1, 0),
+        ConvLayer::new("res2_3x3", 64, 64, 56, 3, 1, 1),
+        ConvLayer::new("res2_1x1b", 64, 256, 56, 1, 1, 0),
+        ConvLayer::new("res2_proj", 256, 64, 56, 1, 1, 0),
+        // Stage 3 (28×28).
+        ConvLayer::new("res3_down", 256, 128, 28, 1, 2, 0),
+        ConvLayer::new("res3_3x3", 128, 128, 28, 3, 1, 1),
+        ConvLayer::new("res3_1x1b", 128, 512, 28, 1, 1, 0),
+        ConvLayer::new("res3_proj", 512, 128, 28, 1, 1, 0),
+        // Stage 4 (14×14).
+        ConvLayer::new("res4_down", 512, 256, 14, 1, 2, 0),
+        ConvLayer::new("res4_3x3", 256, 256, 14, 3, 1, 1),
+        ConvLayer::new("res4_1x1b", 256, 1024, 14, 1, 1, 0),
+        ConvLayer::new("res4_proj", 1024, 256, 14, 1, 1, 0),
+        // Stage 5 (7×7).
+        ConvLayer::new("res5_down", 1024, 512, 7, 1, 2, 0),
+        ConvLayer::new("res5_3x3", 512, 512, 7, 3, 1, 1),
+        ConvLayer::new("res5_1x1b", 512, 2048, 7, 1, 1, 0),
+    ];
+    L
+}
+
+/// The distinct convolution shapes of YOLOv1's 24-layer backbone.
+pub fn yolo_layers() -> &'static [ConvLayer] {
+    const L: &[ConvLayer] = &[
+        ConvLayer::new("conv1", 3, 64, 224, 7, 2, 3),
+        ConvLayer::new("conv2", 64, 192, 112, 3, 1, 1),
+        ConvLayer::new("conv3_1", 192, 128, 56, 1, 1, 0),
+        ConvLayer::new("conv3_2", 128, 256, 56, 3, 1, 1),
+        ConvLayer::new("conv3_3", 256, 256, 56, 1, 1, 0),
+        ConvLayer::new("conv3_4", 256, 512, 56, 3, 1, 1),
+        ConvLayer::new("conv4_1", 512, 256, 28, 1, 1, 0),
+        ConvLayer::new("conv4_2", 256, 512, 28, 3, 1, 1),
+        ConvLayer::new("conv4_3", 512, 512, 28, 1, 1, 0),
+        ConvLayer::new("conv4_4", 512, 1024, 28, 3, 1, 1),
+        ConvLayer::new("conv5_1", 1024, 512, 14, 1, 1, 0),
+        ConvLayer::new("conv5_2", 512, 1024, 14, 3, 1, 1),
+        ConvLayer::new("conv5_3", 1024, 1024, 14, 3, 1, 1),
+        ConvLayer::new("conv5_4", 1024, 1024, 7, 3, 2, 1),
+        ConvLayer::new("conv6_1", 1024, 1024, 7, 3, 1, 1),
+        ConvLayer::new("conv6_2", 1024, 1024, 7, 3, 1, 1),
+    ];
+    L
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg_has_13_conv_layers() {
+        assert_eq!(vgg16_layers().len(), 13);
+        // All 3×3 stride-1 pad-1.
+        assert!(vgg16_layers().iter().all(|l| l.k == 3 && l.stride == 1 && l.pad == 1));
+    }
+
+    #[test]
+    fn first_layers_have_rgb_input() {
+        for net in Network::ALL {
+            assert_eq!(net.layers()[0].ni, 3, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn shape_concretisation_and_cap() {
+        let l = &vgg16_layers()[1]; // 64→64 @224
+        let s = l.shape(32, Some(28));
+        assert_eq!((s.b, s.ni, s.no, s.ro), (32, 64, 64, 28));
+        let full = l.shape(1, None);
+        assert_eq!(full.ro, 224);
+        // Same-padding conv keeps spatial size.
+        assert_eq!(full.ri(), 224);
+    }
+
+    #[test]
+    fn resnet_contains_strided_convs() {
+        assert!(resnet_layers().iter().any(|l| l.stride == 2));
+    }
+
+    #[test]
+    fn all_shapes_are_consistent() {
+        for net in Network::ALL {
+            for l in net.layers() {
+                let s = l.shape(4, Some(16));
+                // ri/ci arithmetic must not underflow.
+                assert!(s.ri() >= s.kr.saturating_sub(2 * s.pad), "{}", l.name);
+                assert!(s.macs() > 0);
+            }
+        }
+    }
+}

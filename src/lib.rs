@@ -1,0 +1,15 @@
+//! # swatop-repro — umbrella crate
+//!
+//! Re-exports the whole swATOP reproduction stack so examples, integration
+//! tests and downstream users can depend on a single crate.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use baselines;
+pub use sw26010;
+pub use swatop;
+pub use swatop_dsl as dsl;
+pub use swatop_ir as ir;
+pub use swkernels;
+pub use swtensor;
+pub use workloads;
