@@ -48,7 +48,16 @@ pub struct CoreGroup {
 
 impl CoreGroup {
     pub fn new(cfg: MachineConfig, mode: ExecMode) -> Self {
-        let spms = (0..N_CPE).map(|i| Spm::new(i, cfg.spm_bytes)).collect();
+        // Cost-only simulation never reads or writes SPM contents, so the
+        // 64 × 64 KB backing stores stay lazy — constructing a core group
+        // per tuning candidate (and per worker thread) is then allocation-
+        // free up to the first functional write.
+        let spms = (0..N_CPE)
+            .map(|i| match mode {
+                ExecMode::Functional => Spm::new(i, cfg.spm_bytes),
+                ExecMode::CostOnly => Spm::lazy(i, cfg.spm_bytes),
+            })
+            .collect();
         CoreGroup {
             cfg,
             mem: MainMemory::new(),

@@ -44,7 +44,7 @@ pub fn gld_to_spm(
         let data: Vec<f32> = cg.mem.arena()[mem_offset..mem_offset + elems].to_vec();
         cg.spm_mut(cpe).slice_mut(spm_offset, elems)?.copy_from_slice(&data);
     } else {
-        cg.spm(cpe).slice(spm_offset, elems).map(|_| ())?;
+        cg.spm(cpe).check_range(spm_offset, elems)?;
     }
     Ok(())
 }

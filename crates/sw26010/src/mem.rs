@@ -25,6 +25,9 @@ struct BufferMeta {
 pub struct MainMemory {
     data: Vec<f32>,
     buffers: Vec<BufferMeta>,
+    /// Total allocated elements, including virtual (cost-only) buffers whose
+    /// backing store was never materialised.
+    end: usize,
 }
 
 impl MainMemory {
@@ -34,10 +37,26 @@ impl MainMemory {
 
     /// Allocate a zero-initialised buffer of `len` f32 elements.
     pub fn alloc(&mut self, name: &str, len: usize) -> BufferId {
-        let base = self.data.len();
-        self.data.resize(base + len, 0.0);
+        let id = self.alloc_lazy(name, len);
+        self.ensure(self.end);
+        id
+    }
+
+    /// Allocate a buffer *address range* without materialising its backing
+    /// store. Cost-only simulation only needs bases and bounds; skipping the
+    /// zero-fill keeps per-candidate machine construction cheap in the
+    /// autotuner. The range materialises (zeroed) on first write.
+    pub fn alloc_lazy(&mut self, name: &str, len: usize) -> BufferId {
+        let base = self.end;
+        self.end += len;
         self.buffers.push(BufferMeta { base, len, name: name.to_string() });
         BufferId(self.buffers.len() - 1)
+    }
+
+    fn ensure(&mut self, upto: usize) {
+        if self.data.len() < upto {
+            self.data.resize(upto, 0.0);
+        }
     }
 
     /// Allocate and fill from a slice.
@@ -62,20 +81,22 @@ impl MainMemory {
         &self.buffers[id.0].name
     }
 
-    /// Total arena size in elements.
+    /// Total arena size in elements (virtual buffers included).
     pub fn arena_len(&self) -> usize {
-        self.data.len()
+        self.end
     }
 
-    /// Read a whole buffer.
+    /// Read a whole buffer. The buffer must be materialised (allocated with
+    /// [`MainMemory::alloc`] or written at least once).
     pub fn buffer(&self, id: BufferId) -> &[f32] {
         let m = &self.buffers[id.0];
         &self.data[m.base..m.base + m.len]
     }
 
-    /// Mutable view of a whole buffer.
+    /// Mutable view of a whole buffer (materialises lazy storage).
     pub fn buffer_mut(&mut self, id: BufferId) -> &mut [f32] {
-        let m = &self.buffers[id.0];
+        let m = self.buffers[id.0].clone();
+        self.ensure(m.base + m.len);
         &mut self.data[m.base..m.base + m.len]
     }
 
@@ -84,14 +105,22 @@ impl MainMemory {
     pub fn read(&self, id: BufferId, offset: usize, dst: &mut [f32]) -> MachineResult<()> {
         let m = &self.buffers[id.0];
         self.check(m, offset, dst.len())?;
+        if m.base + offset + dst.len() > self.data.len() {
+            return Err(MachineError::Invalid(format!(
+                "read of buffer '{}' before any write (lazy cost-only storage)",
+                m.name
+            )));
+        }
         dst.copy_from_slice(&self.data[m.base + offset..m.base + offset + dst.len()]);
         Ok(())
     }
 
-    /// Copy `src` into a buffer starting at `offset`.
+    /// Copy `src` into a buffer starting at `offset` (materialises lazy
+    /// storage).
     pub fn write(&mut self, id: BufferId, offset: usize, src: &[f32]) -> MachineResult<()> {
         let m = self.buffers[id.0].clone();
         self.check(&m, offset, src.len())?;
+        self.ensure(m.base + m.len);
         self.data[m.base + offset..m.base + offset + src.len()].copy_from_slice(src);
         Ok(())
     }
@@ -105,10 +134,11 @@ impl MainMemory {
         &mut self.data
     }
 
-    /// Validate that an absolute range lies within the arena.
+    /// Validate that an absolute range lies within the arena (virtual
+    /// buffers included).
     pub fn check_abs(&self, offset: usize, len: usize) -> MachineResult<()> {
-        if offset + len > self.data.len() {
-            return Err(MachineError::MainMemoryOutOfBounds { offset, len, size: self.data.len() });
+        if offset + len > self.end {
+            return Err(MachineError::MainMemoryOutOfBounds { offset, len, size: self.end });
         }
         Ok(())
     }
@@ -154,6 +184,26 @@ mod tests {
         assert!(matches!(err, MachineError::MainMemoryOutOfBounds { .. }));
         let mut dst = [0.0; 5];
         assert!(mem.read(a, 0, &mut dst).is_err());
+    }
+
+    #[test]
+    fn lazy_alloc_tracks_bounds_without_backing_store() {
+        let mut mem = MainMemory::new();
+        let a = mem.alloc_lazy("a", 1000);
+        assert_eq!(mem.base(a), 0);
+        assert_eq!(mem.len_of(a), 1000);
+        assert_eq!(mem.arena_len(), 1000);
+        assert!(mem.check_abs(0, 1000).is_ok());
+        assert!(mem.check_abs(500, 501).is_err());
+        // First write materialises the whole buffer, zero-filled.
+        mem.write(a, 10, &[7.0]).unwrap();
+        assert_eq!(mem.buffer(a)[10], 7.0);
+        assert_eq!(mem.buffer(a)[9], 0.0);
+        // Eager allocation after a lazy one stays disjoint.
+        let b = mem.alloc_from("b", &[1.0, 2.0]);
+        assert_eq!(mem.base(b), 1000);
+        assert_eq!(mem.buffer(b), &[1.0, 2.0]);
+        assert_eq!(mem.buffer(a)[10], 7.0);
     }
 
     #[test]

@@ -11,46 +11,82 @@ use crate::error::{MachineError, MachineResult};
 use crate::ELEM_BYTES;
 
 /// One CPE's scratch pad, element-addressed (f32).
+///
+/// The backing store can be materialised lazily: cost-only tuning never
+/// touches SPM *data*, so a lazily created SPM (see [`Spm::lazy`]) skips the
+/// 64 KB zero-fill per CPE — 4 MB per core group — that otherwise dominates
+/// per-candidate [`crate::CoreGroup`] construction in the autotuner's hot
+/// loop. Bounds are always checked against the full capacity; reads of
+/// never-written lazy storage observe the zero-initialised contents.
 #[derive(Debug, Clone)]
 pub struct Spm {
     cpe: usize,
+    capacity: usize,
     data: Vec<f32>,
 }
 
 impl Spm {
-    /// Create an SPM of `capacity_bytes` for CPE `cpe`.
+    /// Create an SPM of `capacity_bytes` for CPE `cpe`, backing store
+    /// allocated and zeroed eagerly.
     pub fn new(cpe: usize, capacity_bytes: usize) -> Self {
-        Spm { cpe, data: vec![0.0; capacity_bytes / ELEM_BYTES] }
+        let mut spm = Self::lazy(cpe, capacity_bytes);
+        spm.materialise();
+        spm
+    }
+
+    /// Create an SPM whose backing store is only allocated on first write
+    /// (cost-only simulation never writes, so it never allocates).
+    pub fn lazy(cpe: usize, capacity_bytes: usize) -> Self {
+        Spm { cpe, capacity: capacity_bytes / ELEM_BYTES, data: Vec::new() }
+    }
+
+    fn materialise(&mut self) {
+        if self.data.len() < self.capacity {
+            self.data.resize(self.capacity, 0.0);
+        }
     }
 
     /// Capacity in f32 elements.
     pub fn capacity(&self) -> usize {
-        self.data.len()
+        self.capacity
     }
 
     /// Read-only view of a range.
     pub fn slice(&self, offset: usize, len: usize) -> MachineResult<&[f32]> {
         self.check(offset, len)?;
+        if self.data.len() < offset + len {
+            return Err(MachineError::Invalid(format!(
+                "SPM {} sliced before any write (lazy cost-only storage)",
+                self.cpe
+            )));
+        }
         Ok(&self.data[offset..offset + len])
     }
 
     /// Mutable view of a range.
     pub fn slice_mut(&mut self, offset: usize, len: usize) -> MachineResult<&mut [f32]> {
         self.check(offset, len)?;
+        self.materialise();
         Ok(&mut self.data[offset..offset + len])
     }
 
     /// Load a single element.
     pub fn load(&self, offset: usize) -> MachineResult<f32> {
         self.check(offset, 1)?;
-        Ok(self.data[offset])
+        Ok(self.data.get(offset).copied().unwrap_or(0.0))
     }
 
     /// Store a single element.
     pub fn store(&mut self, offset: usize, v: f32) -> MachineResult<()> {
         self.check(offset, 1)?;
+        self.materialise();
         self.data[offset] = v;
         Ok(())
+    }
+
+    /// Bounds-check a range without touching (or materialising) the data.
+    pub fn check_range(&self, offset: usize, len: usize) -> MachineResult<()> {
+        self.check(offset, len)
     }
 
     /// Zero a range (used by lightweight padding of auxiliary buffers).
@@ -60,12 +96,12 @@ impl Spm {
     }
 
     fn check(&self, offset: usize, len: usize) -> MachineResult<()> {
-        if offset + len > self.data.len() {
+        if offset + len > self.capacity {
             return Err(MachineError::SpmOverflow {
                 cpe: self.cpe,
                 offset,
                 len,
-                capacity: self.data.len(),
+                capacity: self.capacity,
             });
         }
         Ok(())
@@ -145,6 +181,19 @@ mod tests {
         assert_eq!(spm.slice(0, 16).unwrap()[3], 1.0);
         assert!(spm.slice(4, 8).unwrap().iter().all(|&x| x == 0.0));
         assert_eq!(spm.load(12).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn lazy_spm_materialises_on_write() {
+        let mut spm = Spm::lazy(2, 1024);
+        assert_eq!(spm.capacity(), 256);
+        // Reads before any write observe zeros and enforce bounds.
+        assert_eq!(spm.load(100).unwrap(), 0.0);
+        assert!(spm.load(256).is_err());
+        assert!(spm.slice(0, 4).is_err(), "unmaterialised slice is an error");
+        spm.store(10, 2.5).unwrap();
+        assert_eq!(spm.load(10).unwrap(), 2.5);
+        assert_eq!(spm.slice(8, 4).unwrap(), &[0.0, 0.0, 2.5, 0.0]);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use sw26010::MachineConfig;
 use swatop::model::GemmModel;
 use swatop::ops::ImplicitConvOp;
 use swatop::scheduler::Scheduler;
-use swatop::tuner::{blackbox_tune, model_tune, run_candidate};
+use swatop::tuner::{blackbox_tune, blackbox_tune_jobs, model_tune, run_candidate};
 use swtensor::ConvShape;
 
 fn bench_tuners(c: &mut Criterion) {
@@ -31,6 +31,33 @@ fn bench_tuners(c: &mut Criterion) {
     g.finish();
 }
 
+/// Parallel scaling of the black-box tuner at 1/2/4 workers on a larger
+/// space (the tentpole's speedup claim; the results are identical across
+/// job counts, only wall-clock should change). On a single-core host the
+/// three times should be within noise of each other — the engine must not
+/// *cost* anything when parallelism is unavailable.
+fn bench_tuner_scaling(c: &mut Criterion) {
+    let cfg = MachineConfig::default();
+    let _ = GemmModel::cached(&cfg);
+    let op = ImplicitConvOp::new(ConvShape::square(32, 64, 64, 16));
+    let sched = Scheduler::new(cfg.clone());
+    let cands = sched.enumerate(&op);
+    for cand in &cands {
+        let _ = run_candidate(&cfg, cand);
+    }
+
+    let mut g = c.benchmark_group("tuner-scaling");
+    g.sample_size(10);
+    for jobs in [1usize, 2, 4] {
+        g.bench_function(format!("blackbox_jobs_{jobs}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(blackbox_tune_jobs(&cfg, &cands, jobs).unwrap().cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_candidate_execution(c: &mut Criterion) {
     let cfg = MachineConfig::default();
     let op = ImplicitConvOp::new(ConvShape::square(32, 32, 32, 8));
@@ -42,5 +69,5 @@ fn bench_candidate_execution(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tuners, bench_candidate_execution);
+criterion_group!(benches, bench_tuners, bench_tuner_scaling, bench_candidate_execution);
 criterion_main!(benches);

@@ -10,7 +10,7 @@ use sw26010::MachineConfig;
 use swatop::ops::ImplicitConvOp;
 use swatop::scheduler::Scheduler;
 use swatop::tuner::search::{greedy_search, random_search};
-use swatop::tuner::{blackbox_tune, model_tune_topk};
+use swatop::tuner::{blackbox_tune_jobs, model_tune_topk_jobs};
 use swatop_bench::experiments::Opts;
 use swatop_bench::report::{mean, Table};
 use workloads::conv_sweep;
@@ -42,11 +42,14 @@ fn main() {
         if cands.is_empty() {
             continue;
         }
-        let Some(bb) = blackbox_tune(&cfg, &cands) else { continue };
+        let Some(bb) = blackbox_tune_jobs(&cfg, &cands, opts.jobs) else { continue };
         let budget = (cands.len() / 10).max(4);
+        // The sampling searches stay serial: each step depends on the
+        // previous measurement, so they are the one tuner family that does
+        // not parallelise.
         let outcomes = [
-            model_tune_topk(&cfg, &cands, 1),
-            model_tune_topk(&cfg, &cands, 3),
+            model_tune_topk_jobs(&cfg, &cands, 1, opts.jobs),
+            model_tune_topk_jobs(&cfg, &cands, 3, opts.jobs),
             random_search(&cfg, &cands, budget, 42),
             greedy_search(&cfg, &cands, budget, 42),
             Some(bb.clone()),

@@ -22,16 +22,18 @@ use swatop::ops::{
     WinogradConvOp,
 };
 use swatop::scheduler::{Candidate, Operator, Scheduler};
-use swatop::tuner::model_tune;
+use swatop::tuner::{model_tune_jobs, pool};
 use swtensor::ConvShape;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  swatop_cli gemm M N K [--out FILE] [--trace FILE]\n  \
+        "usage:\n  swatop_cli gemm M N K [--jobs N] [--out FILE] [--trace FILE]\n  \
          swatop_cli conv B NI NO RO [--method implicit|winograd|explicit|auto] \
-         [--kernel K] [--stride S] [--pad P] [--out FILE] [--trace FILE]\n  \
-         swatop_cli bwd-data B NI NO RO [--out FILE] [--trace FILE]\n  \
-         swatop_cli bwd-filter B NI NO RO [--out FILE] [--trace FILE]"
+         [--kernel K] [--stride S] [--pad P] [--jobs N] [--out FILE] [--trace FILE]\n  \
+         swatop_cli bwd-data B NI NO RO [--jobs N] [--out FILE] [--trace FILE]\n  \
+         swatop_cli bwd-filter B NI NO RO [--jobs N] [--out FILE] [--trace FILE]\n\
+         --jobs N: tuner worker threads (0/omitted = all cores, 1 = serial;\n\
+         the chosen schedule is identical for every value)"
     );
     std::process::exit(2);
 }
@@ -60,9 +62,9 @@ fn parse_args(args: &[String]) -> Args {
     Args { positional, flags }
 }
 
-fn tune(cfg: &MachineConfig, op: &dyn Operator) -> Option<(Candidate, u64)> {
+fn tune(cfg: &MachineConfig, op: &dyn Operator, jobs: usize) -> Option<(Candidate, u64)> {
     let cands = Scheduler::new(cfg.clone()).enumerate(op);
-    let outcome = model_tune(cfg, &cands)?;
+    let outcome = model_tune_jobs(cfg, &cands, jobs)?;
     Some((cands[outcome.best].clone(), outcome.cycles.get()))
 }
 
@@ -101,11 +103,14 @@ fn main() {
     let cfg = MachineConfig::default();
     let cmd = argv[0].as_str();
     let a = parse_args(&argv[1..]);
+    let jobs = pool::resolve_jobs(
+        a.flags.get("jobs").map(|v| v.parse().unwrap_or_else(|_| usage())),
+    );
     match cmd {
         "gemm" => {
             let [m, n, k] = a.positional[..] else { usage() };
             let op = MatmulOp::new(m, n, k);
-            let (winner, cycles) = tune(&cfg, &op).expect("no valid schedule");
+            let (winner, cycles) = tune(&cfg, &op, jobs).expect("no valid schedule");
             report(&cfg, &op.name(), op.flops(), &winner, cycles, &a);
         }
         "conv" | "bwd-data" | "bwd-filter" => {
@@ -141,7 +146,7 @@ fn main() {
             };
             let mut best: Option<(String, u64, Candidate, u64)> = None;
             for op in &ops {
-                if let Some((winner, cycles)) = tune(&cfg, op.as_ref()) {
+                if let Some((winner, cycles)) = tune(&cfg, op.as_ref(), jobs) {
                     if best.as_ref().is_none_or(|(_, c, _, _)| cycles < *c) {
                         best = Some((op.name(), cycles, winner, op.flops()));
                     }

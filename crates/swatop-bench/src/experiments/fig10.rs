@@ -10,7 +10,7 @@ use workloads::conv_sweep;
 
 use swatop::ops::ImplicitConvOp;
 use swatop::scheduler::Scheduler;
-use swatop::tuner::blackbox_tune;
+use swatop::tuner::blackbox_tune_jobs;
 
 use crate::report::{mean, Table};
 
@@ -37,9 +37,10 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         let with_pf = Scheduler::new(cfg.clone());
         let base_cands = no_pf.enumerate(&op);
         let pf_cands = with_pf.enumerate(&op);
-        let (Some(base), Some(pf)) =
-            (blackbox_tune(&cfg, &base_cands), blackbox_tune(&cfg, &pf_cands))
-        else {
+        let (Some(base), Some(pf)) = (
+            blackbox_tune_jobs(&cfg, &base_cands, opts.jobs),
+            blackbox_tune_jobs(&cfg, &pf_cands, opts.jobs),
+        ) else {
             continue;
         };
         let gain = base.cycles.get() as f64 / pf.cycles.get() as f64 - 1.0;

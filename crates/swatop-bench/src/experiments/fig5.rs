@@ -11,7 +11,7 @@ use baselines::swdnn_implicit_conv;
 use workloads::{Network, CONV_BATCHES};
 
 use crate::report::{mean, Table};
-use crate::runner::{tune_conv, ConvMethod};
+use crate::runner::{tune_conv_sweep, ConvMethod};
 
 use super::{machine, Opts};
 
@@ -29,40 +29,46 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         );
         let mut speedups = Vec::new();
         let mut slower = 0usize;
+        // Collect the batch's layers first, then tune them sweep-parallel
+        // (one worker per layer); results come back in input order.
+        let mut names = Vec::new();
+        let mut shapes = Vec::new();
         for net in Network::ALL {
             let layers = opts.sample(net.layers().to_vec(), 3, 6);
             for layer in &layers {
-                let shape = layer.shape(batch, opts.spatial_cap);
-                // The paper excludes each network's first layer (Ni = 3).
-                let Some(ours) = tune_conv(&cfg, ConvMethod::Implicit, &shape) else {
-                    continue;
-                };
-                let ours_g = ours.gflops(&cfg);
-                let name = format!("{}/{}", net.name(), layer.name);
-                match swdnn_implicit_conv(&cfg, &shape) {
-                    Some(base) => {
-                        let base_g =
-                            sw26010::clock::gflops(shape.flops(), base, cfg.clock_ghz);
-                        let sp = base.get() as f64 / ours.cycles.get() as f64;
-                        if sp < 1.0 {
-                            slower += 1;
-                        }
-                        speedups.push(sp);
-                        t.row(vec![
-                            name,
-                            format!("{ours_g:.0}"),
-                            format!("{base_g:.0}"),
-                            format!("{sp:.2}x"),
-                        ]);
+                names.push(format!("{}/{}", net.name(), layer.name));
+                shapes.push(layer.shape(batch, opts.spatial_cap));
+            }
+        }
+        let tuned = tune_conv_sweep(&cfg, ConvMethod::Implicit, &shapes, opts.jobs);
+        for ((name, shape), ours) in names.into_iter().zip(&shapes).zip(tuned) {
+            // The paper excludes each network's first layer (Ni = 3).
+            let Some(ours) = ours else {
+                continue;
+            };
+            let ours_g = ours.gflops(&cfg);
+            match swdnn_implicit_conv(&cfg, shape) {
+                Some(base) => {
+                    let base_g = sw26010::clock::gflops(shape.flops(), base, cfg.clock_ghz);
+                    let sp = base.get() as f64 / ours.cycles.get() as f64;
+                    if sp < 1.0 {
+                        slower += 1;
                     }
-                    None => {
-                        t.row(vec![
-                            name,
-                            format!("{ours_g:.0}"),
-                            "n/a (no swDNN impl)".into(),
-                            "∞".into(),
-                        ]);
-                    }
+                    speedups.push(sp);
+                    t.row(vec![
+                        name,
+                        format!("{ours_g:.0}"),
+                        format!("{base_g:.0}"),
+                        format!("{sp:.2}x"),
+                    ]);
+                }
+                None => {
+                    t.row(vec![
+                        name,
+                        format!("{ours_g:.0}"),
+                        "n/a (no swDNN impl)".into(),
+                        "∞".into(),
+                    ]);
                 }
             }
         }

@@ -10,7 +10,7 @@ use swatop::ops::WinogradConvOp;
 use workloads::{Network, CONV_BATCHES};
 
 use crate::report::{mean, Table};
-use crate::runner::{tune_conv, ConvMethod};
+use crate::runner::{tune_conv_sweep, ConvMethod};
 
 use super::{machine, Opts};
 
@@ -28,6 +28,8 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         );
         let mut speedups = Vec::new();
         let mut slower = 0usize;
+        let mut names = Vec::new();
+        let mut shapes = Vec::new();
         for net in Network::ALL {
             let layers = opts.sample(net.layers().to_vec(), 3, 6);
             for layer in &layers {
@@ -35,25 +37,30 @@ pub fn run(opts: &Opts) -> Vec<Table> {
                 if !WinogradConvOp::applicable(&shape) {
                     continue;
                 }
-                let Some(ours) = tune_conv(&cfg, ConvMethod::Winograd, &shape) else {
-                    continue;
-                };
-                let Ok(base) = xmath_winograd_conv(&cfg, &shape) else {
-                    continue;
-                };
-                let sp = base.get() as f64 / ours.cycles.get() as f64;
-                if sp < 1.0 {
-                    slower += 1;
-                }
-                speedups.push(sp);
-                let base_g = sw26010::clock::gflops(shape.flops(), base, cfg.clock_ghz);
-                t.row(vec![
-                    format!("{}/{}", net.name(), layer.name),
-                    format!("{:.0}", ours.gflops(&cfg)),
-                    format!("{base_g:.0}"),
-                    format!("{sp:.2}x"),
-                ]);
+                names.push(format!("{}/{}", net.name(), layer.name));
+                shapes.push(shape);
             }
+        }
+        let tuned = tune_conv_sweep(&cfg, ConvMethod::Winograd, &shapes, opts.jobs);
+        for ((name, shape), ours) in names.into_iter().zip(&shapes).zip(tuned) {
+            let Some(ours) = ours else {
+                continue;
+            };
+            let Ok(base) = xmath_winograd_conv(&cfg, shape) else {
+                continue;
+            };
+            let sp = base.get() as f64 / ours.cycles.get() as f64;
+            if sp < 1.0 {
+                slower += 1;
+            }
+            speedups.push(sp);
+            let base_g = sw26010::clock::gflops(shape.flops(), base, cfg.clock_ghz);
+            t.row(vec![
+                name,
+                format!("{:.0}", ours.gflops(&cfg)),
+                format!("{base_g:.0}"),
+                format!("{sp:.2}x"),
+            ]);
         }
         if !speedups.is_empty() {
             summary.row(vec![

@@ -9,7 +9,7 @@ use baselines::xmath_explicit_conv;
 use workloads::{Network, CONV_BATCHES};
 
 use crate::report::{mean, Table};
-use crate::runner::{tune_conv, ConvMethod};
+use crate::runner::{tune_conv_sweep, ConvMethod};
 
 use super::{machine, Opts};
 
@@ -28,31 +28,37 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         let mut speedups = Vec::new();
         let mut faster = 0usize;
         let mut slower = 0usize;
+        let mut names = Vec::new();
+        let mut shapes = Vec::new();
         for net in Network::ALL {
             let layers = opts.sample(net.layers().to_vec(), 3, 6);
             for layer in &layers {
-                let shape = layer.shape(batch, opts.spatial_cap);
-                let Some(ours) = tune_conv(&cfg, ConvMethod::Explicit, &shape) else {
-                    continue;
-                };
-                let Ok(base) = xmath_explicit_conv(&cfg, &shape) else {
-                    continue;
-                };
-                let sp = base.get() as f64 / ours.cycles.get() as f64;
-                if sp >= 1.0 {
-                    faster += 1;
-                } else {
-                    slower += 1;
-                }
-                speedups.push(sp);
-                let base_g = sw26010::clock::gflops(shape.flops(), base, cfg.clock_ghz);
-                t.row(vec![
-                    format!("{}/{}", net.name(), layer.name),
-                    format!("{:.0}", ours.gflops(&cfg)),
-                    format!("{base_g:.0}"),
-                    format!("{sp:.2}x"),
-                ]);
+                names.push(format!("{}/{}", net.name(), layer.name));
+                shapes.push(layer.shape(batch, opts.spatial_cap));
             }
+        }
+        let tuned = tune_conv_sweep(&cfg, ConvMethod::Explicit, &shapes, opts.jobs);
+        for ((name, shape), ours) in names.into_iter().zip(&shapes).zip(tuned) {
+            let Some(ours) = ours else {
+                continue;
+            };
+            let Ok(base) = xmath_explicit_conv(&cfg, shape) else {
+                continue;
+            };
+            let sp = base.get() as f64 / ours.cycles.get() as f64;
+            if sp >= 1.0 {
+                faster += 1;
+            } else {
+                slower += 1;
+            }
+            speedups.push(sp);
+            let base_g = sw26010::clock::gflops(shape.flops(), base, cfg.clock_ghz);
+            t.row(vec![
+                name,
+                format!("{:.0}", ours.gflops(&cfg)),
+                format!("{base_g:.0}"),
+                format!("{sp:.2}x"),
+            ]);
         }
         if !speedups.is_empty() {
             summary.row(vec![

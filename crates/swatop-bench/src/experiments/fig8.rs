@@ -9,7 +9,7 @@
 use workloads::{conv_sweep, CONV_BATCHES};
 
 use crate::report::{mean, Table};
-use crate::runner::{tune_conv, ConvMethod};
+use crate::runner::{tune_conv_sweep, ConvMethod};
 
 use super::{machine, Opts};
 
@@ -24,10 +24,7 @@ pub fn run(opts: &Opts) -> Vec<Table> {
             let sweep = opts.sample(conv_sweep(batch, opts.spatial_cap), 6, 25);
             let mut gflops = Vec::new();
             let mut effs = Vec::new();
-            for shape in &sweep {
-                let Some(ours) = tune_conv(&cfg, method, shape) else {
-                    continue;
-                };
+            for ours in tune_conv_sweep(&cfg, method, &sweep, opts.jobs).into_iter().flatten() {
                 gflops.push(ours.gflops(&cfg));
                 effs.push(ours.efficiency(&cfg));
             }

@@ -10,7 +10,7 @@ use workloads::conv_sweep;
 
 use swatop::ops::ImplicitConvOp;
 use swatop::scheduler::Scheduler;
-use swatop::tuner::{blackbox_tune, model_tune};
+use swatop::tuner::{blackbox_tune_jobs, model_tune_jobs};
 
 use crate::report::{mean, Table};
 
@@ -38,8 +38,8 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         if cands.is_empty() {
             continue;
         }
-        let Some(bb) = blackbox_tune(&cfg, &cands) else { continue };
-        let Some(model) = model_tune(&cfg, &cands) else { continue };
+        let Some(bb) = blackbox_tune_jobs(&cfg, &cands, opts.jobs) else { continue };
+        let Some(model) = model_tune_jobs(&cfg, &cands, opts.jobs) else { continue };
         let ratio = bb.cycles.get() as f64 / model.cycles.get() as f64;
         ratios.push(ratio);
         t.row(vec![

@@ -44,18 +44,27 @@ pub struct Opts {
     pub spatial_cap: Option<usize>,
     /// Dimension cap for Listing-2 GEMM sweeps.
     pub gemm_cap: Option<usize>,
+    /// Worker threads for tuning (candidate- and sweep-level). 1 = serial;
+    /// results are identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { scale: Scale::Default, spatial_cap: Some(32), gemm_cap: Some(2048) }
+        Opts {
+            scale: Scale::Default,
+            spatial_cap: Some(32),
+            gemm_cap: Some(2048),
+            jobs: swatop::tuner::pool::available_jobs(),
+        }
     }
 }
 
 impl Opts {
     /// Parse from command-line arguments: `--full` removes caps and runs
     /// complete sweeps, `--smoke` sub-samples aggressively, `--cap N` sets
-    /// the spatial cap.
+    /// the spatial cap, `--jobs N` sets the tuner worker count (0 or
+    /// omitted = all available cores, 1 = serial).
     pub fn from_args() -> Self {
         let mut o = Opts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -73,7 +82,14 @@ impl Opts {
                     let v: usize = args[i].parse().expect("--cap N");
                     o.spatial_cap = Some(v);
                 }
-                other => panic!("unknown argument {other} (try --full, --smoke, --cap N)"),
+                "--jobs" => {
+                    i += 1;
+                    let v: usize = args[i].parse().expect("--jobs N");
+                    o.jobs = swatop::tuner::pool::resolve_jobs(Some(v));
+                }
+                other => {
+                    panic!("unknown argument {other} (try --full, --smoke, --cap N, --jobs N)")
+                }
             }
             i += 1;
         }

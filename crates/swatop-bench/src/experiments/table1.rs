@@ -14,7 +14,7 @@ use sw26010::Cycles;
 use workloads::{conv_sweep, CONV_BATCHES};
 
 use crate::report::{mean, Table};
-use crate::runner::{tune_conv, ConvMethod};
+use crate::runner::{tune_conv_sweep, ConvMethod};
 
 use super::{machine, pct, Opts};
 
@@ -83,8 +83,9 @@ pub fn run(opts: &Opts) -> Outcome {
             let sweep = opts.sample(conv_sweep(batch, opts.spatial_cap), 6, 25);
             let mut cell = Cell::default();
             let mut cases = 0usize;
-            for shape in &sweep {
-                let Some(ours) = tune_conv(&cfg, method, shape) else {
+            let tuned = tune_conv_sweep(&cfg, method, &sweep, opts.jobs);
+            for (shape, ours) in sweep.iter().zip(tuned) {
+                let Some(ours) = ours else {
                     continue;
                 };
                 cases += 1;

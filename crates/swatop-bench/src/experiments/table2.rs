@@ -11,7 +11,7 @@ use baselines::xmath_gemm;
 use workloads::gemm_sweep;
 
 use crate::report::{mean, Table};
-use crate::runner::tune_gemm;
+use crate::runner::tune_gemm_sweep;
 
 use super::{machine, pct, Opts};
 
@@ -22,14 +22,18 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         &["class", "cases", "Faster", "avg speedup", "Slower", "avg slowdown"],
     );
     let sweep = opts.sample(gemm_sweep(opts.gemm_cap), 10, 48);
+    // Tune the whole sweep once, one worker per (m, n, k); the two aligned
+    // classes are then read out of the index-aligned results.
+    let shapes: Vec<(usize, usize, usize)> = sweep.iter().map(|c| (c.m, c.n, c.k)).collect();
+    let tuned = tune_gemm_sweep(&cfg, &shapes, opts.jobs);
     for aligned in [true, false] {
         let mut faster = 0usize;
         let mut slower = 0usize;
         let mut gains = Vec::new();
         let mut losses = Vec::new();
         let mut cases = 0usize;
-        for case in sweep.iter().filter(|c| c.aligned == aligned) {
-            let Some(ours) = tune_gemm(&cfg, case.m, case.n, case.k) else {
+        for (case, ours) in sweep.iter().zip(&tuned).filter(|(c, _)| c.aligned == aligned) {
+            let Some(ours) = ours else {
                 continue;
             };
             let Ok(base) = xmath_gemm(&cfg, case.m, case.n, case.k) else {

@@ -10,4 +10,7 @@ pub mod report;
 pub mod runner;
 
 pub use report::{fmt_speedup, Table};
-pub use runner::{tune_conv, tune_gemm, ConvMethod, TunedOp};
+pub use runner::{
+    tune_conv, tune_conv_jobs, tune_conv_sweep, tune_gemm, tune_gemm_jobs, tune_gemm_sweep,
+    ConvMethod, TunedOp,
+};

@@ -1,9 +1,19 @@
 //! Experiment plumbing: tune an operator with the model-based autotuner
 //! and report simulated performance.
+//!
+//! Two levels of parallelism are available, both deterministic:
+//!
+//! * **candidate-level** — `tune_conv_jobs`/`tune_gemm_jobs` fan the
+//!   evaluation of one operator's schedule space over tuner worker threads;
+//! * **sweep-level** — `tune_conv_sweep`/`tune_gemm_sweep` tune the many
+//!   independent shapes of a paper sweep (225 convolution configs in
+//!   Listing 1, 559 GEMM configs in Listing 2) concurrently, each shape
+//!   serially inside, which parallelises cleanly even when individual
+//!   schedule spaces are small.
 
 use sw26010::{Cycles, MachineConfig};
 use swatop::scheduler::{Operator, Scheduler};
-use swatop::tuner::{model_tune, TuneOutcome};
+use swatop::tuner::{model_tune_jobs, pool, TuneOutcome};
 use swatop::ops::{ExplicitConvOp, ImplicitConvOp, MatmulOp, WinogradConvOp};
 use swtensor::ConvShape;
 
@@ -52,33 +62,75 @@ impl TunedOp {
     }
 }
 
-fn tune(cfg: &MachineConfig, op: &dyn Operator) -> Option<TunedOp> {
+fn tune(cfg: &MachineConfig, op: &dyn Operator, jobs: usize) -> Option<TunedOp> {
     let sched = Scheduler::new(cfg.clone());
     let cands = sched.enumerate(op);
     if cands.is_empty() {
         return None;
     }
     let n = cands.len();
-    let outcome = model_tune(cfg, &cands)?;
+    let outcome = model_tune_jobs(cfg, &cands, jobs)?;
     Some(TunedOp { cycles: outcome.cycles, flops: op.flops(), candidates: n, outcome })
 }
 
 /// Model-tune a convolution with the given method. `None` if the method is
 /// inapplicable or the schedule space is empty.
 pub fn tune_conv(cfg: &MachineConfig, method: ConvMethod, shape: &ConvShape) -> Option<TunedOp> {
+    tune_conv_jobs(cfg, method, shape, 1)
+}
+
+/// [`tune_conv`] with candidate evaluation over `jobs` worker threads.
+pub fn tune_conv_jobs(
+    cfg: &MachineConfig,
+    method: ConvMethod,
+    shape: &ConvShape,
+    jobs: usize,
+) -> Option<TunedOp> {
     if !method.applicable(shape) {
         return None;
     }
     match method {
-        ConvMethod::Implicit => tune(cfg, &ImplicitConvOp::new(*shape)),
-        ConvMethod::Explicit => tune(cfg, &ExplicitConvOp::new(*shape)),
-        ConvMethod::Winograd => tune(cfg, &WinogradConvOp::new(*shape)),
+        ConvMethod::Implicit => tune(cfg, &ImplicitConvOp::new(*shape), jobs),
+        ConvMethod::Explicit => tune(cfg, &ExplicitConvOp::new(*shape), jobs),
+        ConvMethod::Winograd => tune(cfg, &WinogradConvOp::new(*shape), jobs),
     }
 }
 
 /// Model-tune a matrix multiplication.
 pub fn tune_gemm(cfg: &MachineConfig, m: usize, n: usize, k: usize) -> Option<TunedOp> {
-    tune(cfg, &MatmulOp::new(m, n, k))
+    tune_gemm_jobs(cfg, m, n, k, 1)
+}
+
+/// [`tune_gemm`] with candidate evaluation over `jobs` worker threads.
+pub fn tune_gemm_jobs(
+    cfg: &MachineConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    jobs: usize,
+) -> Option<TunedOp> {
+    tune(cfg, &MatmulOp::new(m, n, k), jobs)
+}
+
+/// Tune every shape of a convolution sweep, one worker per shape (each
+/// shape tunes serially inside). Results are index-aligned with `shapes`
+/// and identical to a serial loop for any `jobs` value.
+pub fn tune_conv_sweep(
+    cfg: &MachineConfig,
+    method: ConvMethod,
+    shapes: &[ConvShape],
+    jobs: usize,
+) -> Vec<Option<TunedOp>> {
+    pool::par_map(jobs, shapes, |_, s| tune_conv_jobs(cfg, method, s, 1))
+}
+
+/// Tune every `(m, n, k)` of a GEMM sweep, one worker per shape.
+pub fn tune_gemm_sweep(
+    cfg: &MachineConfig,
+    shapes: &[(usize, usize, usize)],
+    jobs: usize,
+) -> Vec<Option<TunedOp>> {
+    pool::par_map(jobs, shapes, |_, &(m, n, k)| tune_gemm_jobs(cfg, m, n, k, 1))
 }
 
 #[cfg(test)]
@@ -111,5 +163,23 @@ mod tests {
         let mut shape = ConvShape::square(8, 16, 16, 8);
         shape.stride = 2;
         assert!(tune_conv(&cfg, ConvMethod::Winograd, &shape).is_none());
+    }
+
+    #[test]
+    fn sweep_matches_serial_loop() {
+        let cfg = MachineConfig::default();
+        let shapes: Vec<ConvShape> = (1..5)
+            .map(|b| ConvShape::square(8 * b, 16, 16, 8))
+            .collect();
+        let serial: Vec<Option<Cycles>> = shapes
+            .iter()
+            .map(|s| tune_conv(&cfg, ConvMethod::Implicit, s).map(|t| t.cycles))
+            .collect();
+        for jobs in [1, 2, 4] {
+            let sweep = tune_conv_sweep(&cfg, ConvMethod::Implicit, &shapes, jobs);
+            let got: Vec<Option<Cycles>> =
+                sweep.iter().map(|t| t.as_ref().map(|t| t.cycles)).collect();
+            assert_eq!(got, serial, "jobs={jobs}");
+        }
     }
 }

@@ -158,7 +158,7 @@ impl SchedulePoint {
 
 /// All divisors of `n`, ascending (`FactorVar` default candidate set).
 pub fn factors_of(n: usize) -> Vec<usize> {
-    let mut f: Vec<usize> = (1..=n).filter(|d| n % d == 0).collect();
+    let mut f: Vec<usize> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
     f.sort_unstable();
     f
 }

@@ -1,10 +1,10 @@
 //! Affine expressions and conditions over loop variables.
 //!
 //! Addresses in the IR are affine functions of the enclosing loop variables
-//! and the CPE mesh coordinates: `Φ(I) = Σ cᵢ·varᵢ + c_rid·rid + c_cid·cid
-//! + c₀`. Affine closure under substitution is what makes the paper's DMA
-//! inference, hoisting analysis and next-iteration prefetch inference
-//! mechanical.
+//! and the CPE mesh coordinates:
+//! `Φ(I) = Σ cᵢ·varᵢ + c_rid·rid + c_cid·cid + c₀`. Affine closure under
+//! substitution is what makes the paper's DMA inference, hoisting analysis
+//! and next-iteration prefetch inference mechanical.
 
 use std::collections::BTreeMap;
 use std::fmt;

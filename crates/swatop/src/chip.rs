@@ -8,11 +8,13 @@
 //! identical), and chip time is the slowest shard — each CG has its own
 //! DMA engine and memory controller, so shards do not contend.
 
+use std::collections::HashMap;
+
 use sw26010::{Cycles, MachineConfig};
 use swtensor::ConvShape;
 
 use crate::scheduler::{Operator, Scheduler};
-use crate::tuner::model_tune;
+use crate::tuner::model_tune_jobs;
 
 /// Number of core groups on the chip.
 pub const N_CG: usize = 4;
@@ -59,20 +61,31 @@ pub fn run_conv_data_parallel(
     shape: &ConvShape,
     build: impl Fn(ConvShape) -> Box<dyn Operator>,
 ) -> Option<ChipRun> {
+    run_conv_data_parallel_jobs(cfg, shape, build, 1)
+}
+
+/// [`run_conv_data_parallel`] with each shard's candidate evaluation fanned
+/// over `jobs` tuner worker threads.
+pub fn run_conv_data_parallel_jobs(
+    cfg: &MachineConfig,
+    shape: &ConvShape,
+    build: impl Fn(ConvShape) -> Box<dyn Operator>,
+    jobs: usize,
+) -> Option<ChipRun> {
     let shards = split_batch(shape.b);
     let mut worst = Cycles::ZERO;
     let mut flops = 0u64;
-    let mut cache: Vec<(usize, Cycles, u64)> = Vec::new();
+    let mut cache: HashMap<usize, (Cycles, u64)> = HashMap::new();
     for &b in shards.iter().filter(|&&b| b > 0) {
-        let (cycles, f) = match cache.iter().find(|(sb, _, _)| *sb == b) {
-            Some(&(_, c, f)) => (c, f),
+        let (cycles, f) = match cache.get(&b) {
+            Some(&hit) => hit,
             None => {
                 let shard_shape = ConvShape { b, ..*shape };
                 let op = build(shard_shape);
                 let sched = Scheduler::new(cfg.clone());
                 let cands = sched.enumerate(op.as_ref());
-                let outcome = model_tune(cfg, &cands)?;
-                cache.push((b, outcome.cycles, op.flops()));
+                let outcome = model_tune_jobs(cfg, &cands, jobs)?;
+                cache.insert(b, (outcome.cycles, op.flops()));
                 (outcome.cycles, op.flops())
             }
         };
@@ -86,6 +99,7 @@ pub fn run_conv_data_parallel(
 mod tests {
     use super::*;
     use crate::ops::ImplicitConvOp;
+    use crate::tuner::model_tune;
 
     #[test]
     fn split_is_even_and_complete() {

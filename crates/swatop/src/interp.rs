@@ -33,13 +33,24 @@ pub struct Binding {
     pub bufs: Vec<sw26010::BufferId>,
 }
 
-/// Allocate machine buffers for every declaration of the program.
+/// Allocate machine buffers for every declaration of the program. In
+/// cost-only mode the allocations are virtual (address ranges without a
+/// backing store): the interpreter only needs bases and bounds, and skipping
+/// the zero-fill keeps per-candidate instantiation cheap in the autotuner —
+/// large conv workspaces would otherwise dominate candidate evaluation.
 pub fn instantiate(cg: &mut CoreGroup, exe: &Executable) -> Binding {
+    let cost_only = cg.mode() == ExecMode::CostOnly;
     let bufs = exe
         .program
         .mem_bufs
         .iter()
-        .map(|d| cg.mem.alloc(&d.name, d.len))
+        .map(|d| {
+            if cost_only {
+                cg.mem.alloc_lazy(&d.name, d.len)
+            } else {
+                cg.mem.alloc(&d.name, d.len)
+            }
+        })
         .collect();
     Binding { bufs }
 }

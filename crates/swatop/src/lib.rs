@@ -59,4 +59,6 @@ pub mod tuner;
 pub use codegen::Executable;
 pub use interp::{execute, Binding};
 pub use scheduler::{Candidate, Scheduler};
-pub use tuner::{blackbox_tune, model_tune, TuneOutcome};
+pub use tuner::{
+    blackbox_tune, blackbox_tune_jobs, model_tune, model_tune_jobs, TuneOutcome,
+};

@@ -55,8 +55,9 @@ fn solve4(mut a: [[f64; N_FEATURES]; N_FEATURES], mut b: [f64; N_FEATURES]) -> [
                 continue;
             }
             let f = a[r][col] / d;
-            for c in col..N_FEATURES {
-                a[r][c] -= f * a[col][c];
+            let pivot_row = a[col];
+            for (x, p) in a[r][col..].iter_mut().zip(&pivot_row[col..]) {
+                *x -= f * p;
             }
             b[r] -= f * b[col];
         }

@@ -17,6 +17,7 @@
 pub mod fit;
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sw26010::{Cycles, MachineConfig, N_CPE};
@@ -35,7 +36,7 @@ pub fn dma_eq1_cycles(
     let block_bytes = block_elems * 4;
     // "We assume the first block is 128 B aligned, and waste_size of each
     // block can be inferred by the stride size."
-    let stride_aligned = (stride_elems * 4) % txn == 0 || n_blocks == 1;
+    let stride_aligned = (stride_elems * 4).is_multiple_of(txn) || n_blocks == 1;
     let bus_block = if stride_aligned {
         block_bytes.div_ceil(txn) * txn
     } else {
@@ -68,13 +69,22 @@ pub struct GemmModel {
     pub coef: [[f64; fit::N_FEATURES]; 8],
 }
 
-static MODEL_CACHE: Mutex<Option<HashMap<u64, GemmModel>>> = Mutex::new(None);
+static MODEL_CACHE: Mutex<Option<HashMap<u64, Arc<GemmModel>>>> = Mutex::new(None);
 
 impl GemmModel {
     /// Fit all eight variants against the scoreboard ground truth. Cached
     /// per machine configuration (calibration is a one-time cost, like the
-    /// paper's offline kernel benchmarking).
+    /// paper's offline kernel benchmarking). Prefer [`GemmModel::cached`] in
+    /// hot paths — it shares the fitted model instead of cloning it.
     pub fn calibrate(cfg: &MachineConfig) -> GemmModel {
+        (*Self::cached(cfg)).clone()
+    }
+
+    /// Shared handle to the calibrated model for `cfg`. The cache lock is
+    /// held across the fit so concurrent tuner threads asking for the same
+    /// configuration calibrate exactly once and everyone else blocks on the
+    /// single fit instead of duplicating it.
+    pub fn cached(cfg: &MachineConfig) -> Arc<GemmModel> {
         let key = {
             use std::hash::{Hash, Hasher};
             let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -84,8 +94,9 @@ impl GemmModel {
             cfg.kernel_call_overhead.get().hash(&mut h);
             h.finish()
         };
-        if let Some(m) = MODEL_CACHE.lock().as_ref().and_then(|c| c.get(&key)) {
-            return m.clone();
+        let mut cache = MODEL_CACHE.lock();
+        if let Some(m) = cache.as_ref().and_then(|c| c.get(&key)) {
+            return Arc::clone(m);
         }
         let mut coef = [[0.0; fit::N_FEATURES]; 8];
         for v in ALL_VARIANTS {
@@ -103,11 +114,8 @@ impl GemmModel {
             }
             coef[v.index()] = fit::wls(&samples);
         }
-        let model = GemmModel { coef };
-        MODEL_CACHE
-            .lock()
-            .get_or_insert_with(HashMap::new)
-            .insert(key, model.clone());
+        let model = Arc::new(GemmModel { coef });
+        cache.get_or_insert_with(HashMap::new).insert(key, Arc::clone(&model));
         model
     }
 
@@ -120,12 +128,12 @@ impl GemmModel {
 /// Is (M, N, K) a legal shape for this variant? (mesh divisibility and
 /// per-CPE vector alignment — same rules as `spm_gemm::validate`.)
 pub fn valid_shape(v: GemmVariant, m: usize, n: usize, k: usize) -> bool {
-    if m % 8 != 0 || n % 8 != 0 || k % 8 != 0 {
+    if !m.is_multiple_of(8) || !n.is_multiple_of(8) || !k.is_multiple_of(8) {
         return false;
     }
     match v.vec {
-        VecDim::M => (m / 8) % 4 == 0,
-        VecDim::N => (n / 8) % 4 == 0,
+        VecDim::M => (m / 8).is_multiple_of(4),
+        VecDim::N => (n / 8).is_multiple_of(4),
     }
 }
 

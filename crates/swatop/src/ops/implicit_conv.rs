@@ -43,7 +43,7 @@ impl ImplicitConvOp {
 
     /// Whether the implicit method applies to this shape at all.
     pub fn applicable(shape: &ConvShape) -> bool {
-        shape.stride == 1 && shape.ni % 8 == 0 && shape.no % 8 == 0
+        shape.stride == 1 && shape.ni.is_multiple_of(8) && shape.no.is_multiple_of(8)
     }
 
     /// The shape after materialising spatial padding.
@@ -108,7 +108,7 @@ impl Operator for ImplicitConvOp {
 
         let n_dim = t_co * s.b;
         // Kernel contract: mesh divisibility + vector alignment.
-        if n_dim % 8 != 0 || t_no % 8 != 0 || t_ni % 8 != 0 {
+        if !n_dim.is_multiple_of(8) || !t_no.is_multiple_of(8) || !t_ni.is_multiple_of(8) {
             return None;
         }
         // Prior-knowledge pruning: candidates whose GEMM-invocation count
@@ -131,10 +131,10 @@ impl Operator for ImplicitConvOp {
                 return None;
             }
         }
-        if vec_m && (t_no / 8) % 4 != 0 {
+        if vec_m && !(t_no / 8).is_multiple_of(4) {
             return None;
         }
-        if !vec_m && (n_dim / 8) % 4 != 0 {
+        if !vec_m && !(n_dim / 8).is_multiple_of(4) {
             return None;
         }
 

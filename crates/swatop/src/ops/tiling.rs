@@ -44,10 +44,10 @@ pub struct DimTiles {
 
 impl DimTiles {
     pub fn new(len: usize, tile: usize, align: usize) -> Self {
-        assert!(tile > 0 && align > 0 && tile % align == 0, "tile must be aligned");
+        assert!(tile > 0 && align > 0 && tile.is_multiple_of(align), "tile must be aligned");
         let full = len / tile;
         let tail = len % tile;
-        let tail_aux = tail > 0 && tail % align != 0;
+        let tail_aux = tail > 0 && !tail.is_multiple_of(align);
         let tail_size = if tail > 0 { round_up(tail, align) } else { 0 };
         DimTiles { len, tile, align, full, tail, tail_size, tail_aux }
     }

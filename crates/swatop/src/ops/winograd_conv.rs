@@ -43,7 +43,7 @@ impl WinogradConvOp {
 
     /// Winograd applies to 3×3 stride-1 layers with mesh-aligned channels.
     pub fn applicable(shape: &ConvShape) -> bool {
-        shape.winograd_applicable() && shape.ni % 8 == 0 && shape.no % 8 == 0
+        shape.winograd_applicable() && shape.ni.is_multiple_of(8) && shape.no.is_multiple_of(8)
     }
 
     fn nt(&self) -> usize {
@@ -105,10 +105,10 @@ impl Operator for WinogradConvOp {
         let u_col = point.choice(space, "u_layout") == "col";
         let vec_m = point.toggle(space, "vec_m");
 
-        if t_no % 8 != 0 || t_ni % 8 != 0 || t_nt % 32 != 0 {
+        if !t_no.is_multiple_of(8) || !t_ni.is_multiple_of(8) || !t_nt.is_multiple_of(32) {
             return None;
         }
-        if vec_m && (t_no / 8) % 4 != 0 {
+        if vec_m && !(t_no / 8).is_multiple_of(4) {
             return None;
         }
         let (no, ni) = (s.no, s.ni);

@@ -55,7 +55,7 @@ impl TileSplit {
     /// Whether the tail can be handled by parameter switching: it must
     /// itself satisfy `align`.
     pub fn tail_switchable(&self, align: usize) -> bool {
-        self.tail == 0 || self.tail % align == 0
+        self.tail == 0 || self.tail.is_multiple_of(align)
     }
 
     /// Padded tail length (up to `align`) when switching is not possible.

@@ -11,7 +11,14 @@
 //! Both report wall-clock tuning time, which is what Tab. 3 compares; the
 //! quality gap between the model's pick and the black-box optimum is what
 //! Fig. 9 reports.
+//!
+//! Every tuner has a `_jobs` variant that fans candidate evaluation over a
+//! [`pool`] of worker threads. Results are deterministic and identical to
+//! the serial tuners for any job count: each candidate runs on a private
+//! cost-only machine, results come back in input order, and the winner is
+//! the minimum under the total order `(cycles, input index)`.
 
+pub mod pool;
 pub mod search;
 
 use std::time::{Duration, Instant};
@@ -36,6 +43,12 @@ pub struct TuneOutcome {
     /// Simulated cycles of every executed candidate (same order as input;
     /// `None` when not executed or invalid at runtime).
     pub all_cycles: Vec<Option<Cycles>>,
+    /// Worker threads used for candidate evaluation (1 = serial).
+    pub jobs: usize,
+    /// Aggregate per-candidate evaluation time, i.e. the serial-equivalent
+    /// cost: what `wall` would roughly be at `jobs = 1`. The ratio
+    /// `cpu / wall` is the realised parallel speedup.
+    pub cpu: Duration,
 }
 
 /// Execute one candidate in cost-only mode, returning its simulated cycles
@@ -46,17 +59,119 @@ pub fn run_candidate(cfg: &MachineConfig, cand: &Candidate) -> MachineResult<Cyc
     Ok(execute(&mut cg, &cand.exe, &binding)? + cfg.kernel_launch)
 }
 
+fn timed_run(cfg: &MachineConfig, cand: &Candidate) -> (Option<Cycles>, Duration) {
+    let t = Instant::now();
+    let cycles = run_candidate(cfg, cand).ok();
+    (cycles, t.elapsed())
+}
+
+/// Argmin over executed candidates under the total order `(cycles, index)`.
+/// Breaking ties by input index is what makes the parallel tuners
+/// deterministic: the serial black-box loop keeps the *first* strictly
+/// fastest candidate, which is exactly this minimum.
+fn best_of(all: &[Option<Cycles>]) -> Option<(usize, Cycles)> {
+    all.iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.map(|c| (i, c)))
+        .min_by_key(|&(i, c)| (c, i))
+}
+
 /// Brute-force black-box autotuner: execute everything, keep the fastest.
+/// Serial (`jobs = 1`) form of [`blackbox_tune_jobs`].
 pub fn blackbox_tune(cfg: &MachineConfig, candidates: &[Candidate]) -> Option<TuneOutcome> {
+    blackbox_tune_jobs(cfg, candidates, 1)
+}
+
+/// Brute-force black-box autotuner over `jobs` worker threads. The result
+/// is bit-identical for every `jobs` value: all candidates are executed,
+/// `all_cycles` is in input order, and the winner is the `(cycles, index)`
+/// minimum.
+pub fn blackbox_tune_jobs(
+    cfg: &MachineConfig,
+    candidates: &[Candidate],
+    jobs: usize,
+) -> Option<TuneOutcome> {
     let start = Instant::now();
+    let jobs = jobs.max(1);
+    let evals = pool::par_map(jobs, candidates, |_, c| timed_run(cfg, c));
+    let cpu = evals.iter().map(|(_, d)| *d).sum();
+    let all: Vec<Option<Cycles>> = evals.into_iter().map(|(c, _)| c).collect();
+    let (best, cycles) = best_of(&all)?;
+    Some(TuneOutcome {
+        best,
+        cycles,
+        wall: start.elapsed(),
+        executed: candidates.len(),
+        all_cycles: all,
+        jobs,
+        cpu,
+    })
+}
+
+/// Score every candidate with the calibrated static model, returning
+/// `(index, predicted cycles)` sorted fastest-first. The sort is stable, so
+/// equal predictions keep input order regardless of `jobs`.
+fn score_all(
+    cfg: &MachineConfig,
+    model: &GemmModel,
+    candidates: &[Candidate],
+    jobs: usize,
+) -> (Vec<(usize, f64)>, Duration) {
+    let scores = pool::par_map(jobs, candidates, |_, c| {
+        let t = Instant::now();
+        let est = estimate_program(cfg, model, &c.raw);
+        (est.overall(c.prefetched), t.elapsed())
+    });
+    let cpu = scores.iter().map(|(_, d)| *d).sum();
+    let mut ranked: Vec<(usize, f64)> =
+        scores.iter().enumerate().map(|(i, &(s, _))| (i, s)).collect();
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+    (ranked, cpu)
+}
+
+/// Performance-model-based autotuner: estimate everything analytically,
+/// execute only the top-k predictions and keep the fastest — the paper's
+/// "predict and pick best (or top k) implementations". Serial form of
+/// [`model_tune_topk_jobs`].
+pub fn model_tune_topk(
+    cfg: &MachineConfig,
+    candidates: &[Candidate],
+    k: usize,
+) -> Option<TuneOutcome> {
+    model_tune_topk_jobs(cfg, candidates, k, 1)
+}
+
+/// Model-based top-k autotuner over `jobs` worker threads. Model scoring
+/// and the top-k validation wave both run on the pool; if every candidate
+/// in the wave fails at runtime, validation continues down the ranking one
+/// at a time (as the serial tuner does) until something executes.
+pub fn model_tune_topk_jobs(
+    cfg: &MachineConfig,
+    candidates: &[Candidate],
+    k: usize,
+    jobs: usize,
+) -> Option<TuneOutcome> {
+    let start = Instant::now();
+    let jobs = jobs.max(1);
+    let model = GemmModel::cached(cfg);
+    let (ranked, mut cpu) = score_all(cfg, &model, candidates, jobs);
     let mut all = vec![None; candidates.len()];
-    let mut best: Option<(usize, Cycles)> = None;
-    for (i, c) in candidates.iter().enumerate() {
-        let Ok(cycles) = run_candidate(cfg, c) else {
-            continue;
-        };
-        all[i] = Some(cycles);
-        if best.map_or(true, |(_, b)| cycles < b) {
+    let wave: Vec<usize> = ranked.iter().take(k).map(|&(i, _)| i).collect();
+    let wave_results = pool::par_map(jobs, &wave, |_, &i| timed_run(cfg, &candidates[i]));
+    let mut executed = wave.len();
+    for (&i, (res, d)) in wave.iter().zip(wave_results) {
+        cpu += d;
+        all[i] = res;
+    }
+    let mut best = best_of(&all);
+    let mut rest = ranked.iter().skip(wave.len());
+    while best.is_none() {
+        let Some(&(i, _)) = rest.next() else { break };
+        executed += 1;
+        let (res, d) = timed_run(cfg, &candidates[i]);
+        cpu += d;
+        if let Some(cycles) = res {
+            all[i] = Some(cycles);
             best = Some((i, cycles));
         }
     }
@@ -65,47 +180,11 @@ pub fn blackbox_tune(cfg: &MachineConfig, candidates: &[Candidate]) -> Option<Tu
         best,
         cycles,
         wall: start.elapsed(),
-        executed: candidates.len(),
+        executed,
         all_cycles: all,
+        jobs,
+        cpu,
     })
-}
-
-/// Performance-model-based autotuner: estimate everything analytically,
-/// execute only the top-k predictions and keep the fastest — the paper's
-/// "predict and pick best (or top k) implementations".
-pub fn model_tune_topk(
-    cfg: &MachineConfig,
-    candidates: &[Candidate],
-    k: usize,
-) -> Option<TuneOutcome> {
-    let start = Instant::now();
-    let model = GemmModel::calibrate(cfg);
-    let mut ranked: Vec<(usize, f64)> = candidates
-        .iter()
-        .enumerate()
-        .map(|(i, c)| {
-            let est = estimate_program(cfg, &model, &c.raw);
-            (i, est.overall(c.prefetched))
-        })
-        .collect();
-    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
-    let mut all = vec![None; candidates.len()];
-    let mut executed = 0;
-    let mut best: Option<(usize, Cycles)> = None;
-    for &(i, _) in &ranked {
-        if executed >= k && best.is_some() {
-            break;
-        }
-        executed += 1;
-        if let Ok(cycles) = run_candidate(cfg, &candidates[i]) {
-            all[i] = Some(cycles);
-            if best.map_or(true, |(_, b)| cycles < b) {
-                best = Some((i, cycles));
-            }
-        }
-    }
-    let (best, cycles) = best?;
-    Some(TuneOutcome { best, cycles, wall: start.elapsed(), executed, all_cycles: all })
 }
 
 /// Model-based autotuner with the default top-k (3) validation depth.
@@ -113,20 +192,30 @@ pub fn model_tune(cfg: &MachineConfig, candidates: &[Candidate]) -> Option<TuneO
     model_tune_topk(cfg, candidates, 3)
 }
 
+/// [`model_tune`] over `jobs` worker threads.
+pub fn model_tune_jobs(
+    cfg: &MachineConfig,
+    candidates: &[Candidate],
+    jobs: usize,
+) -> Option<TuneOutcome> {
+    model_tune_topk_jobs(cfg, candidates, 3, jobs)
+}
+
 /// Rank every candidate by the model without executing any of them
 /// (used by space-exploration statistics and the Fig. 9 harness).
 pub fn model_rank(cfg: &MachineConfig, candidates: &[Candidate]) -> Vec<(usize, f64)> {
-    let model = GemmModel::calibrate(cfg);
-    let mut ranked: Vec<(usize, f64)> = candidates
-        .iter()
-        .enumerate()
-        .map(|(i, c)| {
-            let est = estimate_program(cfg, &model, &c.raw);
-            (i, est.overall(c.prefetched))
-        })
-        .collect();
-    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
-    ranked
+    model_rank_jobs(cfg, candidates, 1)
+}
+
+/// [`model_rank`] over `jobs` worker threads; the ranking is identical for
+/// every job count (scores are pure, the sort is stable).
+pub fn model_rank_jobs(
+    cfg: &MachineConfig,
+    candidates: &[Candidate],
+    jobs: usize,
+) -> Vec<(usize, f64)> {
+    let model = GemmModel::cached(cfg);
+    score_all(cfg, &model, candidates, jobs.max(1)).0
 }
 
 /// Optimize, plan and execute a raw program in cost-only mode (used by

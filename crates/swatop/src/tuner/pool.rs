@@ -1,0 +1,126 @@
+//! The parallel evaluation engine: deterministic fan-out of independent
+//! work items over `crossbeam` scoped worker threads.
+//!
+//! Candidate evaluation — both simulator execution and model scoring — is
+//! embarrassingly parallel: `run_candidate` constructs a private
+//! [`sw26010::CoreGroup`] per call (cheap since cost-only machines are
+//! lazily allocated), and the static model is pure. What is *not* free is
+//! determinism: tuning results feed every paper table, so the parallel path
+//! must be bit-identical to the serial one. The engine guarantees that by
+//! construction:
+//!
+//! * work items are claimed from a shared atomic counter, but each item's
+//!   result is stored back at its *input index* — output order never
+//!   depends on scheduling;
+//! * reductions over the results (argmin, ranking) happen after the join,
+//!   in input order, with ties broken by index — see
+//!   [`crate::tuner::blackbox_tune_jobs`];
+//! * `jobs == 1` bypasses thread spawning entirely and is the exact serial
+//!   loop of the original tuners.
+//!
+//! Workers are scoped (`crossbeam::thread::scope`), so borrowed candidate
+//! slices need no `'static` bound and a panicking worker propagates after
+//! the scope joins.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads the host makes available (the default for
+/// `--jobs`).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolve an optional `--jobs` request: `None` or `Some(0)` mean "use all
+/// available parallelism".
+pub fn resolve_jobs(jobs: Option<usize>) -> usize {
+    match jobs {
+        None | Some(0) => available_jobs(),
+        Some(n) => n,
+    }
+}
+
+/// Map `f` over `items` with up to `jobs` worker threads, returning results
+/// in input order. `f(i, &items[i])` must be pure up to its index — the
+/// engine guarantees each index is evaluated exactly once and that the
+/// output vector is index-aligned with the input, so the result is
+/// identical for every `jobs` value.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move |_| {
+                    // Dynamic (work-stealing) claim order balances uneven
+                    // candidate costs; results carry their index home.
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("tuner worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    })
+    .expect("tuner worker panicked");
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_input_ordered_for_any_job_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let serial = par_map(1, &items, |i, &x| i * 1000 + x * x);
+        for jobs in [2, 3, 8, 64] {
+            let par = par_map(jobs, &items, |i, &x| i * 1000 + x * x);
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(8, &[5u32], |i, &x| (i, x)), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn jobs_zero_is_clamped_to_serial() {
+        let items = [1, 2, 3];
+        assert_eq!(par_map(0, &items, |_, &x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn resolve_jobs_defaults_to_available() {
+        assert_eq!(resolve_jobs(None), available_jobs());
+        assert_eq!(resolve_jobs(Some(0)), available_jobs());
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert!(available_jobs() >= 1);
+    }
+}

@@ -42,13 +42,14 @@ pub fn random_search(
         executed += 1;
         if let Ok(c) = run_candidate(cfg, &candidates[i]) {
             all[i] = Some(c);
-            if best.map_or(true, |(_, b)| c < b) {
+            if best.is_none_or(|(_, b)| c < b) {
                 best = Some((i, c));
             }
         }
     }
     let (best, cycles) = best?;
-    Some(TuneOutcome { best, cycles, wall: start.elapsed(), executed, all_cycles: all })
+    let wall = start.elapsed();
+    Some(TuneOutcome { best, cycles, wall, executed, all_cycles: all, jobs: 1, cpu: wall })
 }
 
 /// Evolutionary-style greedy search: random seeds, then local mutations of
@@ -77,7 +78,7 @@ pub fn greedy_search(
             *executed += 1;
             if let Ok(c) = run_candidate(cfg, &candidates[i]) {
                 all[i] = Some(c);
-                if best.map_or(true, |(_, b)| c < b) {
+                if best.is_none_or(|(_, b)| c < b) {
                     *best = Some((i, c));
                 }
             }
@@ -99,12 +100,13 @@ pub fn greedy_search(
         // neighbourhood spills outward instead of re-sampling itself.
         let max_radius = 8 + attempts / 4;
         let radius = 1 + (rng.next_u64() as usize) % max_radius;
-        let dir = if rng.next_u64() % 2 == 0 { 1i64 } else { -1 };
+        let dir = if rng.next_u64().is_multiple_of(2) { 1i64 } else { -1 };
         let j = (inc as i64 + dir * radius as i64).rem_euclid(n as i64) as usize;
         measure(j, &mut all, &mut best, &mut executed);
     }
     let (best, cycles) = best?;
-    Some(TuneOutcome { best, cycles, wall: start.elapsed(), executed, all_cycles: all })
+    let wall = start.elapsed();
+    Some(TuneOutcome { best, cycles, wall, executed, all_cycles: all, jobs: 1, cpu: wall })
 }
 
 #[cfg(test)]

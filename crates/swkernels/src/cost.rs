@@ -5,11 +5,17 @@
 //! simulation is deterministic, so its results are memoised here, keyed on
 //! the variant, per-CPE block shape and a fingerprint of the machine
 //! configuration's timing parameters.
+//!
+//! The cache is shared by every tuner worker thread, so it is guarded by a
+//! read/write lock: the steady state of a tuning run is ~100% hits, and
+//! concurrent readers proceed without contention. A miss races at worst to
+//! recompute the same deterministic value; whichever insert lands last wins
+//! with an identical result, so queries are consistent across threads.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use sw26010::{Cycles, MachineConfig, MESH};
 
 use crate::microkernel::per_cpe_cycles;
@@ -35,7 +41,7 @@ fn cfg_fingerprint(cfg: &MachineConfig) -> u64 {
     h.finish()
 }
 
-static CACHE: Mutex<Option<HashMap<Key, u64>>> = Mutex::new(None);
+static CACHE: RwLock<Option<HashMap<Key, u64>>> = RwLock::new(None);
 
 /// Cycle cost of one `spm_gemm(M, N, K)` call with the given variant.
 ///
@@ -46,7 +52,7 @@ pub fn gemm_cycles(cfg: &MachineConfig, variant: GemmVariant, m: usize, n: usize
     let (mb, nb, kb) = (m / MESH, n / MESH, k / MESH);
     let key = Key { variant: variant.index(), mb, nb, kb, cfg_fp: cfg_fingerprint(cfg) };
     {
-        let guard = CACHE.lock();
+        let guard = CACHE.read();
         if let Some(map) = guard.as_ref() {
             if let Some(&c) = map.get(&key) {
                 return Cycles(c);
@@ -58,14 +64,14 @@ pub fn gemm_cycles(cfg: &MachineConfig, variant: GemmVariant, m: usize, n: usize
         VecDim::N => (nb, mb),
     };
     let cycles = per_cpe_cycles(cfg, v_len, s_len, kb, variant.vector_load_ok());
-    let mut guard = CACHE.lock();
+    let mut guard = CACHE.write();
     guard.get_or_insert_with(HashMap::new).insert(key, cycles);
     Cycles(cycles)
 }
 
 /// Number of entries currently memoised (observability for tests/benches).
 pub fn cache_len() -> usize {
-    CACHE.lock().as_ref().map_or(0, |m| m.len())
+    CACHE.read().as_ref().map_or(0, |m| m.len())
 }
 
 #[cfg(test)]
@@ -101,6 +107,39 @@ mod tests {
         let c1 = gemm_cycles(&cfg, v, 64, 64, 64);
         let c2 = gemm_cycles(&cfg, v, 64, 64, 128);
         assert!(c2 > c1);
+    }
+
+    #[test]
+    fn concurrent_queries_are_consistent() {
+        // The tuner pool hammers this cache from every worker; all threads
+        // must observe the same deterministic costs as a serial querier,
+        // whether they hit the cache or race to fill it.
+        let cfg = MachineConfig::default();
+        let shapes: Vec<(usize, usize, usize)> = (1..=6)
+            .flat_map(|i| (1..=4).map(move |j| (32 * i, 32 * j, 8 * i)))
+            .collect();
+        let serial: Vec<Vec<u64>> = ALL_VARIANTS
+            .iter()
+            .map(|v| shapes.iter().map(|&(m, n, k)| gemm_cycles(&cfg, *v, m, n, k).get()).collect())
+            .collect();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cfg = &cfg;
+                let shapes = &shapes;
+                let serial = &serial;
+                s.spawn(move || {
+                    // Stagger starting points so threads interleave hits
+                    // and misses differently.
+                    for (vi, v) in ALL_VARIANTS.iter().enumerate() {
+                        for i in 0..shapes.len() {
+                            let (m, n, k) = shapes[(i + t) % shapes.len()];
+                            let got = gemm_cycles(cfg, *v, m, n, k).get();
+                            assert_eq!(got, serial[vi][(i + t) % shapes.len()]);
+                        }
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -11,7 +11,7 @@ use sw26010::{MachineError, MESH};
 /// Per-CPE block dimensions `(rows/8, cols/8)` of a distributed matrix, or
 /// an error if the matrix cannot be partitioned.
 pub fn block_dims(rows: usize, cols: usize) -> Result<(usize, usize), MachineError> {
-    if rows % MESH != 0 || cols % MESH != 0 {
+    if !rows.is_multiple_of(MESH) || !cols.is_multiple_of(MESH) {
         return Err(MachineError::BadKernelArgs(format!(
             "matrix {rows}×{cols} not divisible by the {MESH}×{MESH} mesh"
         )));

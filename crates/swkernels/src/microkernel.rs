@@ -23,7 +23,7 @@ pub struct RegBlock {
 
 impl RegBlock {
     pub fn new(vecs: usize, scalars: usize) -> Self {
-        assert!(vecs >= 1 && vecs <= 4 && scalars >= 1 && scalars <= 4);
+        assert!((1..=4).contains(&vecs) && (1..=4).contains(&scalars));
         RegBlock { vecs, scalars }
     }
 

@@ -69,7 +69,7 @@ pub fn validate(
     if m == 0 || n == 0 || k == 0 {
         return Err(MachineError::BadKernelArgs("zero dimension".into()));
     }
-    if m % MESH != 0 || n % MESH != 0 || k % MESH != 0 {
+    if !m.is_multiple_of(MESH) || !n.is_multiple_of(MESH) || !k.is_multiple_of(MESH) {
         return Err(MachineError::BadKernelArgs(format!(
             "dims ({m},{n},{k}) not divisible by the {MESH}×{MESH} mesh"
         )));
