@@ -11,6 +11,7 @@ use crate::clock::Cycles;
 use crate::config::MachineConfig;
 use crate::dma::{DmaDirection, DmaEngine, DmaRequest, ReplyWord};
 use crate::error::{MachineError, MachineResult};
+use crate::fault::FaultSession;
 use crate::mem::MainMemory;
 use crate::spm::Spm;
 use crate::trace::{Event, Trace};
@@ -44,6 +45,9 @@ pub struct CoreGroup {
     /// Floating-point operations executed (for efficiency reporting).
     pub flops: u64,
     next_tag: u32,
+    /// Active fault stream, present iff `cfg.fault` is set. Rearmed per
+    /// measurement run via [`CoreGroup::arm_faults`].
+    faults: Option<FaultSession>,
 }
 
 impl CoreGroup {
@@ -58,6 +62,7 @@ impl CoreGroup {
                 ExecMode::CostOnly => Spm::lazy(i, cfg.spm_bytes),
             })
             .collect();
+        let faults = cfg.fault.map(|p| p.session(0, 0));
         CoreGroup {
             cfg,
             mem: MainMemory::new(),
@@ -69,6 +74,34 @@ impl CoreGroup {
             mode,
             flops: 0,
             next_tag: 0,
+            faults,
+        }
+    }
+
+    /// Re-derive the fault stream for a specific `(run, attempt)` pair; see
+    /// [`FaultPlan::session`](crate::fault::FaultPlan::session). No-op on a
+    /// fault-free machine. Tuners call this before every timed execution so
+    /// injected faults depend only on the candidate's identity, never on
+    /// worker count or evaluation order.
+    pub fn arm_faults(&mut self, run: u64, attempt: u32) {
+        self.faults = self.cfg.fault.map(|p| p.session(run, attempt));
+    }
+
+    /// Effective SPM capacity (in f32 elements) for the current run: the
+    /// nominal capacity, minus whatever the active fault session stole.
+    pub fn spm_capacity_elems(&self) -> usize {
+        let full = self.cfg.spm_elems();
+        self.faults.as_ref().map_or(full, |f| f.spm_capacity(full))
+    }
+
+    /// Filter a measured cycle count through the fault session's jitter
+    /// model. Identity on a fault-free machine. Callers apply this once per
+    /// observation — at the measurement boundary, not inside the simulation,
+    /// so functional/cost-only clock equality is untouched.
+    pub fn observed(&mut self, c: Cycles) -> Cycles {
+        match &mut self.faults {
+            Some(f) => f.jitter(c),
+            None => c,
         }
     }
 
@@ -128,9 +161,33 @@ impl CoreGroup {
         ReplyId(self.replies.len() - 1)
     }
 
-    /// Pending (issued, un-waited) completions on a reply word.
+    /// Pending (issued, un-waited) completions on a reply word. Unknown
+    /// reply ids report zero pending completions.
     pub fn reply_pending(&self, id: ReplyId) -> usize {
-        self.replies[id.0].pending()
+        self.replies.get(id.0).map_or(0, ReplyWord::pending)
+    }
+
+    /// Checked mutable access to a reply word: generated code referencing a
+    /// reply it never allocated is a schedule bug, surfaced as an error
+    /// instead of an index panic.
+    fn reply_mut(&mut self, id: ReplyId) -> MachineResult<&mut ReplyWord> {
+        let n = self.replies.len();
+        self.replies.get_mut(id.0).ok_or_else(|| {
+            MachineError::Invalid(format!("unknown reply word {} ({n} allocated)", id.0))
+        })
+    }
+
+    /// Charge the issue cost and consult the fault session; shared prologue
+    /// of [`CoreGroup::dma`] and [`CoreGroup::dma_totals`]. A hit models the
+    /// engine dropping the batch after the CPE already paid for the issue.
+    fn dma_issue(&mut self) -> MachineResult<()> {
+        self.now += self.cfg.dma_issue_cost;
+        if let Some(f) = &mut self.faults {
+            if f.dma_fault() {
+                return Err(MachineError::DmaFault { batch: self.dma.batches });
+            }
+        }
+        Ok(())
     }
 
     /// Issue an asynchronous DMA batch (the `swDMA` primitive, one request
@@ -153,7 +210,7 @@ impl CoreGroup {
                 ));
             }
         }
-        self.now += self.cfg.dma_issue_cost;
+        self.dma_issue()?;
         let finish = self.dma.schedule(&self.cfg, self.now, requests)?;
         // Functional data movement happens "at issue": the engine snapshots
         // the source. Generated programs must not overwrite a source before
@@ -180,7 +237,7 @@ impl CoreGroup {
                 tag,
             });
         }
-        self.replies[reply.0].push(finish);
+        self.reply_mut(reply)?.push(finish);
         self.next_tag += 1;
         Ok(())
     }
@@ -196,10 +253,10 @@ impl CoreGroup {
         payload_bytes: usize,
         reply: ReplyId,
     ) -> MachineResult<()> {
-        self.now += self.cfg.dma_issue_cost;
+        self.dma_issue()?;
         let finish =
             self.dma.schedule_totals(&self.cfg, self.now, bus_bytes, blocks, payload_bytes);
-        self.replies[reply.0].push(finish);
+        self.reply_mut(reply)?.push(finish);
         self.next_tag += 1;
         Ok(())
     }
@@ -207,7 +264,7 @@ impl CoreGroup {
     /// Wait for `times` completions on `reply` (the `swDMAWait` primitive).
     pub fn dma_wait(&mut self, reply: ReplyId, times: usize) -> MachineResult<()> {
         self.now += self.cfg.dma_wait_poll;
-        let done = self.replies[reply.0].wait(times)?;
+        let done = self.reply_mut(reply)?.wait(times)?;
         let stall = done.saturating_sub(self.now);
         if self.trace.is_enabled() {
             let at = self.now;
@@ -415,5 +472,76 @@ mod tests {
         cg.kernel(Cycles(1000), (64 * 8 * 1000) as u64, 8, 8, 8);
         assert!((cg.efficiency() - 1.0).abs() < 1e-12);
         assert!((cg.achieved_gflops() - 742.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn unknown_reply_is_an_error_not_a_panic() {
+        let mut cg = cg();
+        let stale = ReplyId(7); // never allocated on this core group
+        assert!(cg.dma_wait(stale, 1).is_err());
+        assert_eq!(cg.reply_pending(stale), 0);
+        let a = cg.mem.alloc("a", 64);
+        let base = cg.mem.base(a);
+        let req = [DmaRequest::contiguous(0, MemToSpm, base, 0, 64)];
+        assert!(cg.dma(MemToSpm, &req, stale).is_err());
+        assert!(cg.dma_totals(128, 1, 128, stale).is_err());
+    }
+
+    fn faulty_cfg(dma_ppm: u32, steal: u32, jitter: u32) -> MachineConfig {
+        MachineConfig {
+            fault: Some(crate::fault::FaultPlan {
+                seed: 0xBAD_5EED,
+                dma_fail_ppm: dma_ppm,
+                spm_pressure_ppm: if steal > 0 { 1_000_000 } else { 0 },
+                spm_steal_max_permille: steal,
+                jitter_permille: jitter,
+            }),
+            ..MachineConfig::default()
+        }
+    }
+
+    #[test]
+    fn certain_dma_fault_fails_both_issue_paths_transiently() {
+        let mut cg = CoreGroup::new(faulty_cfg(1_000_000, 0, 0), ExecMode::CostOnly);
+        let reply = cg.alloc_reply();
+        let err = cg.dma_totals(128, 1, 128, reply).unwrap_err();
+        assert!(err.is_transient(), "injected DMA fault must be retryable: {err}");
+        let a = cg.mem.alloc("a", 64);
+        let base = cg.mem.base(a);
+        let req = [DmaRequest::contiguous(0, MemToSpm, base, 0, 64)];
+        let err = cg.dma(MemToSpm, &req, reply).unwrap_err();
+        assert!(matches!(err, MachineError::DmaFault { .. }));
+    }
+
+    #[test]
+    fn spm_pressure_shrinks_effective_capacity_only_under_faults() {
+        let cg = CoreGroup::new(faulty_cfg(0, 250, 0), ExecMode::CostOnly);
+        let full = cg.cfg.spm_elems();
+        assert!(cg.spm_capacity_elems() < full, "certain pressure must steal capacity");
+        assert!(cg.spm_capacity_elems() >= full - full / 4, "steal bounded at 25%");
+        let clean = CoreGroup::with_mode(ExecMode::CostOnly);
+        assert_eq!(clean.spm_capacity_elems(), clean.cfg.spm_elems());
+    }
+
+    #[test]
+    fn observed_is_identity_without_faults_and_bounded_with() {
+        let mut clean = CoreGroup::with_mode(ExecMode::CostOnly);
+        assert_eq!(clean.observed(Cycles(123_456)), Cycles(123_456));
+        let mut noisy = CoreGroup::new(faulty_cfg(0, 0, 20), ExecMode::CostOnly);
+        let c = noisy.observed(Cycles(1_000_000)).get();
+        assert!((980_000..=1_020_000).contains(&c));
+    }
+
+    #[test]
+    fn arm_faults_makes_runs_reproducible() {
+        let cfg = faulty_cfg(500_000, 0, 0);
+        let run = |run_id: u64, attempt: u32| -> Vec<bool> {
+            let mut cg = CoreGroup::new(cfg.clone(), ExecMode::CostOnly);
+            cg.arm_faults(run_id, attempt);
+            let reply = cg.alloc_reply();
+            (0..64).map(|_| cg.dma_totals(128, 1, 128, reply).is_err()).collect()
+        };
+        assert_eq!(run(9, 0), run(9, 0), "same (run, attempt) must replay faults");
+        assert_ne!(run(9, 0), run(9, 1), "retry must see a fresh stream");
     }
 }

@@ -8,6 +8,7 @@
 //! 647 GB/s aggregate register-communication bandwidth per cluster.
 
 use crate::clock::Cycles;
+use crate::fault::FaultPlan;
 use crate::{ELEM_BYTES, N_CPE};
 
 /// Static description of the simulated machine.
@@ -54,6 +55,12 @@ pub struct MachineConfig {
     /// expensive on SW26010 (tens of microseconds), which is one reason
     /// fused generated code beats a sequence of library calls.
     pub kernel_launch: Cycles,
+    /// Optional fault-injection plan simulating flaky hardware (transient
+    /// DMA failures, SPM capacity pressure, cycle-measurement jitter).
+    /// `None` — the default — keeps the machine perfect and deterministic in
+    /// the PR-1 sense; `Some` keeps it deterministic too, but per
+    /// `(seed, run, attempt)` as documented in [`FaultPlan::session`].
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for MachineConfig {
@@ -75,6 +82,7 @@ impl Default for MachineConfig {
             regcomm_switch: Cycles(32),
             kernel_call_overhead: Cycles(140),
             kernel_launch: Cycles(120_000),
+            fault: None,
         }
     }
 }

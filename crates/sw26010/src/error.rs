@@ -24,8 +24,21 @@ pub enum MachineError {
     /// A GEMM primitive was invoked with parameters violating its contract
     /// (dimension not divisible by the mesh, vector dim not divisible by 4…).
     BadKernelArgs(String),
+    /// A transient DMA transaction failure injected by the machine's
+    /// [`FaultPlan`](crate::fault::FaultPlan): the engine dropped the batch.
+    /// Unlike the structural errors above, retrying the run may succeed.
+    DmaFault { batch: u64 },
     /// Generic invariant violation inside generated code.
     Invalid(String),
+}
+
+impl MachineError {
+    /// Is this error transient — i.e. may the same operation succeed when
+    /// retried? Structural errors (overflows, malformed requests, contract
+    /// violations) are permanent; injected DMA faults are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, MachineError::DmaFault { .. })
+    }
 }
 
 impl fmt::Display for MachineError {
@@ -47,6 +60,9 @@ impl fmt::Display for MachineError {
                 "dma_wait expected {expected} completions but only {issued} were issued"
             ),
             MachineError::BadKernelArgs(msg) => write!(f, "bad kernel arguments: {msg}"),
+            MachineError::DmaFault { batch } => {
+                write!(f, "transient DMA fault: engine dropped batch {batch} (injected)")
+            }
             MachineError::Invalid(msg) => write!(f, "invalid machine operation: {msg}"),
         }
     }

@@ -56,6 +56,7 @@ pub mod clock;
 pub mod config;
 pub mod dma;
 pub mod error;
+pub mod fault;
 pub mod gldst;
 pub mod mem;
 pub mod pipeline;
@@ -70,6 +71,7 @@ pub use cluster::{CoreGroup, ExecMode};
 pub use config::MachineConfig;
 pub use dma::{DmaDirection, DmaRequest, ReplyWord};
 pub use error::{MachineError, MachineResult};
+pub use fault::{FaultPlan, FaultSession};
 pub use mem::{BufferId, MainMemory};
 pub use pipeline::{Instruction, Pipe, Scoreboard};
 pub use spm::Spm;

@@ -6,7 +6,6 @@
 //! Usage: `cargo run --release -p swatop-bench --bin ablation_tuners
 //!        [--smoke|--full|--cap N]`
 
-use sw26010::MachineConfig;
 use swatop::ops::ImplicitConvOp;
 use swatop::scheduler::Scheduler;
 use swatop::tuner::search::{greedy_search, random_search};
@@ -17,7 +16,7 @@ use workloads::conv_sweep;
 
 fn main() {
     let opts = Opts::from_args();
-    let cfg = MachineConfig::default();
+    let cfg = opts.machine();
     println!("swATOP reproduction — tuner ablation (opts: {opts:?})\n");
     let sweep = opts.sample(conv_sweep(32, opts.blackbox_cap()), 3, 8);
 
@@ -50,8 +49,8 @@ fn main() {
         let outcomes = [
             model_tune_topk_jobs(&cfg, &cands, 1, opts.jobs),
             model_tune_topk_jobs(&cfg, &cands, 3, opts.jobs),
-            random_search(&cfg, &cands, budget, 42),
-            greedy_search(&cfg, &cands, budget, 42),
+            random_search(&cfg, &cands, budget, 42).ok(),
+            greedy_search(&cfg, &cands, budget, 42).ok(),
             Some(bb.clone()),
         ];
         for ((_, quality, executed), outcome) in rows.iter_mut().zip(outcomes) {

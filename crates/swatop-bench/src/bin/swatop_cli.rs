@@ -12,28 +12,50 @@
 //! reports the chosen schedule and simulated performance, writes the
 //! generated C (`--out`) and optionally a Chrome trace of the winning
 //! schedule's execution (`--trace`, open in `chrome://tracing`/Perfetto).
+//!
+//! Fault tolerance: `--faults SEED` (or the `SWATOP_FAULT_SEED` env var)
+//! tunes on a simulated flaky machine — transient DMA faults, SPM capacity
+//! pressure and cycle-measurement jitter — exercising the retry/median
+//! policy; the chosen schedule is still deterministic for a fixed seed.
+//! `--checkpoint FILE` snapshots partial sweep state so an interrupted run
+//! can be continued with `--resume FILE`, producing the same final answer
+//! as an uninterrupted sweep.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 
-use sw26010::{CoreGroup, ExecMode, MachineConfig};
+use sw26010::{CoreGroup, ExecMode, FaultPlan, MachineConfig};
 use swatop::interp::{execute, instantiate};
 use swatop::ops::{
     ConvBackwardDataOp, ConvBackwardFilterOp, ExplicitConvOp, ImplicitConvOp, MatmulOp,
     WinogradConvOp,
 };
 use swatop::scheduler::{Candidate, Operator, Scheduler};
-use swatop::tuner::{model_tune_jobs, pool};
+use swatop::tuner::{
+    blackbox_tune_opts, model_tune_opts, pool, CheckpointPolicy, TuneOptions, TuneOutcome,
+};
 use swtensor::ConvShape;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  swatop_cli gemm M N K [--jobs N] [--out FILE] [--trace FILE]\n  \
+        "usage:\n  swatop_cli gemm M N K [common flags]\n  \
          swatop_cli conv B NI NO RO [--method implicit|winograd|explicit|auto] \
-         [--kernel K] [--stride S] [--pad P] [--jobs N] [--out FILE] [--trace FILE]\n  \
-         swatop_cli bwd-data B NI NO RO [--jobs N] [--out FILE] [--trace FILE]\n  \
-         swatop_cli bwd-filter B NI NO RO [--jobs N] [--out FILE] [--trace FILE]\n\
-         --jobs N: tuner worker threads (0/omitted = all cores, 1 = serial;\n\
-         the chosen schedule is identical for every value)"
+         [--kernel K] [--stride S] [--pad P] [common flags]\n  \
+         swatop_cli bwd-data B NI NO RO [common flags]\n  \
+         swatop_cli bwd-filter B NI NO RO [common flags]\n\
+         common flags:\n  \
+         --jobs N          tuner worker threads (0/omitted = all cores, 1 = serial;\n                    \
+         the chosen schedule is identical for every value)\n  \
+         --out FILE        write generated C code\n  \
+         --trace FILE      write a Chrome trace of the winning schedule\n  \
+         --tuner model|blackbox\n                    \
+         model (default): execute only the model's top picks;\n                    \
+         blackbox: execute the whole space\n  \
+         --faults SEED     tune under injected faults (DMA drops, SPM pressure,\n                    \
+         measurement jitter); SWATOP_FAULT_SEED works too\n  \
+         --checkpoint FILE periodically snapshot sweep state to FILE\n  \
+         --resume FILE     load FILE before tuning and continue the sweep\n                    \
+         (implies --checkpoint FILE)"
     );
     std::process::exit(2);
 }
@@ -62,13 +84,65 @@ fn parse_args(args: &[String]) -> Args {
     Args { positional, flags }
 }
 
-fn tune(cfg: &MachineConfig, op: &dyn Operator, jobs: usize) -> Option<(Candidate, u64)> {
-    let cands = Scheduler::new(cfg.clone()).enumerate(op);
-    let outcome = model_tune_jobs(cfg, &cands, jobs)?;
-    Some((cands[outcome.best].clone(), outcome.cycles.get()))
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tuner {
+    Model,
+    Blackbox,
 }
 
-fn report(cfg: &MachineConfig, name: &str, flops: u64, winner: &Candidate, cycles: u64, a: &Args) {
+/// Everything the tuning call needs beyond the operator itself.
+struct Setup {
+    jobs: usize,
+    tuner: Tuner,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+}
+
+impl Setup {
+    /// Tune options for operator number `slot` of `n_ops`: when the `auto`
+    /// method races several operators, each gets its own checkpoint file
+    /// (suffix `.opN`) so their sweeps don't clobber one another.
+    fn options(&self, slot: usize, n_ops: usize) -> TuneOptions {
+        let mut opts = TuneOptions::with_jobs(self.jobs);
+        if let Some(path) = &self.checkpoint {
+            let path = if n_ops > 1 {
+                PathBuf::from(format!("{}.op{slot}", path.display()))
+            } else {
+                path.clone()
+            };
+            let mut cp = CheckpointPolicy::new(path);
+            cp.resume = self.resume;
+            opts.checkpoint = Some(cp);
+        }
+        opts
+    }
+}
+
+fn tune(
+    cfg: &MachineConfig,
+    op: &dyn Operator,
+    setup: &Setup,
+    slot: usize,
+    n_ops: usize,
+) -> Option<(Candidate, TuneOutcome)> {
+    let cands = Scheduler::new(cfg.clone()).enumerate(op);
+    let opts = setup.options(slot, n_ops);
+    let outcome = match setup.tuner {
+        Tuner::Model => model_tune_opts(cfg, &cands, &opts),
+        Tuner::Blackbox => blackbox_tune_opts(cfg, &cands, &opts),
+    }?;
+    Some((cands[outcome.best].clone(), outcome))
+}
+
+fn report(
+    cfg: &MachineConfig,
+    name: &str,
+    flops: u64,
+    winner: &Candidate,
+    outcome: &TuneOutcome,
+    a: &Args,
+) {
+    let cycles = outcome.cycles.get();
     println!("operator : {name}");
     println!("schedule : {}", winner.describe);
     println!(
@@ -80,12 +154,22 @@ fn report(cfg: &MachineConfig, name: &str, flops: u64, winner: &Candidate, cycle
         sw26010::clock::gflops(flops, sw26010::Cycles(cycles), cfg.clock_ghz),
         100.0 * cfg.efficiency(flops, sw26010::Cycles(cycles))
     );
+    if cfg.fault.is_some() || outcome.failed > 0 {
+        let seed = cfg.fault.map_or_else(|| "-".to_string(), |p| p.seed.to_string());
+        println!(
+            "faults   : seed {seed}; {} of {} measured candidates failed, {} transient retries",
+            outcome.failed, outcome.executed, outcome.retried
+        );
+    }
+    // The artifacts below re-execute the winner; they describe the *code*,
+    // so they run on the clean machine even when tuning was fault-injected.
+    let clean = MachineConfig { fault: None, ..cfg.clone() };
     if let Some(path) = a.flags.get("out") {
         std::fs::write(path, winner.exe.emit_c()).expect("write C file");
         println!("C code   : {path}");
     }
     if let Some(path) = a.flags.get("trace") {
-        let mut cg = CoreGroup::new(cfg.clone(), ExecMode::CostOnly);
+        let mut cg = CoreGroup::new(clean, ExecMode::CostOnly);
         cg.trace = sw26010::trace::Trace::enabled(1_000_000);
         let binding = instantiate(&mut cg, &winner.exe);
         execute(&mut cg, &winner.exe, &binding).expect("trace run");
@@ -100,18 +184,35 @@ fn main() {
     if argv.is_empty() {
         usage();
     }
-    let cfg = MachineConfig::default();
     let cmd = argv[0].as_str();
     let a = parse_args(&argv[1..]);
+    let fault = a
+        .flags
+        .get("faults")
+        .map(|v| FaultPlan::with_seed(v.parse().unwrap_or_else(|_| usage())))
+        .or_else(FaultPlan::from_env);
+    let cfg = MachineConfig { fault, ..MachineConfig::default() };
     let jobs = pool::resolve_jobs(
         a.flags.get("jobs").map(|v| v.parse().unwrap_or_else(|_| usage())),
     );
+    let tuner = match a.flags.get("tuner").map(String::as_str).unwrap_or("model") {
+        "model" => Tuner::Model,
+        "blackbox" => Tuner::Blackbox,
+        _ => usage(),
+    };
+    let resume = a.flags.get("resume").map(PathBuf::from);
+    let setup = Setup {
+        jobs,
+        tuner,
+        resume: resume.is_some(),
+        checkpoint: resume.or_else(|| a.flags.get("checkpoint").map(PathBuf::from)),
+    };
     match cmd {
         "gemm" => {
             let [m, n, k] = a.positional[..] else { usage() };
             let op = MatmulOp::new(m, n, k);
-            let (winner, cycles) = tune(&cfg, &op, jobs).expect("no valid schedule");
-            report(&cfg, &op.name(), op.flops(), &winner, cycles, &a);
+            let (winner, outcome) = tune(&cfg, &op, &setup, 0, 1).expect("no valid schedule");
+            report(&cfg, &op.name(), op.flops(), &winner, &outcome, &a);
         }
         "conv" | "bwd-data" | "bwd-filter" => {
             let [b, ni, no, ro] = a.positional[..] else { usage() };
@@ -144,17 +245,17 @@ fn main() {
                     _ => usage(),
                 },
             };
-            let mut best: Option<(String, u64, Candidate, u64)> = None;
-            for op in &ops {
-                if let Some((winner, cycles)) = tune(&cfg, op.as_ref(), jobs) {
-                    if best.as_ref().is_none_or(|(_, c, _, _)| cycles < *c) {
-                        best = Some((op.name(), cycles, winner, op.flops()));
+            let mut best: Option<(String, u64, Candidate, TuneOutcome)> = None;
+            for (slot, op) in ops.iter().enumerate() {
+                if let Some((winner, outcome)) = tune(&cfg, op.as_ref(), &setup, slot, ops.len()) {
+                    if best.as_ref().is_none_or(|(_, _, _, o)| outcome.cycles < o.cycles) {
+                        best = Some((op.name(), op.flops(), winner, outcome));
                     }
                 }
             }
-            let (name, cycles, winner, flops) =
+            let (name, flops, winner, outcome) =
                 best.expect("no applicable method for this shape");
-            report(&cfg, &name, flops, &winner, cycles, &a);
+            report(&cfg, &name, flops, &winner, &outcome, &a);
         }
         _ => usage(),
     }

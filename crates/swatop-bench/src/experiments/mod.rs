@@ -47,6 +47,9 @@ pub struct Opts {
     /// Worker threads for tuning (candidate- and sweep-level). 1 = serial;
     /// results are identical for every value.
     pub jobs: usize,
+    /// Fault-injection seed (`--faults SEED` or `SWATOP_FAULT_SEED`): tune
+    /// on a simulated flaky machine. `None` = perfect machine.
+    pub faults: Option<u64>,
 }
 
 impl Default for Opts {
@@ -56,6 +59,9 @@ impl Default for Opts {
             spatial_cap: Some(32),
             gemm_cap: Some(2048),
             jobs: swatop::tuner::pool::available_jobs(),
+            faults: std::env::var("SWATOP_FAULT_SEED")
+                .ok()
+                .and_then(|s| s.trim().parse().ok()),
         }
     }
 }
@@ -87,8 +93,15 @@ impl Opts {
                     let v: usize = args[i].parse().expect("--jobs N");
                     o.jobs = swatop::tuner::pool::resolve_jobs(Some(v));
                 }
+                "--faults" => {
+                    i += 1;
+                    o.faults = Some(args[i].parse().expect("--faults SEED"));
+                }
                 other => {
-                    panic!("unknown argument {other} (try --full, --smoke, --cap N, --jobs N)")
+                    panic!(
+                        "unknown argument {other} \
+                         (try --full, --smoke, --cap N, --jobs N, --faults SEED)"
+                    )
                 }
             }
             i += 1;
@@ -121,7 +134,21 @@ impl Opts {
     }
 }
 
-/// The machine configuration used by every experiment.
+impl Opts {
+    /// The machine these options describe: the default SW26010 model, with
+    /// the fault plan attached when `--faults` (or `SWATOP_FAULT_SEED`)
+    /// asked for one.
+    pub fn machine(&self) -> MachineConfig {
+        MachineConfig {
+            fault: self.faults.map(sw26010::FaultPlan::with_seed),
+            ..MachineConfig::default()
+        }
+    }
+}
+
+/// The machine configuration used by every experiment (always fault-free:
+/// the paper's tables report clean-machine numbers; use [`Opts::machine`]
+/// for fault-aware harnesses).
 pub fn machine() -> MachineConfig {
     MachineConfig::default()
 }

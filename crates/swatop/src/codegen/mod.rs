@@ -27,6 +27,12 @@ impl Executable {
         self.spm_offsets[id.0]
     }
 
+    /// Checked variant of [`Executable::spm_offset`] for untrusted programs:
+    /// a dangling SPM buffer id is a schedule bug, not a reason to panic.
+    pub fn try_spm_offset(&self, id: SpmBufId) -> Option<usize> {
+        self.spm_offsets.get(id.0).copied()
+    }
+
     /// Emit C-like source for the program (the offline-compiler output).
     pub fn emit_c(&self) -> String {
         c_emit::emit(self)

@@ -64,11 +64,13 @@ struct Interp<'a> {
 /// Execute the program, returning the simulated cycles it took (the compute
 /// clock advance from entry to exit).
 pub fn execute(cg: &mut CoreGroup, exe: &Executable, binding: &Binding) -> MachineResult<Cycles> {
-    assert_eq!(
-        binding.bufs.len(),
-        exe.program.mem_bufs.len(),
-        "binding does not match program buffer table"
-    );
+    if binding.bufs.len() != exe.program.mem_bufs.len() {
+        return Err(MachineError::Invalid(format!(
+            "binding has {} buffers but the program declares {}",
+            binding.bufs.len(),
+            exe.program.mem_bufs.len()
+        )));
+    }
     let replies = (0..exe.program.n_replies).map(|_| cg.alloc_reply()).collect();
     let interp = Interp { exe, binding, replies };
     let start = cg.now();
@@ -80,6 +82,29 @@ pub fn execute(cg: &mut CoreGroup, exe: &Executable, binding: &Binding) -> Machi
 impl Interp<'_> {
     fn program(&self) -> &Program {
         &self.exe.program
+    }
+
+    /// Checked lookup of a program buffer's machine binding: generated code
+    /// referencing a buffer it never declared is rejected, not a panic.
+    fn buf(&self, id: swatop_ir::MemBufId) -> MachineResult<sw26010::BufferId> {
+        self.binding.bufs.get(id.0).copied().ok_or_else(|| {
+            MachineError::Invalid(format!(
+                "program references undeclared memory buffer {} ({} bound)",
+                id.0,
+                self.binding.bufs.len()
+            ))
+        })
+    }
+
+    /// Checked lookup of a program reply word's machine handle.
+    fn reply(&self, id: swatop_ir::ReplyId) -> MachineResult<CgReply> {
+        self.replies.get(id.0).copied().ok_or_else(|| {
+            MachineError::Invalid(format!(
+                "program references undeclared reply word {} ({} allocated)",
+                id.0,
+                self.replies.len()
+            ))
+        })
     }
 
     fn stmt(&self, cg: &mut CoreGroup, s: &Stmt, env: &mut Env) -> MachineResult<()> {
@@ -112,19 +137,22 @@ impl Interp<'_> {
             )),
             Stmt::DmaCpe(d) => {
                 let spm_off = self.resolve_slot(&d.spm, env)?;
-                let base = cg.mem.base(self.binding.bufs[d.buf.0]);
-                let len = cg.mem.len_of(self.binding.bufs[d.buf.0]);
+                let machine_buf = self.buf(d.buf)?;
+                let base = cg.mem.base(machine_buf);
+                let len = cg.mem.len_of(machine_buf);
                 let span = (d.n_blocks - 1) * d.stride + d.block;
                 if cg.mode() == ExecMode::CostOnly {
                     // Fast path: aggregate engine totals without building
-                    // request structures (identical clock semantics).
+                    // request structures (identical clock semantics). The
+                    // capacity bound is the run's *effective* one, which an
+                    // active fault session may have shrunk.
                     let spm_needed = spm_off + d.block * d.n_blocks;
-                    if spm_needed > cg.cfg.spm_elems() {
+                    if spm_needed > cg.spm_capacity_elems() {
                         return Err(MachineError::SpmOverflow {
                             cpe: 0,
                             offset: spm_off,
                             len: d.block * d.n_blocks,
-                            capacity: cg.cfg.spm_elems(),
+                            capacity: cg.spm_capacity_elems(),
                         });
                     }
                     let txn = cg.cfg.dram_transaction_bytes;
@@ -149,12 +177,7 @@ impl Interp<'_> {
                         );
                     }
                     let payload = d.block * d.n_blocks * 4 * N_CPE;
-                    return cg.dma_totals(
-                        bus,
-                        d.n_blocks * N_CPE,
-                        payload,
-                        self.replies[d.reply.0],
-                    );
+                    return cg.dma_totals(bus, d.n_blocks * N_CPE, payload, self.reply(d.reply)?);
                 }
                 let mut reqs = Vec::with_capacity(N_CPE);
                 for cpe in 0..N_CPE {
@@ -183,9 +206,12 @@ impl Interp<'_> {
                         n_blocks: d.n_blocks,
                     });
                 }
-                cg.dma(d.direction, &reqs, self.replies[d.reply.0])
+                cg.dma(d.direction, &reqs, self.reply(d.reply)?)
             }
-            Stmt::DmaWait { reply, times } => cg.dma_wait(self.replies[reply.0], *times),
+            Stmt::DmaWait { reply, times } => {
+                let r = self.reply(*reply)?;
+                cg.dma_wait(r, *times)
+            }
             Stmt::Gemm(g) => {
                 let a = self.mat(&g.a, env)?;
                 let b = self.mat(&g.b, env)?;
@@ -208,7 +234,13 @@ impl Interp<'_> {
                 }
             }
         };
-        Ok(self.exe.spm_offset(id))
+        self.exe.try_spm_offset(id).ok_or_else(|| {
+            MachineError::Invalid(format!(
+                "program references unplanned SPM buffer {} ({} planned)",
+                id.0,
+                self.exe.spm_offsets.len()
+            ))
+        })
     }
 
     fn mat(&self, m: &MatDesc, env: &Env) -> MachineResult<SpmMatrix> {
@@ -232,8 +264,27 @@ impl Interp<'_> {
         self.apply_transform(cg, kind)
     }
 
-    fn buf_data(&self, cg: &CoreGroup, id: swatop_ir::MemBufId) -> Vec<f32> {
-        cg.mem.buffer(self.binding.bufs[id.0]).to_vec()
+    fn buf_data(&self, cg: &CoreGroup, id: swatop_ir::MemBufId) -> MachineResult<Vec<f32>> {
+        Ok(cg.mem.buffer(self.buf(id)?).to_vec())
+    }
+
+    /// Read a buffer that a transform expects to hold exactly `want`
+    /// elements; a mismatch means the schedule sized it wrong.
+    fn buf_data_sized(
+        &self,
+        cg: &CoreGroup,
+        id: swatop_ir::MemBufId,
+        want: usize,
+        what: &str,
+    ) -> MachineResult<Vec<f32>> {
+        let data = self.buf_data(cg, id)?;
+        if data.len() != want {
+            return Err(MachineError::Invalid(format!(
+                "{what}: buffer holds {} elems but the transform expects {want}",
+                data.len()
+            )));
+        }
+        Ok(data)
     }
 
     fn write_buf(
@@ -242,7 +293,8 @@ impl Interp<'_> {
         id: swatop_ir::MemBufId,
         data: &[f32],
     ) -> MachineResult<()> {
-        let len = cg.mem.len_of(self.binding.bufs[id.0]);
+        let machine_buf = self.buf(id)?;
+        let len = cg.mem.len_of(machine_buf);
         if data.len() != len {
             return Err(MachineError::Invalid(format!(
                 "transform output size {} != buffer '{}' size {len}",
@@ -250,16 +302,15 @@ impl Interp<'_> {
                 self.program().mem_bufs[id.0].name
             )));
         }
-        cg.mem.write(self.binding.bufs[id.0], 0, data)
+        cg.mem.write(machine_buf, 0, data)
     }
 
     fn apply_transform(&self, cg: &mut CoreGroup, kind: &TransformKind) -> MachineResult<()> {
         match kind {
             TransformKind::Im2col { shape, src, dst } => {
-                let input = Tensor::from_vec(
-                    shape.input_shape().dims().to_vec(),
-                    self.buf_data(cg, *src),
-                );
+                let dims = shape.input_shape().dims().to_vec();
+                let data = self.buf_data_sized(cg, *src, dims.iter().product(), "im2col")?;
+                let input = Tensor::from_vec(dims, data);
                 let cols = swtensor::im2col::im2col(shape, &input);
                 self.write_buf(cg, *dst, cols.data())
             }
@@ -267,7 +318,8 @@ impl Interp<'_> {
                 let p = shape.pad;
                 let (ri, ci) = (shape.ri(), shape.ci());
                 let (rp, cp) = (ri + 2 * p, ci + 2 * p);
-                let x = self.buf_data(cg, *src);
+                let x =
+                    self.buf_data_sized(cg, *src, shape.b * shape.ni * ri * ci, "pad_image")?;
                 let mut out = vec![0.0f32; shape.b * shape.ni * rp * cp];
                 for bi in 0..shape.b {
                     for n in 0..shape.ni {
@@ -281,21 +333,26 @@ impl Interp<'_> {
                 self.write_buf(cg, *dst, &out)
             }
             TransformKind::WinogradFilter { shape, src, dst, transposed } => {
-                let w = Tensor::from_vec(
-                    shape.weight_shape().dims().to_vec(),
-                    self.buf_data(cg, *src),
-                );
+                let dims = shape.weight_shape().dims().to_vec();
+                let data =
+                    self.buf_data_sized(cg, *src, dims.iter().product(), "winograd_filter")?;
+                let w = Tensor::from_vec(dims, data);
                 let u = swtensor::winograd::batched_filter_transform(shape, &w);
                 let u = if *transposed { u.permuted(&[0, 2, 1]) } else { u };
                 self.write_buf(cg, *dst, u.data())
             }
             TransformKind::WinogradInput { shape, src, dst, nt_pad } => {
-                let x = Tensor::from_vec(
-                    shape.input_shape().dims().to_vec(),
-                    self.buf_data(cg, *src),
-                );
+                let dims = shape.input_shape().dims().to_vec();
+                let data =
+                    self.buf_data_sized(cg, *src, dims.iter().product(), "winograd_input")?;
+                let x = Tensor::from_vec(dims, data);
                 let v = swtensor::winograd::batched_input_transform(shape, &x);
                 let nt = swtensor::winograd::n_tiles(shape);
+                if nt > *nt_pad {
+                    return Err(MachineError::Invalid(format!(
+                        "winograd_input: {nt} tiles exceed padded stride {nt_pad}"
+                    )));
+                }
                 let mut out = vec![0.0f32; 16 * shape.ni * nt_pad];
                 for pos in 0..16 {
                     for n in 0..shape.ni {
@@ -308,7 +365,13 @@ impl Interp<'_> {
             }
             TransformKind::WinogradOutput { shape, src, dst, nt_pad } => {
                 let nt = swtensor::winograd::n_tiles(shape);
-                let padded = self.buf_data(cg, *src);
+                if nt > *nt_pad {
+                    return Err(MachineError::Invalid(format!(
+                        "winograd_output: {nt} tiles exceed padded stride {nt_pad}"
+                    )));
+                }
+                let padded =
+                    self.buf_data_sized(cg, *src, 16 * shape.no * nt_pad, "winograd_output")?;
                 let mut m = vec![0.0f32; 16 * shape.no * nt];
                 for pos in 0..16 {
                     for n in 0..shape.no {
@@ -322,15 +385,17 @@ impl Interp<'_> {
                 self.write_buf(cg, *dst, y.data())
             }
             TransformKind::PackTensor { src, dst, src_dims, perm } => {
-                let t = Tensor::from_vec(src_dims.clone(), self.buf_data(cg, *src));
+                let data =
+                    self.buf_data_sized(cg, *src, src_dims.iter().product(), "pack")?;
+                let t = Tensor::from_vec(src_dims.clone(), data);
                 let p = t.permuted(perm);
                 self.write_buf(cg, *dst, p.data())
             }
             TransformKind::RotateFilter { shape, src, dst } => {
-                let w = Tensor::from_vec(
-                    shape.weight_shape().dims().to_vec(),
-                    self.buf_data(cg, *src),
-                );
+                let dims = shape.weight_shape().dims().to_vec();
+                let data =
+                    self.buf_data_sized(cg, *src, dims.iter().product(), "rotate_filter")?;
+                let w = Tensor::from_vec(dims, data);
                 let mut out =
                     Tensor::zeros(vec![shape.ni, shape.no, shape.kr, shape.kc]);
                 for no in 0..shape.no {
@@ -362,14 +427,14 @@ impl Interp<'_> {
                 dst_cols,
                 zero_first,
             } => {
-                let s = self.buf_data(cg, *src);
+                let s = self.buf_data(cg, *src)?;
                 if s.len() != src_rows * src_cols {
                     return Err(MachineError::Invalid("pad: src size mismatch".into()));
                 }
                 let mut d = if *zero_first {
                     vec![0.0f32; dst_rows * dst_cols]
                 } else {
-                    self.buf_data(cg, *dst)
+                    self.buf_data(cg, *dst)?
                 };
                 if d.len() != dst_rows * dst_cols {
                     return Err(MachineError::Invalid("pad: dst size mismatch".into()));
@@ -395,11 +460,11 @@ impl Interp<'_> {
                 take_rows,
                 take_cols,
             } => {
-                let s = self.buf_data(cg, *src);
+                let s = self.buf_data(cg, *src)?;
                 if s.len() != src_rows * src_cols {
                     return Err(MachineError::Invalid("unpad: src size mismatch".into()));
                 }
-                let mut d = self.buf_data(cg, *dst);
+                let mut d = self.buf_data(cg, *dst)?;
                 if d.len() != dst_rows * dst_cols {
                     return Err(MachineError::Invalid("unpad: dst size mismatch".into()));
                 }
@@ -413,7 +478,8 @@ impl Interp<'_> {
                 self.write_buf(cg, *dst, &d)
             }
             TransformKind::ZeroBuf { buf } => {
-                cg.mem.buffer_mut(self.binding.bufs[buf.0]).fill(0.0);
+                let machine_buf = self.buf(*buf)?;
+                cg.mem.buffer_mut(machine_buf).fill(0.0);
                 Ok(())
             }
         }

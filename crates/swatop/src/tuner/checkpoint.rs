@@ -1,0 +1,488 @@
+//! Checkpoint/resume for long tuning sweeps.
+//!
+//! A full operator sweep on real hardware takes long enough that losing a
+//! run to a node reclaim is expensive, so the tuning engine periodically
+//! serializes its partial per-candidate state ([`CandCell`]s) to a small
+//! JSON file and can resume from it. The format is hand-rolled — the
+//! machine-model stack is dependency-free — and versioned behind a
+//! fingerprint of the tuning context, so a checkpoint from a different
+//! candidate space, machine config or fault plan is detected and ignored
+//! rather than silently corrupting the search.
+//!
+//! On-disk shape (one line):
+//!
+//! ```json
+//! {"v":1,"fp":1234,"cells":[null,{"c":99,"r":0,"m":3},{"e":"msg","r":2}]}
+//! ```
+//!
+//! `null` = not yet measured, `{"c","r","m"}` = measured (cycles, retries,
+//! samples), `{"e","r"}` = failed (error, retries). Writes are atomic
+//! (tempfile + rename), so a sweep killed mid-write leaves the previous
+//! checkpoint intact.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use sw26010::{Cycles, MachineConfig};
+
+/// Bumped when the on-disk shape changes; mixed into the fingerprint.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Per-candidate measurement state, the unit the engine checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CandCell {
+    /// Not measured yet.
+    Pending,
+    /// Measured: the (median) observed cycles, transient-failure retries
+    /// consumed, and successful samples taken.
+    Done { cycles: u64, retries: u32, samples: u32 },
+    /// Terminally failed with an error message, after `retries` retries.
+    Failed { error: String, retries: u32 },
+}
+
+impl CandCell {
+    pub fn is_pending(&self) -> bool {
+        matches!(self, CandCell::Pending)
+    }
+
+    /// Observed cycles, when measured.
+    pub fn cycles(&self) -> Option<Cycles> {
+        match self {
+            CandCell::Done { cycles, .. } => Some(Cycles(*cycles)),
+            _ => None,
+        }
+    }
+
+    /// Retries consumed measuring this candidate.
+    pub fn retries(&self) -> u32 {
+        match self {
+            CandCell::Pending => 0,
+            CandCell::Done { retries, .. } | CandCell::Failed { retries, .. } => *retries,
+        }
+    }
+}
+
+/// A parsed checkpoint file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    pub fingerprint: u64,
+    pub cells: Vec<CandCell>,
+}
+
+/// FNV-1a fingerprint of the tuning context a checkpoint belongs to: the
+/// candidate count plus every machine parameter that shapes measured cycles
+/// or injected faults. Stable across processes (no hasher randomization),
+/// which `std::hash` does not guarantee.
+pub fn fingerprint(cfg: &MachineConfig, n_candidates: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(FORMAT_VERSION);
+    eat(n_candidates as u64);
+    eat(cfg.spm_bytes as u64);
+    eat(cfg.dram_transaction_bytes as u64);
+    eat(cfg.mem_bytes_per_cycle.to_bits());
+    eat(cfg.dma_startup.get());
+    eat(cfg.dma_block_overhead.get());
+    eat(cfg.dma_issue_cost.get());
+    eat(cfg.dma_wait_poll.get());
+    eat(cfg.vmad_latency);
+    eat(cfg.vldd_latency);
+    eat(cfg.bcast_latency);
+    eat(cfg.vstd_latency);
+    eat(cfg.regcomm_switch.get());
+    eat(cfg.kernel_call_overhead.get());
+    eat(cfg.kernel_launch.get());
+    match cfg.fault {
+        None => eat(0),
+        Some(p) => {
+            eat(1);
+            eat(p.seed);
+            eat(u64::from(p.dma_fail_ppm));
+            eat(u64::from(p.spm_pressure_ppm));
+            eat(u64::from(p.spm_steal_max_permille));
+            eat(u64::from(p.jitter_permille));
+        }
+    }
+    h
+}
+
+/// Render a checkpoint as its JSON line.
+pub fn render(fingerprint: u64, cells: &[CandCell]) -> String {
+    let mut s = String::with_capacity(32 + cells.len() * 16);
+    let _ = write!(s, "{{\"v\":{FORMAT_VERSION},\"fp\":{fingerprint},\"cells\":[");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        match c {
+            CandCell::Pending => s.push_str("null"),
+            CandCell::Done { cycles, retries, samples } => {
+                let _ = write!(s, "{{\"c\":{cycles},\"r\":{retries},\"m\":{samples}}}");
+            }
+            CandCell::Failed { error, retries } => {
+                s.push_str("{\"e\":");
+                escape_into(&mut s, error);
+                let _ = write!(s, ",\"r\":{retries}}}");
+            }
+        }
+    }
+    s.push_str("]}\n");
+    s
+}
+
+/// Atomically write a checkpoint: render to `<path>.tmp`, then rename over
+/// `path`, so an interrupted write never clobbers the previous state.
+pub fn save(path: &Path, fingerprint: u64, cells: &[CandCell]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, render(fingerprint, cells))?;
+    fs::rename(&tmp, path)
+}
+
+/// Load and parse a checkpoint file.
+pub fn load(path: &Path) -> Result<Checkpoint, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    parse(&text)
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a checkpoint from its JSON text. The parser accepts the subset of
+/// JSON the renderer emits (objects, arrays, strings, unsigned integers,
+/// `null`), with keys in any order, and fails with a message on anything
+/// else — a truncated or hand-edited file is reported, not trusted.
+pub fn parse(text: &str) -> Result<Checkpoint, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    let top = v.as_obj("checkpoint")?;
+    let version = get(top, "v")?.as_u64("v")?;
+    if version != FORMAT_VERSION {
+        return Err(format!("unsupported checkpoint version {version}"));
+    }
+    let fingerprint = get(top, "fp")?.as_u64("fp")?;
+    let cells = get(top, "cells")?
+        .as_arr("cells")?
+        .iter()
+        .map(cell_of)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Checkpoint { fingerprint, cells })
+}
+
+fn cell_of(v: &Json) -> Result<CandCell, String> {
+    match v {
+        Json::Null => Ok(CandCell::Pending),
+        Json::Obj(fields) => {
+            let retries = get(fields, "r")?.as_u64("r")? as u32;
+            if let Some(e) = fields.iter().find(|(k, _)| k == "e") {
+                Ok(CandCell::Failed { error: e.1.as_str("e")?.to_string(), retries })
+            } else {
+                let cycles = get(fields, "c")?.as_u64("c")?;
+                let samples = get(fields, "m")?.as_u64("m")? as u32;
+                Ok(CandCell::Done { cycles, retries, samples })
+            }
+        }
+        _ => Err("cell must be null or an object".to_string()),
+    }
+}
+
+fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key \"{key}\""))
+}
+
+/// The minimal JSON value model the checkpoint format needs.
+enum Json {
+    Null,
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err(format!("{what}: expected an unsigned integer")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(format!("{what}: expected a string")),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            _ => Err(format!("{what}: expected an array")),
+        }
+    }
+
+    fn as_obj(&self, what: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(o) => Ok(o),
+            _ => Err(format!("{what}: expected an object")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? != b {
+            return Err(format!("expected '{}' at byte {}", b as char, self.pos));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'n' => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err(format!("bad literal at byte {}", self.pos))
+                }
+            }
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                    }
+                }
+            }
+            b'0'..=b'9' => {
+                let start = self.pos;
+                while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(Json::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            c => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while !matches!(self.bytes.get(self.pos), None | Some(b'"' | b'\\')) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?,
+            );
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc =
+                        self.bytes.get(self.pos).ok_or_else(|| "truncated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        c => return Err(format!("unknown escape '\\{}'", *c as char)),
+                    }
+                }
+                Some(_) => unreachable!("scan stops only at quote or backslash"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos += 4;
+        Ok(hex)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let hi = self.hex4()?;
+        // Surrogate pair: the renderer never emits them, but accept them so
+        // a hand-written checkpoint with standard JSON escapes still loads.
+        let code = if (0xD800..0xDC00).contains(&hi) {
+            if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                return Err("lone high surrogate".to_string());
+            }
+            self.pos += 2;
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err("invalid low surrogate".to_string());
+            }
+            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+        } else {
+            hi
+        };
+        char::from_u32(code).ok_or_else(|| format!("invalid code point {code:#x}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells() -> Vec<CandCell> {
+        vec![
+            CandCell::Pending,
+            CandCell::Done { cycles: 123_456, retries: 2, samples: 3 },
+            CandCell::Failed { error: "bad kernel arguments: \"q\"\n\\x".into(), retries: 7 },
+            CandCell::Done { cycles: u64::MAX, retries: 0, samples: 1 },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_cells() {
+        let text = render(0xDEAD_BEEF, &cells());
+        let ck = parse(&text).unwrap();
+        assert_eq!(ck.fingerprint, 0xDEAD_BEEF);
+        assert_eq!(ck.cells, cells());
+    }
+
+    #[test]
+    fn round_trip_preserves_unicode_and_control_chars() {
+        let cells = vec![CandCell::Failed {
+            error: "injecté \u{1F600} \u{1} tab\there".into(),
+            retries: 1,
+        }];
+        assert_eq!(parse(&render(1, &cells)).unwrap().cells, cells);
+    }
+
+    #[test]
+    fn save_and_load_are_atomic_and_consistent() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("swatop_ck_test_{}.json", std::process::id()));
+        save(&path, 42, &cells()).unwrap();
+        let ck = load(&path).unwrap();
+        assert_eq!(ck, Checkpoint { fingerprint: 42, cells: cells() });
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_or_garbage_input_is_rejected() {
+        let text = render(7, &cells());
+        assert!(parse(&text[..text.len() / 2]).is_err(), "truncated file must not parse");
+        assert!(parse("not json").is_err());
+        assert!(parse("{\"v\":99,\"fp\":0,\"cells\":[]}").is_err(), "future version rejected");
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_space_config_and_faults() {
+        let cfg = MachineConfig::default();
+        let base = fingerprint(&cfg, 100);
+        assert_eq!(base, fingerprint(&cfg, 100), "fingerprint must be stable");
+        assert_ne!(base, fingerprint(&cfg, 101), "candidate count must matter");
+        let mut faulty = cfg.clone();
+        faulty.fault = Some(sw26010::FaultPlan::with_seed(1));
+        assert_ne!(base, fingerprint(&faulty, 100), "fault plan must matter");
+        let mut other = faulty.clone();
+        other.fault = Some(sw26010::FaultPlan::with_seed(2));
+        assert_ne!(fingerprint(&faulty, 100), fingerprint(&other, 100));
+    }
+}

@@ -13,18 +13,29 @@
 //! Fig. 9 reports.
 //!
 //! Every tuner has a `_jobs` variant that fans candidate evaluation over a
-//! [`pool`] of worker threads. Results are deterministic and identical to
-//! the serial tuners for any job count: each candidate runs on a private
-//! cost-only machine, results come back in input order, and the winner is
-//! the minimum under the total order `(cycles, input index)`.
+//! [`pool`] of worker threads, and an `_opts` variant taking [`TuneOptions`]
+//! that additionally controls fault resilience (retry/backoff, median-of-N
+//! repeated measurement — see [`RetryPolicy`]) and checkpoint/resume
+//! ([`CheckpointPolicy`]). Results are deterministic and identical to the
+//! serial tuners for any job count: each candidate runs on a private
+//! cost-only machine whose fault stream (if any) is derived from the
+//! candidate's input index, results come back in input order, and the
+//! winner is the minimum under the total order `(cycles, input index)`.
 
+pub mod checkpoint;
 pub mod pool;
 pub mod search;
 
+use std::fmt;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use sw26010::{CoreGroup, Cycles, ExecMode, MachineConfig, MachineResult};
+use sw26010::{CoreGroup, Cycles, ExecMode, MachineConfig, MachineError, MachineResult};
+use swatop_ir::{MatDesc, SpmSlot, Stmt};
+use swkernels::spm_gemm::SpmMatrix;
 
+use self::checkpoint::CandCell;
+use crate::codegen::Executable;
 use crate::interp::{execute, instantiate};
 use crate::model::{estimate_program, GemmModel};
 use crate::scheduler::Candidate;
@@ -49,7 +60,127 @@ pub struct TuneOutcome {
     /// cost: what `wall` would roughly be at `jobs = 1`. The ratio
     /// `cpu / wall` is the realised parallel speedup.
     pub cpu: Duration,
+    /// Candidates that terminally failed (pre-validation, runtime error, or
+    /// retry-budget exhaustion).
+    pub failed: usize,
+    /// Total transient-failure retries consumed across all candidates.
+    pub retried: u64,
+    /// Per-candidate measurement report, index-aligned with the input.
+    pub reports: Vec<CandReport>,
 }
+
+/// What happened while measuring one candidate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CandReport {
+    /// Transient-failure retries consumed.
+    pub retries: u32,
+    /// Successful measurement samples taken (0 = never executed).
+    pub samples: u32,
+    /// Terminal error message, if the candidate failed.
+    pub error: Option<String>,
+}
+
+impl CandReport {
+    fn from_cell(cell: &CandCell) -> CandReport {
+        match cell {
+            CandCell::Pending => CandReport::default(),
+            CandCell::Done { retries, samples, .. } => {
+                CandReport { retries: *retries, samples: *samples, error: None }
+            }
+            CandCell::Failed { error, retries } => {
+                CandReport { retries: *retries, samples: 0, error: Some(error.clone()) }
+            }
+        }
+    }
+}
+
+/// How the engine reacts to transient failures and measurement noise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total execution attempts allowed per candidate, shared between
+    /// retries and repeats. Exhausting it with zero successful samples
+    /// marks the candidate failed.
+    pub max_attempts: u32,
+    /// Successful samples to take per candidate when measurement jitter is
+    /// enabled; the reported figure is their median. Ignored (one sample)
+    /// on a jitter-free machine. Odd values give a true median.
+    pub repeats: u32,
+    /// Base host-side backoff slept after a transient failure, doubled per
+    /// consecutive retry and capped at 16×. Zero disables sleeping.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 8, repeats: 3, backoff: Duration::from_micros(50) }
+    }
+}
+
+/// Periodic serialization of partial tuning state; see [`checkpoint`].
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// File the engine writes to (atomically) and resumes from.
+    pub path: PathBuf,
+    /// Candidate evaluations between checkpoint writes.
+    pub every: usize,
+    /// Load `path` before tuning and skip already-measured candidates. A
+    /// missing or mismatched file starts fresh (with a warning on stderr).
+    pub resume: bool,
+}
+
+impl CheckpointPolicy {
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy { path: path.into(), every: 32, resume: false }
+    }
+
+    pub fn resuming(path: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy { resume: true, ..Self::new(path) }
+    }
+}
+
+/// Full configuration of a tuning run. `TuneOptions::default()` reproduces
+/// the plain `_jobs` tuners at `jobs = 1`.
+#[derive(Debug, Clone, Default)]
+pub struct TuneOptions {
+    /// Worker threads (0 and 1 both mean serial).
+    pub jobs: usize,
+    pub retry: RetryPolicy,
+    pub checkpoint: Option<CheckpointPolicy>,
+}
+
+impl TuneOptions {
+    pub fn with_jobs(jobs: usize) -> Self {
+        TuneOptions { jobs, ..TuneOptions::default() }
+    }
+}
+
+/// Why a tuning run produced no outcome at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneError {
+    /// The candidate slice was empty (or the budget sampled nothing).
+    NoCandidates,
+    /// Every sampled candidate failed terminally.
+    AllFailed {
+        /// Candidates whose measurement was attempted.
+        sampled: usize,
+        /// The last terminal error observed, as a representative.
+        last_error: String,
+    },
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::NoCandidates => write!(f, "tuning found no candidates to measure"),
+            TuneError::AllFailed { sampled, last_error } => write!(
+                f,
+                "all {sampled} sampled candidates failed; last error: {last_error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
 
 /// Execute one candidate in cost-only mode, returning its simulated cycles
 /// (including the one-time CPE kernel launch).
@@ -59,10 +190,124 @@ pub fn run_candidate(cfg: &MachineConfig, cand: &Candidate) -> MachineResult<Cyc
     Ok(execute(&mut cg, &cand.exe, &binding)? + cfg.kernel_launch)
 }
 
-fn timed_run(cfg: &MachineConfig, cand: &Candidate) -> (Option<Cycles>, Duration) {
+/// Static pre-validation, run *before* any simulated execution: reject
+/// candidates whose SPM footprint cannot fit the nominal scratch pad or
+/// whose GEMM nodes violate the primitive's divisibility contract. Both
+/// would also fail at runtime, but surfacing them as
+/// [`MachineError::BadKernelArgs`] up front costs nothing and never burns
+/// a retry on an error that can't go away.
+pub fn prevalidate(cfg: &MachineConfig, cand: &Candidate) -> MachineResult<()> {
+    if cand.exe.spm_used > cfg.spm_elems() {
+        return Err(MachineError::BadKernelArgs(format!(
+            "SPM footprint {} elems exceeds capacity {}",
+            cand.exe.spm_used,
+            cfg.spm_elems()
+        )));
+    }
+    let mut err: Option<MachineError> = None;
+    cand.exe.program.body.visit(&mut |s| {
+        if err.is_none() {
+            if let Stmt::Gemm(g) = s {
+                let mat = |m: &MatDesc| {
+                    SpmMatrix::new(slot_offset(&cand.exe, &m.slot), m.layout, m.ld)
+                };
+                if let Err(e) = swkernels::spm_gemm::validate(
+                    g.m,
+                    g.n,
+                    g.k,
+                    &mat(&g.a),
+                    &mat(&g.b),
+                    &mat(&g.c),
+                    g.vd,
+                ) {
+                    err = Some(e);
+                }
+            }
+        }
+    });
+    err.map_or(Ok(()), Err)
+}
+
+/// Static SPM offset of a slot (even parity for double buffers — parities
+/// share a size, and [`swkernels::spm_gemm::validate`] only needs layout
+/// and leading dimension anyway).
+fn slot_offset(exe: &Executable, slot: &SpmSlot) -> usize {
+    let id = match slot {
+        SpmSlot::Single(b) => *b,
+        SpmSlot::Double { even, .. } => *even,
+    };
+    exe.try_spm_offset(id).unwrap_or(0)
+}
+
+/// Sleep the exponential backoff for the `nth` consecutive retry.
+fn backoff_sleep(retry: &RetryPolicy, nth: u32) {
+    if retry.backoff.is_zero() {
+        return;
+    }
+    std::thread::sleep(retry.backoff.saturating_mul(1 << nth.min(4)));
+}
+
+/// Measure one candidate under the retry policy, returning its cell and the
+/// host time spent. The fault stream of attempt `a` is derived from
+/// `(index, a)`, so the returned cell is a pure function of the candidate —
+/// never of worker count or evaluation order.
+fn measure_candidate(
+    cfg: &MachineConfig,
+    cand: &Candidate,
+    index: usize,
+    retry: &RetryPolicy,
+) -> (CandCell, Duration) {
     let t = Instant::now();
-    let cycles = run_candidate(cfg, cand).ok();
-    (cycles, t.elapsed())
+    if let Err(e) = prevalidate(cfg, cand) {
+        return (CandCell::Failed { error: e.to_string(), retries: 0 }, t.elapsed());
+    }
+    let fault_active = cfg.fault.is_some();
+    let repeats = if cfg.fault.as_ref().is_some_and(|p| p.jitter_permille > 0) {
+        retry.repeats.max(1)
+    } else {
+        1
+    };
+    let budget = retry.max_attempts.max(repeats);
+    let mut samples: Vec<Cycles> = Vec::with_capacity(repeats as usize);
+    let mut retries = 0u32;
+    let mut attempt = 0u32;
+    let mut last_transient: Option<MachineError> = None;
+    while (samples.len() as u32) < repeats && attempt < budget {
+        let mut cg = CoreGroup::new(cfg.clone(), ExecMode::CostOnly);
+        cg.arm_faults(index as u64, attempt);
+        attempt += 1;
+        let binding = instantiate(&mut cg, &cand.exe);
+        match execute(&mut cg, &cand.exe, &binding) {
+            Ok(c) => samples.push(cg.observed(c + cfg.kernel_launch)),
+            // SPM overflow is permanent on a perfect machine (prevalidation
+            // bounds the footprint) but transient under injected capacity
+            // pressure: the next attempt may get the scratch pad back.
+            Err(e)
+                if e.is_transient()
+                    || (fault_active && matches!(e, MachineError::SpmOverflow { .. })) =>
+            {
+                retries += 1;
+                last_transient = Some(e);
+                backoff_sleep(retry, retries);
+            }
+            Err(e) => {
+                return (CandCell::Failed { error: e.to_string(), retries }, t.elapsed());
+            }
+        }
+    }
+    if samples.is_empty() {
+        let why = last_transient.map_or_else(|| "no samples taken".to_string(), |e| e.to_string());
+        let error = format!("retry budget ({budget} attempts) exhausted: {why}");
+        return (CandCell::Failed { error, retries }, t.elapsed());
+    }
+    // Median of the achieved samples (upper median for even counts): robust
+    // against jitter outliers, deterministic because samples are a pure
+    // function of (index, attempt).
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let cell =
+        CandCell::Done { cycles: median.get(), retries, samples: samples.len() as u32 };
+    (cell, t.elapsed())
 }
 
 /// Argmin over executed candidates under the total order `(cycles, index)`.
@@ -74,6 +319,106 @@ fn best_of(all: &[Option<Cycles>]) -> Option<(usize, Cycles)> {
         .enumerate()
         .filter_map(|(i, c)| c.map(|c| (i, c)))
         .min_by_key(|&(i, c)| (c, i))
+}
+
+/// The fault-aware measurement engine shared by the tuners: a cell per
+/// candidate, chunked evaluation over the worker pool with panic isolation,
+/// and (optionally) a checkpoint written after every chunk.
+struct Engine<'a> {
+    cfg: &'a MachineConfig,
+    candidates: &'a [Candidate],
+    jobs: usize,
+    retry: RetryPolicy,
+    checkpoint: Option<CheckpointPolicy>,
+    fingerprint: u64,
+    cells: Vec<CandCell>,
+    cpu: Duration,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a MachineConfig, candidates: &'a [Candidate], opts: &TuneOptions) -> Self {
+        let fingerprint = checkpoint::fingerprint(cfg, candidates.len());
+        let mut cells = vec![CandCell::Pending; candidates.len()];
+        if let Some(cp) = &opts.checkpoint {
+            if cp.resume {
+                match checkpoint::load(&cp.path) {
+                    Ok(ck) if ck.fingerprint == fingerprint && ck.cells.len() == cells.len() => {
+                        cells = ck.cells;
+                    }
+                    Ok(_) => eprintln!(
+                        "swatop: checkpoint {} belongs to a different sweep; starting fresh",
+                        cp.path.display()
+                    ),
+                    Err(e) => eprintln!(
+                        "swatop: cannot resume from {}: {e}; starting fresh",
+                        cp.path.display()
+                    ),
+                }
+            }
+        }
+        Engine {
+            cfg,
+            candidates,
+            jobs: opts.jobs.max(1),
+            retry: opts.retry.clone(),
+            checkpoint: opts.checkpoint.clone(),
+            fingerprint,
+            cells,
+            cpu: Duration::ZERO,
+        }
+    }
+
+    /// Measure every still-pending index of `order`, a chunk at a time; a
+    /// worker panic marks only its own candidate failed.
+    fn run(&mut self, order: &[usize]) {
+        let todo: Vec<usize> =
+            order.iter().copied().filter(|&i| self.cells[i].is_pending()).collect();
+        if todo.is_empty() {
+            return;
+        }
+        let chunk = self.checkpoint.as_ref().map_or(usize::MAX, |c| c.every.max(1));
+        for part in todo.chunks(chunk.min(todo.len())) {
+            let results = pool::par_map_catch(self.jobs, part, |_, &i| {
+                measure_candidate(self.cfg, &self.candidates[i], i, &self.retry)
+            });
+            for (&i, r) in part.iter().zip(results) {
+                self.cells[i] = match r {
+                    Ok((cell, d)) => {
+                        self.cpu += d;
+                        cell
+                    }
+                    Err(msg) => CandCell::Failed { error: format!("panicked: {msg}"), retries: 0 },
+                };
+            }
+            self.save();
+        }
+    }
+
+    fn save(&self) {
+        let Some(cp) = &self.checkpoint else { return };
+        if let Err(e) = checkpoint::save(&cp.path, self.fingerprint, &self.cells) {
+            eprintln!("swatop: failed to write checkpoint {}: {e}", cp.path.display());
+        }
+    }
+
+    fn all_cycles(&self) -> Vec<Option<Cycles>> {
+        self.cells.iter().map(CandCell::cycles).collect()
+    }
+
+    fn outcome(&self, start: Instant, best: usize, cycles: Cycles, executed: usize) -> TuneOutcome {
+        TuneOutcome {
+            best,
+            cycles,
+            wall: start.elapsed(),
+            executed,
+            all_cycles: self.all_cycles(),
+            jobs: self.jobs,
+            cpu: self.cpu,
+            failed: self.cells.iter().filter(|c| matches!(c, CandCell::Failed { .. })).count(),
+            retried: self.cells.iter().map(|c| u64::from(c.retries())).sum(),
+            reports: self.cells.iter().map(CandReport::from_cell).collect(),
+        }
+    }
 }
 
 /// Brute-force black-box autotuner: execute everything, keep the fastest.
@@ -91,21 +436,23 @@ pub fn blackbox_tune_jobs(
     candidates: &[Candidate],
     jobs: usize,
 ) -> Option<TuneOutcome> {
+    blackbox_tune_opts(cfg, candidates, &TuneOptions::with_jobs(jobs))
+}
+
+/// [`blackbox_tune_jobs`] with full [`TuneOptions`] control (retry policy,
+/// checkpoint/resume). Returns `None` when no candidate could be measured;
+/// per-candidate errors are in [`TuneOutcome::reports`] otherwise.
+pub fn blackbox_tune_opts(
+    cfg: &MachineConfig,
+    candidates: &[Candidate],
+    opts: &TuneOptions,
+) -> Option<TuneOutcome> {
     let start = Instant::now();
-    let jobs = jobs.max(1);
-    let evals = pool::par_map(jobs, candidates, |_, c| timed_run(cfg, c));
-    let cpu = evals.iter().map(|(_, d)| *d).sum();
-    let all: Vec<Option<Cycles>> = evals.into_iter().map(|(c, _)| c).collect();
-    let (best, cycles) = best_of(&all)?;
-    Some(TuneOutcome {
-        best,
-        cycles,
-        wall: start.elapsed(),
-        executed: candidates.len(),
-        all_cycles: all,
-        jobs,
-        cpu,
-    })
+    let mut eng = Engine::new(cfg, candidates, opts);
+    let order: Vec<usize> = (0..candidates.len()).collect();
+    eng.run(&order);
+    let (best, cycles) = best_of(&eng.all_cycles())?;
+    Some(eng.outcome(start, best, cycles, candidates.len()))
 }
 
 /// Score every candidate with the calibrated static model, returning
@@ -141,50 +488,50 @@ pub fn model_tune_topk(
     model_tune_topk_jobs(cfg, candidates, k, 1)
 }
 
-/// Model-based top-k autotuner over `jobs` worker threads. Model scoring
-/// and the top-k validation wave both run on the pool; if every candidate
-/// in the wave fails at runtime, validation continues down the ranking one
-/// at a time (as the serial tuner does) until something executes.
+/// Model-based top-k autotuner over `jobs` worker threads.
 pub fn model_tune_topk_jobs(
     cfg: &MachineConfig,
     candidates: &[Candidate],
     k: usize,
     jobs: usize,
 ) -> Option<TuneOutcome> {
+    model_tune_topk_opts(cfg, candidates, k, &TuneOptions::with_jobs(jobs))
+}
+
+/// Model-based top-k autotuner with full [`TuneOptions`] control. Model
+/// scoring and the top-k validation wave both run on the pool; if every
+/// candidate in the wave fails, validation continues down the ranking one
+/// at a time (as the serial tuner does) until something executes.
+pub fn model_tune_topk_opts(
+    cfg: &MachineConfig,
+    candidates: &[Candidate],
+    k: usize,
+    opts: &TuneOptions,
+) -> Option<TuneOutcome> {
     let start = Instant::now();
-    let jobs = jobs.max(1);
     let model = GemmModel::cached(cfg);
-    let (ranked, mut cpu) = score_all(cfg, &model, candidates, jobs);
-    let mut all = vec![None; candidates.len()];
+    let mut eng = Engine::new(cfg, candidates, opts);
+    let (ranked, score_cpu) = score_all(cfg, &model, candidates, eng.jobs);
+    eng.cpu += score_cpu;
     let wave: Vec<usize> = ranked.iter().take(k).map(|&(i, _)| i).collect();
-    let wave_results = pool::par_map(jobs, &wave, |_, &i| timed_run(cfg, &candidates[i]));
+    eng.run(&wave);
     let mut executed = wave.len();
-    for (&i, (res, d)) in wave.iter().zip(wave_results) {
-        cpu += d;
-        all[i] = res;
-    }
-    let mut best = best_of(&all);
+    // Consider only indices this run actually targeted: a resumed
+    // checkpoint may hold measurements for candidates outside the wave
+    // (e.g. from a black-box sweep), and those must not leak into the pick.
+    let mut best = wave
+        .iter()
+        .filter_map(|&i| eng.cells[i].cycles().map(|c| (i, c)))
+        .min_by_key(|&(i, c)| (c, i));
     let mut rest = ranked.iter().skip(wave.len());
     while best.is_none() {
         let Some(&(i, _)) = rest.next() else { break };
+        eng.run(&[i]);
         executed += 1;
-        let (res, d) = timed_run(cfg, &candidates[i]);
-        cpu += d;
-        if let Some(cycles) = res {
-            all[i] = Some(cycles);
-            best = Some((i, cycles));
-        }
+        best = eng.cells[i].cycles().map(|c| (i, c));
     }
     let (best, cycles) = best?;
-    Some(TuneOutcome {
-        best,
-        cycles,
-        wall: start.elapsed(),
-        executed,
-        all_cycles: all,
-        jobs,
-        cpu,
-    })
+    Some(eng.outcome(start, best, cycles, executed))
 }
 
 /// Model-based autotuner with the default top-k (3) validation depth.
@@ -199,6 +546,15 @@ pub fn model_tune_jobs(
     jobs: usize,
 ) -> Option<TuneOutcome> {
     model_tune_topk_jobs(cfg, candidates, 3, jobs)
+}
+
+/// [`model_tune`] with full [`TuneOptions`] control.
+pub fn model_tune_opts(
+    cfg: &MachineConfig,
+    candidates: &[Candidate],
+    opts: &TuneOptions,
+) -> Option<TuneOutcome> {
+    model_tune_topk_opts(cfg, candidates, 3, opts)
 }
 
 /// Rank every candidate by the model without executing any of them

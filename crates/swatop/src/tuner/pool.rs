@@ -22,6 +22,7 @@
 //! slices need no `'static` bound and a panicking worker propagates after
 //! the scope joins.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads the host makes available (the default for
@@ -89,6 +90,35 @@ where
         .collect()
 }
 
+/// Render a panic payload as a message (the common `&str` / `String` cases;
+/// anything else becomes a generic marker).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`par_map`] with per-item panic isolation: a panicking `f` yields
+/// `Err(message)` for that item instead of tearing down the worker pool
+/// (and the tuning run) — one poisoned candidate must not kill a sweep.
+/// Panics are caught on the worker via `catch_unwind`, so the claim loop
+/// keeps draining items afterwards; determinism is untouched because the
+/// error, like any result, is stored at the item's input index.
+pub fn par_map_catch<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map(jobs, items, |i, x| {
+        catch_unwind(AssertUnwindSafe(|| f(i, x))).map_err(panic_message)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +144,35 @@ mod tests {
     fn jobs_zero_is_clamped_to_serial() {
         let items = [1, 2, 3];
         assert_eq!(par_map(0, &items, |_, &x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_map_catch_isolates_poisoned_items() {
+        let items: Vec<usize> = (0..64).collect();
+        // Silence the default panic hook while panics are expected: the
+        // catch still reports them, the terminal just stays readable.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let run = |jobs| {
+            par_map_catch(jobs, &items, |_, &x| {
+                if x % 7 == 3 {
+                    panic!("poisoned item {x}");
+                }
+                x * 2
+            })
+        };
+        let serial = run(1);
+        let par = run(8);
+        std::panic::set_hook(hook);
+        assert_eq!(serial, par, "panic isolation must stay deterministic");
+        for (i, r) in serial.iter().enumerate() {
+            if i % 7 == 3 {
+                let msg = r.as_ref().unwrap_err();
+                assert!(msg.contains("poisoned item"), "payload lost: {msg}");
+            } else {
+                assert_eq!(*r, Ok(i * 2));
+            }
+        }
     }
 
     #[test]

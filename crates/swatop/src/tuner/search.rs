@@ -13,43 +13,120 @@
 //! cost) and the static-model tuner (lowest cost); the paper's claim is
 //! that on a latency-oriented machine with discrete tensorized primitives,
 //! the *model* end of the triangle is the right one.
+//!
+//! Both searches measure through the same fault-aware path as the main
+//! tuners ([`super::RetryPolicy`] retries, median-of-N under jitter), count
+//! failed candidates against the budget — a real machine burns tuning time
+//! on a candidate whether or not it faults — and report them in the
+//! outcome instead of silently dropping them.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use sw26010::MachineConfig;
+use sw26010::{Cycles, MachineConfig};
 use swtensor::init::XorShift;
 
-use super::{run_candidate, TuneOutcome};
+use super::checkpoint::CandCell;
+use super::{measure_candidate, CandReport, RetryPolicy, TuneError, TuneOutcome};
 use crate::scheduler::Candidate;
 
+/// Serial sampling loop shared by both searches: measures not-yet-tried
+/// indices through the fault-aware path and accumulates per-candidate
+/// reports.
+struct Sampler<'a> {
+    cfg: &'a MachineConfig,
+    candidates: &'a [Candidate],
+    retry: RetryPolicy,
+    cells: Vec<CandCell>,
+    best: Option<(usize, Cycles)>,
+    executed: usize,
+    cpu: Duration,
+}
+
+impl<'a> Sampler<'a> {
+    fn new(cfg: &'a MachineConfig, candidates: &'a [Candidate]) -> Self {
+        Sampler {
+            cfg,
+            candidates,
+            retry: RetryPolicy::default(),
+            cells: vec![CandCell::Pending; candidates.len()],
+            best: None,
+            executed: 0,
+            cpu: Duration::ZERO,
+        }
+    }
+
+    /// Measure candidate `i` unless it was already tried. Failures still
+    /// count as executed: the budget models machine time, and a faulting
+    /// candidate consumes it.
+    fn measure(&mut self, i: usize) {
+        if !self.cells[i].is_pending() {
+            return;
+        }
+        self.executed += 1;
+        let (cell, d) = measure_candidate(self.cfg, &self.candidates[i], i, &self.retry);
+        self.cpu += d;
+        if let Some(c) = cell.cycles() {
+            if self.best.is_none_or(|(_, b)| c < b) {
+                self.best = Some((i, c));
+            }
+        }
+        self.cells[i] = cell;
+    }
+
+    fn finish(self, start: Instant) -> Result<TuneOutcome, TuneError> {
+        let failed = self.cells.iter().filter(|c| matches!(c, CandCell::Failed { .. })).count();
+        let Some((best, cycles)) = self.best else {
+            if self.executed == 0 {
+                return Err(TuneError::NoCandidates);
+            }
+            let last_error = self
+                .cells
+                .iter()
+                .rev()
+                .find_map(|c| match c {
+                    CandCell::Failed { error, .. } => Some(error.clone()),
+                    _ => None,
+                })
+                .unwrap_or_else(|| "no error recorded".to_string());
+            return Err(TuneError::AllFailed { sampled: self.executed, last_error });
+        };
+        Ok(TuneOutcome {
+            best,
+            cycles,
+            wall: start.elapsed(),
+            executed: self.executed,
+            all_cycles: self.cells.iter().map(CandCell::cycles).collect(),
+            jobs: 1,
+            cpu: self.cpu,
+            failed,
+            retried: self.cells.iter().map(|c| u64::from(c.retries())).sum(),
+            reports: self.cells.iter().map(CandReport::from_cell).collect(),
+        })
+    }
+}
+
 /// Measure `budget` uniformly random candidates, keep the fastest.
+///
+/// Errors with [`TuneError::AllFailed`] when every sampled candidate failed
+/// terminally (the per-candidate errors are lost in that case only to the
+/// extent that one representative is kept).
 pub fn random_search(
     cfg: &MachineConfig,
     candidates: &[Candidate],
     budget: usize,
     seed: u64,
-) -> Option<TuneOutcome> {
+) -> Result<TuneOutcome, TuneError> {
     let start = Instant::now();
+    if candidates.is_empty() {
+        return Err(TuneError::NoCandidates);
+    }
     let mut rng = XorShift::new(seed);
-    let mut all = vec![None; candidates.len()];
-    let mut best: Option<(usize, sw26010::Cycles)> = None;
-    let mut executed = 0;
+    let mut s = Sampler::new(cfg, candidates);
     for _ in 0..budget.min(candidates.len() * 4) {
         let i = (rng.next_u64() % candidates.len() as u64) as usize;
-        if all[i].is_some() {
-            continue;
-        }
-        executed += 1;
-        if let Ok(c) = run_candidate(cfg, &candidates[i]) {
-            all[i] = Some(c);
-            if best.is_none_or(|(_, b)| c < b) {
-                best = Some((i, c));
-            }
-        }
+        s.measure(i);
     }
-    let (best, cycles) = best?;
-    let wall = start.elapsed();
-    Some(TuneOutcome { best, cycles, wall, executed, all_cycles: all, jobs: 1, cpu: wall })
+    s.finish(start)
 }
 
 /// Evolutionary-style greedy search: random seeds, then local mutations of
@@ -60,53 +137,35 @@ pub fn greedy_search(
     candidates: &[Candidate],
     budget: usize,
     seed: u64,
-) -> Option<TuneOutcome> {
+) -> Result<TuneOutcome, TuneError> {
     let start = Instant::now();
     let n = candidates.len();
     if n == 0 {
-        return None;
+        return Err(TuneError::NoCandidates);
     }
     let mut rng = XorShift::new(seed);
-    let mut all = vec![None; n];
-    let mut best: Option<(usize, sw26010::Cycles)> = None;
-    let mut executed = 0;
-    let measure = |i: usize,
-                       all: &mut Vec<Option<sw26010::Cycles>>,
-                       best: &mut Option<(usize, sw26010::Cycles)>,
-                       executed: &mut usize| {
-        if all[i].is_none() {
-            *executed += 1;
-            if let Ok(c) = run_candidate(cfg, &candidates[i]) {
-                all[i] = Some(c);
-                if best.is_none_or(|(_, b)| c < b) {
-                    *best = Some((i, c));
-                }
-            }
-        }
-    };
+    let mut s = Sampler::new(cfg, candidates);
     // Seed phase: a third of the budget at random.
     for _ in 0..(budget / 3).max(1) {
         let i = (rng.next_u64() % n as u64) as usize;
-        measure(i, &mut all, &mut best, &mut executed);
+        s.measure(i);
     }
     // Mutation phase: explore around the incumbent with varying radius.
     // Attempts are bounded: once the incumbent's neighbourhood is fully
     // measured, mutations stop producing new points and the search ends.
     let mut attempts = 0usize;
-    while executed < budget && attempts < 16 * budget {
+    while s.executed < budget && attempts < 16 * budget {
         attempts += 1;
-        let Some((inc, _)) = best else { break };
+        let Some((inc, _)) = s.best else { break };
         // Widen the radius as attempts accumulate so a saturated local
         // neighbourhood spills outward instead of re-sampling itself.
         let max_radius = 8 + attempts / 4;
         let radius = 1 + (rng.next_u64() as usize) % max_radius;
         let dir = if rng.next_u64().is_multiple_of(2) { 1i64 } else { -1 };
         let j = (inc as i64 + dir * radius as i64).rem_euclid(n as i64) as usize;
-        measure(j, &mut all, &mut best, &mut executed);
+        s.measure(j);
     }
-    let (best, cycles) = best?;
-    let wall = start.elapsed();
-    Some(TuneOutcome { best, cycles, wall, executed, all_cycles: all, jobs: 1, cpu: wall })
+    s.finish(start)
 }
 
 #[cfg(test)]
@@ -134,6 +193,8 @@ mod tests {
             "random sample should land within 3x of optimum"
         );
         assert!(rs.executed <= cands.len());
+        assert_eq!(rs.failed, 0, "perfect machine: nothing should fail");
+        assert_eq!(rs.reports.len(), cands.len());
     }
 
     #[test]
@@ -165,5 +226,12 @@ mod tests {
         let b = random_search(&cfg, &cands, 10, 42).unwrap();
         assert_eq!(a.best, b.best);
         assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn empty_space_is_a_clear_error() {
+        let cfg = MachineConfig::default();
+        assert!(matches!(random_search(&cfg, &[], 10, 1), Err(TuneError::NoCandidates)));
+        assert!(matches!(greedy_search(&cfg, &[], 10, 1), Err(TuneError::NoCandidates)));
     }
 }

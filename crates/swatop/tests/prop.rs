@@ -1,13 +1,15 @@
 //! Property-based tests for the framework: random schedule points of a
-//! random matmul shape must compute the right answer, and optimizer passes
-//! must never change results.
+//! random matmul shape must compute the right answer, optimizer passes
+//! must never change results, fault streams must be pure functions of
+//! their keys, and checkpoints must round-trip exactly.
 
 use proptest::prelude::*;
-use sw26010::MachineConfig;
+use sw26010::{Cycles, FaultPlan, MachineConfig};
 use swatop::ops::tiling::{DimTiles, PadMode};
 use swatop::ops::{verify_candidate, MatmulOp};
 use swatop::optimizer::boundary::round_up;
 use swatop::scheduler::{Operator, Scheduler};
+use swatop::tuner::checkpoint::{self, CandCell, Checkpoint};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -101,5 +103,84 @@ proptest! {
         let align = 1usize << (align_pow + 2);
         let r = round_up(n, align);
         prop_assert!(r >= n && r % align == 0 && r < n + align);
+    }
+}
+
+/// One arbitrary candidate cell, covering all three states and arbitrary
+/// (unicode, control-character) error strings.
+fn cand_cell() -> impl Strategy<Value = CandCell> {
+    prop_oneof![
+        Just(CandCell::Pending),
+        (any::<u64>(), 0u32..100, 1u32..10).prop_map(|(cycles, retries, samples)| {
+            CandCell::Done { cycles, retries, samples }
+        }),
+        (".{0,40}", 0u32..100)
+            .prop_map(|(error, retries)| CandCell::Failed { error, retries }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fault stream is a pure function of `(seed, run, attempt)`:
+    /// re-deriving a session replays it bit-for-bit, whatever the knobs.
+    #[test]
+    fn fault_sessions_replay_exactly(
+        seed: u64,
+        run: u64,
+        attempt in 0u32..16,
+        dma_ppm in 0u32..200_000,
+        pressure_ppm in 0u32..1_000_000,
+        steal in 0u32..999,
+        jitter in 0u32..999,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            dma_fail_ppm: dma_ppm,
+            spm_pressure_ppm: pressure_ppm,
+            spm_steal_max_permille: steal,
+            jitter_permille: jitter,
+        };
+        let mut a = plan.session(run, attempt);
+        let mut b = plan.session(run, attempt);
+        prop_assert_eq!(a.spm_stolen_permille(), b.spm_stolen_permille());
+        prop_assert_eq!(a.spm_capacity(16_384), b.spm_capacity(16_384));
+        for _ in 0..64 {
+            prop_assert_eq!(a.dma_fault(), b.dma_fault());
+            prop_assert_eq!(a.jitter(Cycles(1 << 20)), b.jitter(Cycles(1 << 20)));
+        }
+    }
+
+    /// Jitter is a bounded multiplicative perturbation: the observed count
+    /// stays within ±j per-mille of the true count for any magnitude.
+    #[test]
+    fn jitter_stays_within_its_envelope(
+        seed: u64,
+        c in 1u64..u64::MAX / 2_000,
+        jitter in 0u32..999,
+    ) {
+        let plan = FaultPlan { jitter_permille: jitter, ..FaultPlan::with_seed(seed) };
+        let mut s = plan.session(0, 0);
+        let lo = (c as i128 * (1000 - i128::from(jitter)) / 1000) as u64;
+        let hi = (c as i128 * (1000 + i128::from(jitter)) / 1000) as u64;
+        for _ in 0..32 {
+            let got = s.jitter(Cycles(c)).get();
+            prop_assert!((lo..=hi).contains(&got), "{got} outside [{lo}, {hi}]");
+        }
+        let mut quiet = plan;
+        quiet.jitter_permille = 0;
+        prop_assert_eq!(quiet.session(0, 0).jitter(Cycles(c)), Cycles(c));
+    }
+
+    /// A checkpoint survives render → parse bit-exactly, for any cell mix
+    /// and any fingerprint.
+    #[test]
+    fn checkpoint_round_trips(
+        fingerprint: u64,
+        cells in prop::collection::vec(cand_cell(), 0..50),
+    ) {
+        let text = checkpoint::render(fingerprint, &cells);
+        let parsed = checkpoint::parse(&text);
+        prop_assert_eq!(parsed, Ok(Checkpoint { fingerprint, cells }));
     }
 }

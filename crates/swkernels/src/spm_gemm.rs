@@ -125,10 +125,11 @@ pub fn spm_gemm(
         }
         scatter(cg, c, &gc, m, n, mb, nb)?;
     } else {
-        // Cost-only: still verify the blocks fit in the SPM.
+        // Cost-only: still verify the blocks fit in the SPM. The capacity is
+        // the *effective* one — an active fault session may have shrunk it.
         for (mat, rows, cols) in [(&a, mb, kb), (&b, kb, nb), (&c, mb, nb)] {
             let span = mat.span(rows, cols);
-            let cap = cg.cfg.spm_elems();
+            let cap = cg.spm_capacity_elems();
             if mat.offset + span > cap {
                 return Err(MachineError::SpmOverflow {
                     cpe: 0,
