@@ -15,6 +15,28 @@ fn us(cycles: u64, clock_ghz: f64) -> f64 {
     cycles as f64 / (clock_ghz * 1e3)
 }
 
+/// Escape a string for embedding inside a JSON string literal. Handles
+/// quotes, backslashes and control characters; everything else passes
+/// through. Every name interpolated into trace JSON goes through this
+/// (also reused by `swatop::telemetry` for its exporters).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render the trace as Chrome trace-event JSON ("traceEvents" array form).
 ///
 /// Track (tid) 0 is the CPE compute stream (GEMMs, transforms, stalls);
@@ -33,8 +55,9 @@ pub fn to_chrome_json(trace: &Trace, clock_ghz: f64) -> String {
         match e {
             Event::Gemm { at, cycles, m, n, k } => emit(
                 format!(
-                    "{{\"name\":\"gemm {m}x{n}x{k}\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\
                      \"ts\":{:.3},\"dur\":{:.3}}}",
+                    escape_json(&format!("gemm {m}x{n}x{k}")),
                     us(at.get(), clock_ghz),
                     us(cycles.get(), clock_ghz)
                 ),
@@ -43,8 +66,9 @@ pub fn to_chrome_json(trace: &Trace, clock_ghz: f64) -> String {
             ),
             Event::Compute { at, cycles, what } => emit(
                 format!(
-                    "{{\"name\":\"{what}\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\
                      \"ts\":{:.3},\"dur\":{:.3}}}",
+                    escape_json(what),
                     us(at.get(), clock_ghz),
                     us(cycles.get(), clock_ghz)
                 ),
@@ -55,8 +79,9 @@ pub fn to_chrome_json(trace: &Trace, clock_ghz: f64) -> String {
                 if stall.get() > 0 {
                     emit(
                         format!(
-                            "{{\"name\":\"stall (tag {tag})\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\
+                            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\
                              \"ts\":{:.3},\"dur\":{:.3}}}",
+                            escape_json(&format!("stall (tag {tag})")),
                             us(at.get(), clock_ghz),
                             us(stall.get(), clock_ghz)
                         ),
@@ -67,9 +92,9 @@ pub fn to_chrome_json(trace: &Trace, clock_ghz: f64) -> String {
             }
             Event::DmaIssue { at, done, direction, payload_bytes, tag, .. } => emit(
                 format!(
-                    "{{\"name\":\"dma {:?} {payload_bytes}B (tag {tag})\",\"ph\":\"X\",\
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\
                      \"pid\":0,\"tid\":1,\"ts\":{:.3},\"dur\":{:.3}}}",
-                    direction,
+                    escape_json(&format!("dma {direction:?} {payload_bytes}B (tag {tag})")),
                     us(at.get(), clock_ghz),
                     us(done.get().saturating_sub(at.get()), clock_ghz)
                 ),
@@ -136,6 +161,28 @@ mod tests {
         let json = to_chrome_json(&t, 1.45);
         assert!(json.contains("traceEvents"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let mut t = Trace::enabled(4);
+        t.push(Event::Compute {
+            at: Cycles(0),
+            cycles: Cycles(10),
+            what: "pack \"edge\" case\\path",
+        });
+        let json = to_chrome_json(&t, 1.45);
+        assert!(json.contains("pack \\\"edge\\\" case\\\\path"));
+        // The raw quote must not survive unescaped inside the name.
+        assert!(!json.contains("\"pack \"edge\""));
+    }
+
+    #[test]
+    fn escape_json_covers_controls() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny\tz\r"), "x\\ny\\tz\\r");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
     }
 
     #[test]

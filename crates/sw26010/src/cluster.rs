@@ -9,6 +9,7 @@
 
 use crate::clock::Cycles;
 use crate::config::MachineConfig;
+use crate::counters::Counters;
 use crate::dma::{DmaDirection, DmaEngine, DmaRequest, ReplyWord};
 use crate::error::{MachineError, MachineResult};
 use crate::fault::FaultSession;
@@ -44,6 +45,11 @@ pub struct CoreGroup {
     mode: ExecMode,
     /// Floating-point operations executed (for efficiency reporting).
     pub flops: u64,
+    /// Aggregate machine counters for the current run (DMA traffic, stall
+    /// cycles, kernel issue counts, SPM high-water mark). Incremented
+    /// unconditionally — plain integer adds on a `Copy` struct, so the
+    /// cost-only hot path stays allocation-free.
+    pub counters: Counters,
     next_tag: u32,
     /// Active fault stream, present iff `cfg.fault` is set. Rearmed per
     /// measurement run via [`CoreGroup::arm_faults`].
@@ -73,6 +79,7 @@ impl CoreGroup {
             trace: Trace::disabled(),
             mode,
             flops: 0,
+            counters: Counters::default(),
             next_tag: 0,
             faults,
         }
@@ -119,13 +126,14 @@ impl CoreGroup {
         self.now
     }
 
-    /// Reset clocks, DMA engine, reply words and flop counter, keeping
-    /// memory contents. Call between timed program runs.
+    /// Reset clocks, DMA engine, reply words, flop counter and machine
+    /// counters, keeping memory contents. Call between timed program runs.
     pub fn reset_clocks(&mut self) {
         self.now = Cycles::ZERO;
         self.dma.reset();
         self.replies.clear();
         self.flops = 0;
+        self.counters = Counters::default();
         self.next_tag = 0;
         self.trace.clear();
     }
@@ -143,6 +151,7 @@ impl CoreGroup {
             self.trace.push(Event::Compute { at, cycles: c, what });
         }
         self.now += c;
+        self.counters.compute_cycles += c.get();
     }
 
     /// Record a GEMM kernel execution of `c` cycles performing `flops`.
@@ -153,6 +162,8 @@ impl CoreGroup {
         }
         self.now += c;
         self.flops += flops;
+        self.counters.kernel_calls += 1;
+        self.counters.kernel_cycles += c.get();
     }
 
     /// Register a fresh reply word.
@@ -220,12 +231,20 @@ impl CoreGroup {
                 self.copy(r)?;
             }
         }
+        let payload: usize = requests.iter().map(|r| r.total_bytes()).sum();
+        let bus: usize = requests
+            .iter()
+            .map(|r| r.bus_bytes(self.cfg.dram_transaction_bytes))
+            .sum();
+        self.counters.dma_payload_bytes += payload as u64;
+        self.counters.dma_bus_bytes += bus as u64;
+        self.counters.dma_batches += 1;
+        for r in requests {
+            if r.direction == DmaDirection::MemToSpm {
+                self.counters.note_spm_use((r.spm_offset + r.total_elems()) as u64);
+            }
+        }
         if self.trace.is_enabled() {
-            let payload: usize = requests.iter().map(|r| r.total_bytes()).sum();
-            let bus: usize = requests
-                .iter()
-                .map(|r| r.bus_bytes(self.cfg.dram_transaction_bytes))
-                .sum();
             let at = self.now;
             let tag = self.next_tag;
             self.trace.push(Event::DmaIssue {
@@ -256,6 +275,9 @@ impl CoreGroup {
         self.dma_issue()?;
         let finish =
             self.dma.schedule_totals(&self.cfg, self.now, bus_bytes, blocks, payload_bytes);
+        self.counters.dma_payload_bytes += payload_bytes as u64;
+        self.counters.dma_bus_bytes += bus_bytes as u64;
+        self.counters.dma_batches += 1;
         self.reply_mut(reply)?.push(finish);
         self.next_tag += 1;
         Ok(())
@@ -266,6 +288,8 @@ impl CoreGroup {
         self.now += self.cfg.dma_wait_poll;
         let done = self.reply_mut(reply)?.wait(times)?;
         let stall = done.saturating_sub(self.now);
+        self.counters.dma_waits += 1;
+        self.counters.dma_stall_cycles += stall.get();
         if self.trace.is_enabled() {
             let at = self.now;
             let tag = self.next_tag;
@@ -530,6 +554,72 @@ mod tests {
         let mut noisy = CoreGroup::new(faulty_cfg(0, 0, 20), ExecMode::CostOnly);
         let c = noisy.observed(Cycles(1_000_000)).get();
         assert!((980_000..=1_020_000).contains(&c));
+    }
+
+    #[test]
+    fn counters_track_dma_kernel_and_compute() {
+        let mut cg = CoreGroup::with_mode(ExecMode::CostOnly);
+        let a = cg.mem.alloc("a", 1 << 12);
+        let base = cg.mem.base(a);
+        let reply = cg.alloc_reply();
+        // One strided request: 7-elem blocks waste part of each transaction,
+        // so bus bytes exceed payload bytes.
+        let req = DmaRequest {
+            cpe: 0,
+            direction: MemToSpm,
+            mem_offset: base,
+            spm_offset: 16,
+            block_elems: 7,
+            stride_elems: 64,
+            n_blocks: 4,
+        };
+        cg.dma(MemToSpm, &[req], reply).unwrap();
+        cg.dma_wait(reply, 1).unwrap();
+        cg.kernel(Cycles(500), 1000, 8, 8, 8);
+        cg.compute(Cycles(30), "pack");
+        let c = cg.counters;
+        assert_eq!(c.dma_payload_bytes, 4 * 7 * 4);
+        assert!(c.dma_bus_bytes > c.dma_payload_bytes, "strided blocks waste bus bytes");
+        assert_eq!(c.dma_batches, 1);
+        assert_eq!(c.dma_waits, 1);
+        assert!(c.dma_stall_cycles > 0, "nothing overlapped this transfer");
+        assert_eq!(c.kernel_calls, 1);
+        assert_eq!(c.kernel_cycles, 500);
+        assert_eq!(c.compute_cycles, 30);
+        assert_eq!(c.spm_high_water_elems, (16 + 4 * 7) as u64);
+        assert!(c.dma_efficiency() < 1.0);
+    }
+
+    #[test]
+    fn counters_match_between_dma_and_dma_totals() {
+        // The cost-only fast path must account the same traffic as the
+        // request-based path for an equivalent batch.
+        let mut a = CoreGroup::with_mode(ExecMode::CostOnly);
+        let buf = a.mem.alloc("a", 1 << 12);
+        let base = a.mem.base(buf);
+        let ra = a.alloc_reply();
+        let req = DmaRequest::contiguous(0, MemToSpm, base, 0, 256);
+        let (payload, bus) =
+            (req.total_bytes(), req.bus_bytes(a.cfg.dram_transaction_bytes));
+        a.dma(MemToSpm, &[req], ra).unwrap();
+
+        let mut b = CoreGroup::with_mode(ExecMode::CostOnly);
+        let rb = b.alloc_reply();
+        b.dma_totals(bus, 1, payload, rb).unwrap();
+
+        assert_eq!(a.counters.dma_payload_bytes, b.counters.dma_payload_bytes);
+        assert_eq!(a.counters.dma_bus_bytes, b.counters.dma_bus_bytes);
+        assert_eq!(a.counters.dma_batches, b.counters.dma_batches);
+    }
+
+    #[test]
+    fn reset_clocks_clears_counters() {
+        let mut cg = CoreGroup::with_mode(ExecMode::CostOnly);
+        cg.kernel(Cycles(100), 10, 8, 8, 8);
+        cg.counters.note_spm_use(999);
+        assert_ne!(cg.counters, Counters::default());
+        cg.reset_clocks();
+        assert_eq!(cg.counters, Counters::default());
     }
 
     #[test]

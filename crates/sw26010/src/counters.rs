@@ -1,0 +1,181 @@
+//! Aggregate per-execution machine counters.
+//!
+//! Every [`CoreGroup`](crate::CoreGroup) carries a [`Counters`] block that
+//! the machine primitives increment unconditionally as a program runs: DMA
+//! payload/bus traffic and batch counts, stall cycles burnt waiting on
+//! reply words, register-communication broadcast loads, per-CPE pipeline
+//! issue counts and the SPM high-water mark. The increments are plain
+//! integer adds on an inline `Copy` struct — no allocation, no branching on
+//! a "telemetry enabled" flag — so cost-only candidate evaluation in the
+//! autotuner pays nothing measurable for them and stays bit-deterministic.
+//!
+//! The counters answer the observability question behind the paper's
+//! Sec. 4 analysis: *why* is a schedule slow — DMA-bound (high
+//! `dma_stall_cycles`, low [`Counters::dma_efficiency`]), issue-bound
+//! (high [`Counters::issue_slot_utilization`]), or SPM-capacity-limited
+//! (high `spm_high_water_elems`)? Tuning telemetry surfaces them per
+//! candidate.
+
+/// Machine counters accumulated over one execution (or merged over many).
+///
+/// Pipeline issue counts (`issue_p0`, `issue_p1`, `regcomm_broadcasts`) are
+/// *per-CPE*: the 64 CPEs run in lockstep and execute identical instruction
+/// streams, so the per-CPE figure is also the utilization-relevant one. DMA
+/// byte/batch counts are cluster aggregates, matching the single shared DMA
+/// engine. `spm_high_water_elems` is the largest SPM extent (offset + span,
+/// in f32 elements) any primitive touched on any CPE.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Useful DMA bytes moved (requested payload).
+    pub dma_payload_bytes: u64,
+    /// Bytes occupied on the DRAM bus (payload rounded up to transactions).
+    pub dma_bus_bytes: u64,
+    /// DMA batches issued.
+    pub dma_batches: u64,
+    /// Cycles the compute stream stalled in `dma_wait` for unfinished
+    /// transfers (0 under perfect prefetch overlap).
+    pub dma_stall_cycles: u64,
+    /// `dma_wait` calls performed.
+    pub dma_waits: u64,
+    /// GEMM kernel invocations.
+    pub kernel_calls: u64,
+    /// Cycles spent inside GEMM kernels.
+    pub kernel_cycles: u64,
+    /// Cycles spent in auxiliary compute (transforms, padding copies).
+    pub compute_cycles: u64,
+    /// Per-CPE P0 (floating-point/vector) instructions issued.
+    pub issue_p0: u64,
+    /// Per-CPE P1 (memory/register-comm) instructions issued.
+    pub issue_p1: u64,
+    /// Per-CPE register-communication broadcast loads (a subset of
+    /// `issue_p1`): row/column broadcasts feeding the GEMM micro-kernel.
+    pub regcomm_broadcasts: u64,
+    /// Largest SPM extent touched, in f32 elements (high-water mark; merged
+    /// with `max`, not `+`).
+    pub spm_high_water_elems: u64,
+}
+
+impl Counters {
+    /// Accumulate another counter block into this one: sums everywhere,
+    /// `max` for the SPM high-water mark.
+    pub fn merge(&mut self, o: &Counters) {
+        self.dma_payload_bytes += o.dma_payload_bytes;
+        self.dma_bus_bytes += o.dma_bus_bytes;
+        self.dma_batches += o.dma_batches;
+        self.dma_stall_cycles += o.dma_stall_cycles;
+        self.dma_waits += o.dma_waits;
+        self.kernel_calls += o.kernel_calls;
+        self.kernel_cycles += o.kernel_cycles;
+        self.compute_cycles += o.compute_cycles;
+        self.issue_p0 += o.issue_p0;
+        self.issue_p1 += o.issue_p1;
+        self.regcomm_broadcasts += o.regcomm_broadcasts;
+        self.spm_high_water_elems = self.spm_high_water_elems.max(o.spm_high_water_elems);
+    }
+
+    /// Raise the SPM high-water mark to at least `elems`.
+    #[inline]
+    pub fn note_spm_use(&mut self, elems: u64) {
+        if elems > self.spm_high_water_elems {
+            self.spm_high_water_elems = elems;
+        }
+    }
+
+    /// Payload bytes per bus byte: 1.0 for perfectly transaction-aligned
+    /// transfers, lower when strided blocks waste bus transactions
+    /// (Eq. 1's `ceil(block/transaction)` effect). 1.0 when no DMA ran.
+    pub fn dma_efficiency(&self) -> f64 {
+        if self.dma_bus_bytes == 0 {
+            1.0
+        } else {
+            self.dma_payload_bytes as f64 / self.dma_bus_bytes as f64
+        }
+    }
+
+    /// DRAM transactions implied by the bus traffic, at `txn_bytes` per
+    /// transaction.
+    pub fn dma_transactions(&self, txn_bytes: usize) -> u64 {
+        if txn_bytes == 0 {
+            0
+        } else {
+            self.dma_bus_bytes.div_ceil(txn_bytes as u64)
+        }
+    }
+
+    /// Fraction of dual-issue slots filled during kernel execution:
+    /// `(P0 + P1 issues) / (2 · kernel cycles)`. 0.0 when no kernel ran.
+    pub fn issue_slot_utilization(&self) -> f64 {
+        if self.kernel_cycles == 0 {
+            0.0
+        } else {
+            (self.issue_p0 + self.issue_p1) as f64 / (2.0 * self.kernel_cycles as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = Counters {
+            dma_payload_bytes: 100,
+            dma_bus_bytes: 128,
+            dma_batches: 1,
+            dma_stall_cycles: 10,
+            dma_waits: 1,
+            kernel_calls: 2,
+            kernel_cycles: 1000,
+            compute_cycles: 50,
+            issue_p0: 800,
+            issue_p1: 600,
+            regcomm_broadcasts: 500,
+            spm_high_water_elems: 4096,
+        };
+        let b = Counters { spm_high_water_elems: 2048, dma_batches: 3, ..a };
+        a.merge(&b);
+        assert_eq!(a.dma_payload_bytes, 200);
+        assert_eq!(a.dma_batches, 4);
+        assert_eq!(a.kernel_cycles, 2000);
+        assert_eq!(a.spm_high_water_elems, 4096, "high water merges with max");
+        let mut c = Counters::default();
+        c.merge(&b);
+        assert_eq!(c.spm_high_water_elems, 2048);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let c = Counters {
+            dma_payload_bytes: 96,
+            dma_bus_bytes: 128,
+            kernel_cycles: 100,
+            issue_p0: 100,
+            issue_p1: 60,
+            ..Counters::default()
+        };
+        assert!((c.dma_efficiency() - 0.75).abs() < 1e-12);
+        assert_eq!(c.dma_transactions(128), 1);
+        assert_eq!(c.dma_transactions(64), 2);
+        assert!((c.issue_slot_utilization() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counters_have_safe_ratios() {
+        let c = Counters::default();
+        assert_eq!(c.dma_efficiency(), 1.0);
+        assert_eq!(c.issue_slot_utilization(), 0.0);
+        assert_eq!(c.dma_transactions(128), 0);
+        assert_eq!(c.dma_transactions(0), 0);
+    }
+
+    #[test]
+    fn note_spm_use_is_monotone() {
+        let mut c = Counters::default();
+        c.note_spm_use(100);
+        c.note_spm_use(50);
+        assert_eq!(c.spm_high_water_elems, 100);
+        c.note_spm_use(200);
+        assert_eq!(c.spm_high_water_elems, 200);
+    }
+}

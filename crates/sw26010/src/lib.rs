@@ -54,6 +54,7 @@
 pub mod chrome_trace;
 pub mod clock;
 pub mod config;
+pub mod counters;
 pub mod dma;
 pub mod error;
 pub mod fault;
@@ -69,6 +70,7 @@ pub mod cluster;
 pub use clock::Cycles;
 pub use cluster::{CoreGroup, ExecMode};
 pub use config::MachineConfig;
+pub use counters::Counters;
 pub use dma::{DmaDirection, DmaRequest, ReplyWord};
 pub use error::{MachineError, MachineResult};
 pub use fault::{FaultPlan, FaultSession};

@@ -1,5 +1,6 @@
 //! Regenerates the paper's fig5 (see DESIGN.md for the experiment index).
 //! Usage: cargo run --release -p swatop-bench --bin fig5 [--full|--smoke|--cap N]
+//! [--telemetry FILE] [--trace-timeline FILE]
 
 use swatop_bench::experiments::{fig5, Opts};
 
@@ -9,4 +10,5 @@ fn main() {
     for t in fig5::run(&opts) {
         t.print();
     }
+    opts.finish_telemetry();
 }

@@ -31,6 +31,7 @@ use swatop::ops::{
     WinogradConvOp,
 };
 use swatop::scheduler::{Candidate, Operator, Scheduler};
+use swatop::telemetry::{SpanKind, Telemetry};
 use swatop::tuner::{
     blackbox_tune_opts, model_tune_opts, pool, CheckpointPolicy, TuneOptions, TuneOutcome,
 };
@@ -55,7 +56,14 @@ fn usage() -> ! {
          measurement jitter); SWATOP_FAULT_SEED works too\n  \
          --checkpoint FILE periodically snapshot sweep state to FILE\n  \
          --resume FILE     load FILE before tuning and continue the sweep\n                    \
-         (implies --checkpoint FILE)"
+         (implies --checkpoint FILE)\n  \
+         --telemetry FILE  write a JSON telemetry snapshot (per-candidate\n                    \
+         predicted/measured cycles, machine counters, model accuracy)\n  \
+         --trace-timeline FILE\n                    \
+         write a Perfetto/Chrome trace of the tuning run itself\n                    \
+         (one timeline track per tuner worker)\n  \
+         --verbose         print the per-run telemetry summary (counters, MAPE,\n                    \
+         rank correlation) after the result"
     );
     std::process::exit(2);
 }
@@ -65,17 +73,24 @@ struct Args {
     flags: HashMap<String, String>,
 }
 
+/// Flags that take no value argument.
+const BOOL_FLAGS: &[&str] = &["verbose"];
+
 fn parse_args(args: &[String]) -> Args {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            i += 1;
-            if i >= args.len() {
-                usage();
+            if BOOL_FLAGS.contains(&name) {
+                flags.insert(name.to_string(), "1".to_string());
+            } else {
+                i += 1;
+                if i >= args.len() {
+                    usage();
+                }
+                flags.insert(name.to_string(), args[i].clone());
             }
-            flags.insert(name.to_string(), args[i].clone());
         } else {
             positional.push(args[i].parse().unwrap_or_else(|_| usage()));
         }
@@ -96,6 +111,10 @@ struct Setup {
     tuner: Tuner,
     checkpoint: Option<PathBuf>,
     resume: bool,
+    /// Recorder shared by every tuned operator; `None` when neither
+    /// `--telemetry`, `--trace-timeline` nor `--verbose` was given, which
+    /// keeps the tuning hot path entirely uninstrumented.
+    telemetry: Option<Telemetry>,
 }
 
 impl Setup {
@@ -126,11 +145,22 @@ fn tune(
     n_ops: usize,
 ) -> Option<(Candidate, TuneOutcome)> {
     let cands = Scheduler::new(cfg.clone()).enumerate(op);
-    let opts = setup.options(slot, n_ops);
+    let mut opts = setup.options(slot, n_ops);
+    // Each operator tunes under its own span; the engine's candidate spans
+    // nest beneath it.
+    let span = setup.telemetry.as_ref().map(|t| {
+        let id = t.open(SpanKind::Operator, op.name());
+        opts.telemetry = Some(t.child_of(id));
+        (t, id)
+    });
     let outcome = match setup.tuner {
         Tuner::Model => model_tune_opts(cfg, &cands, &opts),
         Tuner::Blackbox => blackbox_tune_opts(cfg, &cands, &opts),
-    }?;
+    };
+    if let Some((t, id)) = span {
+        t.close(id);
+    }
+    let outcome = outcome?;
     Some((cands[outcome.best].clone(), outcome))
 }
 
@@ -160,6 +190,30 @@ fn report(
             "faults   : seed {seed}; {} of {} measured candidates failed, {} transient retries",
             outcome.failed, outcome.executed, outcome.retried
         );
+    }
+    if a.flags.contains_key("verbose") {
+        if let Some(tel) = &outcome.telemetry {
+            let c = &tel.counters;
+            println!(
+                "counters : {} DMA batches, {:.1} KiB payload ({:.0}% bus efficiency), \
+                 {} kernel calls, {:.1}% issue-slot utilization, SPM high water {:.1} KiB",
+                c.dma_batches,
+                c.dma_payload_bytes as f64 / 1024.0,
+                100.0 * c.dma_efficiency(),
+                c.kernel_calls,
+                100.0 * c.issue_slot_utilization(),
+                c.spm_high_water_elems as f64 * 4.0 / 1024.0
+            );
+            let fmt = |x: Option<f64>| x.map_or_else(|| "-".to_string(), |v| format!("{v:.3}"));
+            println!(
+                "model    : {} (predicted, measured) pairs, MAPE {}%, rank correlation {}, \
+                 {} misranked",
+                tel.pairs,
+                fmt(tel.mape_pct),
+                fmt(tel.rank_correlation),
+                tel.misranked
+            );
+        }
     }
     // The artifacts below re-execute the winner; they describe the *code*,
     // so they run on the clean machine even when tuning was fault-injected.
@@ -201,11 +255,15 @@ fn main() {
         _ => usage(),
     };
     let resume = a.flags.get("resume").map(PathBuf::from);
+    let instrument = ["telemetry", "trace-timeline", "verbose"]
+        .iter()
+        .any(|f| a.flags.contains_key(*f));
     let setup = Setup {
         jobs,
         tuner,
         resume: resume.is_some(),
         checkpoint: resume.or_else(|| a.flags.get("checkpoint").map(PathBuf::from)),
+        telemetry: instrument.then(Telemetry::new),
     };
     match cmd {
         "gemm" => {
@@ -258,5 +316,19 @@ fn main() {
             report(&cfg, &name, flops, &winner, &outcome, &a);
         }
         _ => usage(),
+    }
+    if let Some(tel) = &setup.telemetry {
+        if let Some(path) = a.flags.get("telemetry") {
+            std::fs::write(path, tel.snapshot_json()).expect("write telemetry JSON");
+            println!("telemetry: {path}");
+        }
+        if let Some(path) = a.flags.get("trace-timeline") {
+            std::fs::write(path, tel.perfetto_json()).expect("write timeline JSON");
+            println!("timeline : {path} (open in ui.perfetto.dev)");
+        }
+        if a.flags.contains_key("verbose") {
+            println!();
+            swatop_bench::report::telemetry_summary(tel).print();
+        }
     }
 }

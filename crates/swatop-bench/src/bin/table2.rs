@@ -1,5 +1,6 @@
 //! Regenerates the paper's table2 (see DESIGN.md for the experiment index).
 //! Usage: cargo run --release -p swatop-bench --bin table2 [--full|--smoke|--cap N]
+//! [--telemetry FILE] [--trace-timeline FILE]
 
 use swatop_bench::experiments::{table2, Opts};
 
@@ -9,4 +10,5 @@ fn main() {
     for t in table2::run(&opts) {
         t.print();
     }
+    opts.finish_telemetry();
 }

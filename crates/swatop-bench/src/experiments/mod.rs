@@ -25,7 +25,11 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
+use std::path::PathBuf;
+
 use sw26010::MachineConfig;
+use swatop::telemetry::Telemetry;
+use swatop::tuner::TuneOptions;
 
 /// How much of each sweep to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +54,13 @@ pub struct Opts {
     /// Fault-injection seed (`--faults SEED` or `SWATOP_FAULT_SEED`): tune
     /// on a simulated flaky machine. `None` = perfect machine.
     pub faults: Option<u64>,
+    /// Shared telemetry recorder (`--telemetry` / `--trace-timeline` attach
+    /// one). `None` = uninstrumented: bit-identical results, zero overhead.
+    pub telemetry: Option<Telemetry>,
+    /// Where to write the telemetry snapshot JSON (`--telemetry FILE`).
+    pub telemetry_path: Option<PathBuf>,
+    /// Where to write the Perfetto timeline JSON (`--trace-timeline FILE`).
+    pub timeline_path: Option<PathBuf>,
 }
 
 impl Default for Opts {
@@ -62,6 +73,9 @@ impl Default for Opts {
             faults: std::env::var("SWATOP_FAULT_SEED")
                 .ok()
                 .and_then(|s| s.trim().parse().ok()),
+            telemetry: None,
+            telemetry_path: None,
+            timeline_path: None,
         }
     }
 }
@@ -97,16 +111,50 @@ impl Opts {
                     i += 1;
                     o.faults = Some(args[i].parse().expect("--faults SEED"));
                 }
+                "--telemetry" => {
+                    i += 1;
+                    o.telemetry_path = Some(PathBuf::from(&args[i]));
+                }
+                "--trace-timeline" => {
+                    i += 1;
+                    o.timeline_path = Some(PathBuf::from(&args[i]));
+                }
                 other => {
                     panic!(
                         "unknown argument {other} \
-                         (try --full, --smoke, --cap N, --jobs N, --faults SEED)"
+                         (try --full, --smoke, --cap N, --jobs N, --faults SEED, \
+                         --telemetry FILE, --trace-timeline FILE)"
                     )
                 }
             }
             i += 1;
         }
+        if o.telemetry_path.is_some() || o.timeline_path.is_some() {
+            o.telemetry = Some(Telemetry::new());
+        }
         o
+    }
+
+    /// Tuning options carrying this harness's worker count and (if any)
+    /// telemetry recorder.
+    pub fn tune_options(&self) -> TuneOptions {
+        TuneOptions { jobs: self.jobs, telemetry: self.telemetry.clone(), ..TuneOptions::default() }
+    }
+
+    /// Flush the telemetry exporters requested on the command line: write
+    /// the snapshot and/or Perfetto timeline JSON and print the
+    /// human-readable per-operator summary. A no-op when uninstrumented.
+    pub fn finish_telemetry(&self) {
+        let Some(tel) = &self.telemetry else { return };
+        if let Some(path) = &self.telemetry_path {
+            std::fs::write(path, tel.snapshot_json()).expect("write telemetry JSON");
+            println!("telemetry : {}", path.display());
+        }
+        if let Some(path) = &self.timeline_path {
+            std::fs::write(path, tel.perfetto_json()).expect("write timeline JSON");
+            println!("timeline  : {} (open in ui.perfetto.dev)", path.display());
+        }
+        crate::report::telemetry_summary(tel).print();
     }
 
     /// Deterministically sub-sample a list according to the scale.

@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use swatop::telemetry::Telemetry;
+
 /// A simple aligned text table.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -56,6 +58,33 @@ impl Table {
     pub fn print(&self) {
         println!("{}", self.render());
     }
+}
+
+/// Human-readable per-operator telemetry summary: one row per operator
+/// span with candidate count, wall time, DMA traffic/efficiency, issue-slot
+/// utilization, SPM footprint and the model-accuracy headline numbers.
+pub fn telemetry_summary(tel: &Telemetry) -> Table {
+    let mut t = Table::new(
+        "telemetry",
+        &["operator", "cands", "wall ms", "dma MiB", "dma eff", "issue util", "spm KiB", "mape %", "rank corr", "misrank"],
+    );
+    let opt = |x: Option<f64>| x.map_or_else(|| "-".to_string(), |v| format!("{v:.3}"));
+    for g in tel.rollups() {
+        let c = &g.counters;
+        t.row(vec![
+            g.label.clone(),
+            g.candidates.len().to_string(),
+            format!("{:.2}", g.wall_us as f64 / 1e3),
+            format!("{:.2}", c.dma_payload_bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.3}", c.dma_efficiency()),
+            format!("{:.3}", c.issue_slot_utilization()),
+            format!("{:.1}", c.spm_high_water_elems as f64 * 4.0 / 1024.0),
+            opt(g.accuracy.as_ref().and_then(|a| a.mape_pct)),
+            opt(g.accuracy.as_ref().and_then(|a| a.rank_correlation)),
+            g.accuracy.as_ref().map_or(0, |a| a.misranked.len()).to_string(),
+        ]);
+    }
+    t
 }
 
 /// Format a ratio `baseline/ours` as a speedup string (e.g. "1.44x").

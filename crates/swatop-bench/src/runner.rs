@@ -13,7 +13,8 @@
 
 use sw26010::{Cycles, MachineConfig};
 use swatop::scheduler::{Operator, Scheduler};
-use swatop::tuner::{model_tune_jobs, pool, TuneOutcome};
+use swatop::telemetry::SpanKind;
+use swatop::tuner::{model_tune_opts, pool, TuneOptions, TuneOutcome};
 use swatop::ops::{ExplicitConvOp, ImplicitConvOp, MatmulOp, WinogradConvOp};
 use swtensor::ConvShape;
 
@@ -62,14 +63,26 @@ impl TunedOp {
     }
 }
 
-fn tune(cfg: &MachineConfig, op: &dyn Operator, jobs: usize) -> Option<TunedOp> {
+fn tune(cfg: &MachineConfig, op: &dyn Operator, label: &str, opts: &TuneOptions) -> Option<TunedOp> {
     let sched = Scheduler::new(cfg.clone());
     let cands = sched.enumerate(op);
     if cands.is_empty() {
         return None;
     }
     let n = cands.len();
-    let outcome = model_tune_jobs(cfg, &cands, jobs)?;
+    // When instrumented, the whole tune nests under one operator span and
+    // the engine's candidate spans become its children.
+    let mut run_opts = opts.clone();
+    let span = opts.telemetry.as_ref().map(|t| {
+        let id = t.open(SpanKind::Operator, label);
+        run_opts.telemetry = Some(t.child_of(id));
+        (t.clone(), id)
+    });
+    let outcome = model_tune_opts(cfg, &cands, &run_opts);
+    if let Some((t, id)) = span {
+        t.close(id);
+    }
+    let outcome = outcome?;
     Some(TunedOp { cycles: outcome.cycles, flops: op.flops(), candidates: n, outcome })
 }
 
@@ -86,14 +99,42 @@ pub fn tune_conv_jobs(
     shape: &ConvShape,
     jobs: usize,
 ) -> Option<TunedOp> {
+    tune_conv_opts(cfg, method, shape, &TuneOptions::with_jobs(jobs))
+}
+
+/// [`tune_conv`] with full [`TuneOptions`] (telemetry recorder, retry
+/// policy, worker threads).
+pub fn tune_conv_opts(
+    cfg: &MachineConfig,
+    method: ConvMethod,
+    shape: &ConvShape,
+    opts: &TuneOptions,
+) -> Option<TunedOp> {
     if !method.applicable(shape) {
         return None;
     }
+    let label = conv_label(method, shape);
     match method {
-        ConvMethod::Implicit => tune(cfg, &ImplicitConvOp::new(*shape), jobs),
-        ConvMethod::Explicit => tune(cfg, &ExplicitConvOp::new(*shape), jobs),
-        ConvMethod::Winograd => tune(cfg, &WinogradConvOp::new(*shape), jobs),
+        ConvMethod::Implicit => tune(cfg, &ImplicitConvOp::new(*shape), &label, opts),
+        ConvMethod::Explicit => tune(cfg, &ExplicitConvOp::new(*shape), &label, opts),
+        ConvMethod::Winograd => tune(cfg, &WinogradConvOp::new(*shape), &label, opts),
     }
+}
+
+/// Operator-span label for a convolution instance.
+fn conv_label(method: ConvMethod, s: &ConvShape) -> String {
+    format!(
+        "{} conv b{} {}x{} ni{} no{} k{}x{} s{}",
+        method.name(),
+        s.b,
+        s.ro,
+        s.co,
+        s.ni,
+        s.no,
+        s.kr,
+        s.kc,
+        s.stride
+    )
 }
 
 /// Model-tune a matrix multiplication.
@@ -109,7 +150,18 @@ pub fn tune_gemm_jobs(
     k: usize,
     jobs: usize,
 ) -> Option<TunedOp> {
-    tune(cfg, &MatmulOp::new(m, n, k), jobs)
+    tune_gemm_opts(cfg, m, n, k, &TuneOptions::with_jobs(jobs))
+}
+
+/// [`tune_gemm`] with full [`TuneOptions`].
+pub fn tune_gemm_opts(
+    cfg: &MachineConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    opts: &TuneOptions,
+) -> Option<TunedOp> {
+    tune(cfg, &MatmulOp::new(m, n, k), &format!("gemm {m}x{n}x{k}"), opts)
 }
 
 /// Tune every shape of a convolution sweep, one worker per shape (each
@@ -121,7 +173,25 @@ pub fn tune_conv_sweep(
     shapes: &[ConvShape],
     jobs: usize,
 ) -> Vec<Option<TunedOp>> {
-    pool::par_map(jobs, shapes, |_, s| tune_conv_jobs(cfg, method, s, 1))
+    tune_conv_sweep_opts(cfg, method, shapes, &TuneOptions::with_jobs(jobs))
+}
+
+/// [`tune_conv_sweep`] with full [`TuneOptions`]. When instrumented, the
+/// whole sweep nests under one `Sweep` span and each shape's operator span
+/// is pinned to the worker that tuned it, so the Perfetto export renders one
+/// timeline track per sweep worker. `opts.checkpoint` is not propagated to
+/// the per-shape runs (they would race on one checkpoint file).
+pub fn tune_conv_sweep_opts(
+    cfg: &MachineConfig,
+    method: ConvMethod,
+    shapes: &[ConvShape],
+    opts: &TuneOptions,
+) -> Vec<Option<TunedOp>> {
+    sweep(opts, &format!("conv sweep [{}] ({} shapes)", method.name(), shapes.len()), |shape_opts| {
+        pool::par_map_ctx(opts.jobs, shapes, |w, _, s| {
+            tune_conv_opts(cfg, method, s, &shape_opts(w))
+        })
+    })
 }
 
 /// Tune every `(m, n, k)` of a GEMM sweep, one worker per shape.
@@ -130,7 +200,45 @@ pub fn tune_gemm_sweep(
     shapes: &[(usize, usize, usize)],
     jobs: usize,
 ) -> Vec<Option<TunedOp>> {
-    pool::par_map(jobs, shapes, |_, &(m, n, k)| tune_gemm_jobs(cfg, m, n, k, 1))
+    tune_gemm_sweep_opts(cfg, shapes, &TuneOptions::with_jobs(jobs))
+}
+
+/// [`tune_gemm_sweep`] with full [`TuneOptions`]; see
+/// [`tune_conv_sweep_opts`] for the instrumentation contract.
+pub fn tune_gemm_sweep_opts(
+    cfg: &MachineConfig,
+    shapes: &[(usize, usize, usize)],
+    opts: &TuneOptions,
+) -> Vec<Option<TunedOp>> {
+    sweep(opts, &format!("gemm sweep ({} shapes)", shapes.len()), |shape_opts| {
+        pool::par_map_ctx(opts.jobs, shapes, |w, _, &(m, n, k)| {
+            tune_gemm_opts(cfg, m, n, k, &shape_opts(w))
+        })
+    })
+}
+
+/// Shared sweep harness: opens the `Sweep` span, hands the body a factory
+/// that builds the per-worker options (serial inside each shape, telemetry
+/// scoped under the sweep span and pinned to the worker's track), closes
+/// the span when the body returns.
+fn sweep<R>(
+    opts: &TuneOptions,
+    label: &str,
+    body: impl FnOnce(&(dyn Fn(usize) -> TuneOptions + Sync)) -> R,
+) -> R {
+    let span = opts.telemetry.as_ref().map(|t| (t.clone(), t.open(SpanKind::Sweep, label)));
+    let shape_opts = |w: usize| {
+        let mut inner = TuneOptions { retry: opts.retry.clone(), ..TuneOptions::default() };
+        if let Some((t, id)) = &span {
+            inner.telemetry = Some(t.child_of(*id).on_track(w));
+        }
+        inner
+    };
+    let out = body(&shape_opts);
+    if let Some((t, id)) = span {
+        t.close(id);
+    }
+    out
 }
 
 #[cfg(test)]

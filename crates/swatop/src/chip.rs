@@ -14,7 +14,8 @@ use sw26010::{Cycles, MachineConfig};
 use swtensor::ConvShape;
 
 use crate::scheduler::{Operator, Scheduler};
-use crate::tuner::model_tune_jobs;
+use crate::telemetry::SpanKind;
+use crate::tuner::{model_tune_opts, TuneOptions};
 
 /// Number of core groups on the chip.
 pub const N_CG: usize = 4;
@@ -72,6 +73,19 @@ pub fn run_conv_data_parallel_jobs(
     build: impl Fn(ConvShape) -> Box<dyn Operator>,
     jobs: usize,
 ) -> Option<ChipRun> {
+    run_conv_data_parallel_opts(cfg, shape, build, &TuneOptions::with_jobs(jobs))
+}
+
+/// [`run_conv_data_parallel`] with full [`TuneOptions`]. When a telemetry
+/// recorder is attached, each distinct shard size tunes under its own
+/// operator span (`conv shard b=<n>`), so a chip run shows up as one span
+/// group per shard in the timeline.
+pub fn run_conv_data_parallel_opts(
+    cfg: &MachineConfig,
+    shape: &ConvShape,
+    build: impl Fn(ConvShape) -> Box<dyn Operator>,
+    opts: &TuneOptions,
+) -> Option<ChipRun> {
     let shards = split_batch(shape.b);
     let mut worst = Cycles::ZERO;
     let mut flops = 0u64;
@@ -84,7 +98,17 @@ pub fn run_conv_data_parallel_jobs(
                 let op = build(shard_shape);
                 let sched = Scheduler::new(cfg.clone());
                 let cands = sched.enumerate(op.as_ref());
-                let outcome = model_tune_jobs(cfg, &cands, jobs)?;
+                let mut shard_opts = opts.clone();
+                let span = opts.telemetry.as_ref().map(|t| {
+                    let id = t.open(SpanKind::Operator, format!("conv shard b={b}"));
+                    shard_opts.telemetry = Some(t.child_of(id));
+                    (t.clone(), id)
+                });
+                let outcome = model_tune_opts(cfg, &cands, &shard_opts);
+                if let Some((t, id)) = span {
+                    t.close(id);
+                }
+                let outcome = outcome?;
                 cache.insert(b, (outcome.cycles, op.flops()));
                 (outcome.cycles, op.flops())
             }

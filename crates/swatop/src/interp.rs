@@ -17,7 +17,8 @@
 
 use sw26010::cluster::ReplyId as CgReply;
 use sw26010::{
-    cid, rid, CoreGroup, Cycles, DmaRequest, ExecMode, MachineError, MachineResult, N_CPE,
+    cid, rid, CoreGroup, Cycles, DmaDirection, DmaRequest, ExecMode, MachineError, MachineResult,
+    N_CPE,
 };
 use swkernels::spm_gemm::SpmMatrix;
 use swtensor::Tensor;
@@ -154,6 +155,11 @@ impl Interp<'_> {
                             len: d.block * d.n_blocks,
                             capacity: cg.spm_capacity_elems(),
                         });
+                    }
+                    // Mirror the functional path's SPM high-water tracking
+                    // (request-level `note_spm_use` never runs here).
+                    if d.direction == DmaDirection::MemToSpm {
+                        cg.counters.note_spm_use(spm_needed as u64);
                     }
                     let txn = cg.cfg.dram_transaction_bytes;
                     let mut bus = 0usize;

@@ -54,11 +54,13 @@ pub mod model;
 pub mod ops;
 pub mod optimizer;
 pub mod scheduler;
+pub mod telemetry;
 pub mod tuner;
 
 pub use codegen::Executable;
 pub use interp::{execute, Binding};
 pub use scheduler::{Candidate, Scheduler};
+pub use telemetry::{Telemetry, TuneTelemetry};
 pub use tuner::{
     blackbox_tune, blackbox_tune_jobs, model_tune, model_tune_jobs, TuneOutcome,
 };

@@ -30,7 +30,9 @@ use std::fmt;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use sw26010::{CoreGroup, Cycles, ExecMode, MachineConfig, MachineError, MachineResult};
+use sw26010::{
+    CoreGroup, Counters, Cycles, ExecMode, MachineConfig, MachineError, MachineResult,
+};
 use swatop_ir::{MatDesc, SpmSlot, Stmt};
 use swkernels::spm_gemm::SpmMatrix;
 
@@ -39,6 +41,7 @@ use crate::codegen::Executable;
 use crate::interp::{execute, instantiate};
 use crate::model::{estimate_program, GemmModel};
 use crate::scheduler::Candidate;
+use crate::telemetry::{SpanKind, Telemetry, TuneTelemetry};
 
 /// Result of a tuning run.
 #[derive(Debug, Clone)]
@@ -67,6 +70,9 @@ pub struct TuneOutcome {
     pub retried: u64,
     /// Per-candidate measurement report, index-aligned with the input.
     pub reports: Vec<CandReport>,
+    /// Condensed telemetry (counter totals, model accuracy); present iff
+    /// the run was instrumented via [`TuneOptions::telemetry`].
+    pub telemetry: Option<TuneTelemetry>,
 }
 
 /// What happened while measuring one candidate.
@@ -146,6 +152,12 @@ pub struct TuneOptions {
     pub jobs: usize,
     pub retry: RetryPolicy,
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Span/counter/accuracy recorder. `None` (the default) disables
+    /// instrumentation entirely: no allocation, no locking, and tuning
+    /// results bit-identical to the uninstrumented tuners. Attach a handle
+    /// scoped with [`Telemetry::child_of`] to group this run's candidate
+    /// spans under an operator span.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl TuneOptions {
@@ -247,19 +259,24 @@ fn backoff_sleep(retry: &RetryPolicy, nth: u32) {
     std::thread::sleep(retry.backoff.saturating_mul(1 << nth.min(4)));
 }
 
-/// Measure one candidate under the retry policy, returning its cell and the
-/// host time spent. The fault stream of attempt `a` is derived from
-/// `(index, a)`, so the returned cell is a pure function of the candidate —
-/// never of worker count or evaluation order.
+/// Measure one candidate under the retry policy, returning its cell, the
+/// host time spent and the machine counters of its last successful
+/// execution. The fault stream of attempt `a` is derived from `(index, a)`,
+/// so the returned cell is a pure function of the candidate — never of
+/// worker count or evaluation order. `tel`, when present, must be a
+/// *candidate-scoped* handle: each execution attempt records an Attempt
+/// span under it. The `None` path touches no telemetry state at all.
 fn measure_candidate(
     cfg: &MachineConfig,
     cand: &Candidate,
     index: usize,
     retry: &RetryPolicy,
-) -> (CandCell, Duration) {
+    tel: Option<&Telemetry>,
+) -> (CandCell, Duration, Counters) {
     let t = Instant::now();
+    let mut counters = Counters::default();
     if let Err(e) = prevalidate(cfg, cand) {
-        return (CandCell::Failed { error: e.to_string(), retries: 0 }, t.elapsed());
+        return (CandCell::Failed { error: e.to_string(), retries: 0 }, t.elapsed(), counters);
     }
     let fault_active = cfg.fault.is_some();
     let repeats = if cfg.fault.as_ref().is_some_and(|p| p.jitter_permille > 0) {
@@ -273,12 +290,24 @@ fn measure_candidate(
     let mut attempt = 0u32;
     let mut last_transient: Option<MachineError> = None;
     while (samples.len() as u32) < repeats && attempt < budget {
+        let span = tel.map(|t| t.open(SpanKind::Attempt, format!("attempt {attempt}")));
         let mut cg = CoreGroup::new(cfg.clone(), ExecMode::CostOnly);
         cg.arm_faults(index as u64, attempt);
         attempt += 1;
         let binding = instantiate(&mut cg, &cand.exe);
         match execute(&mut cg, &cand.exe, &binding) {
-            Ok(c) => samples.push(cg.observed(c + cfg.kernel_launch)),
+            Ok(c) => {
+                let observed = cg.observed(c + cfg.kernel_launch);
+                samples.push(observed);
+                counters = cg.counters;
+                if let (Some(t), Some(id)) = (tel, span) {
+                    t.update(id, |s| {
+                        s.cycles = Some(observed.get());
+                        s.counters = counters;
+                    });
+                    t.close(id);
+                }
+            }
             // SPM overflow is permanent on a perfect machine (prevalidation
             // bounds the footprint) but transient under injected capacity
             // pressure: the next attempt may get the scratch pad back.
@@ -287,18 +316,32 @@ fn measure_candidate(
                     || (fault_active && matches!(e, MachineError::SpmOverflow { .. })) =>
             {
                 retries += 1;
+                if let (Some(t), Some(id)) = (tel, span) {
+                    let msg = e.to_string();
+                    t.update(id, |s| s.error = Some(msg));
+                    t.close(id);
+                }
                 last_transient = Some(e);
                 backoff_sleep(retry, retries);
             }
             Err(e) => {
-                return (CandCell::Failed { error: e.to_string(), retries }, t.elapsed());
+                if let (Some(t), Some(id)) = (tel, span) {
+                    let msg = e.to_string();
+                    t.update(id, |s| s.error = Some(msg));
+                    t.close(id);
+                }
+                return (
+                    CandCell::Failed { error: e.to_string(), retries },
+                    t.elapsed(),
+                    counters,
+                );
             }
         }
     }
     if samples.is_empty() {
         let why = last_transient.map_or_else(|| "no samples taken".to_string(), |e| e.to_string());
         let error = format!("retry budget ({budget} attempts) exhausted: {why}");
-        return (CandCell::Failed { error, retries }, t.elapsed());
+        return (CandCell::Failed { error, retries }, t.elapsed(), counters);
     }
     // Median of the achieved samples (upper median for even counts): robust
     // against jitter outliers, deterministic because samples are a pure
@@ -307,7 +350,53 @@ fn measure_candidate(
     let median = samples[samples.len() / 2];
     let cell =
         CandCell::Done { cycles: median.get(), retries, samples: samples.len() as u32 };
-    (cell, t.elapsed())
+    (cell, t.elapsed(), counters)
+}
+
+/// [`measure_candidate`] wrapped in a Candidate span on the worker's
+/// telemetry track, recording the (predicted, measured) accuracy pair.
+/// With `tel = None` this *is* `measure_candidate` — no span, no lock, no
+/// allocation.
+fn measure_instrumented(
+    cfg: &MachineConfig,
+    cand: &Candidate,
+    index: usize,
+    retry: &RetryPolicy,
+    tel: Option<&Telemetry>,
+    worker: usize,
+    predicted: Option<f64>,
+) -> (CandCell, Duration, Counters) {
+    let Some(t) = tel else {
+        return measure_candidate(cfg, cand, index, retry, None);
+    };
+    // Pin the span to the worker's timeline track unless the caller already
+    // chose one (sweep harnesses pre-assign tracks per shape).
+    let t = if t.track().is_some() { t.clone() } else { t.on_track(worker) };
+    let span = t.open(SpanKind::Candidate, cand.describe.clone());
+    let scoped = t.child_of(span);
+    let (cell, wall, counters) = measure_candidate(cfg, cand, index, retry, Some(&scoped));
+    t.update(span, |s| {
+        s.index = Some(index);
+        s.predicted = predicted;
+        s.counters = counters;
+        match &cell {
+            CandCell::Done { cycles, retries, samples } => {
+                s.cycles = Some(*cycles);
+                s.retries = *retries;
+                s.samples = *samples;
+            }
+            CandCell::Failed { error, retries } => {
+                s.error = Some(error.clone());
+                s.retries = *retries;
+            }
+            CandCell::Pending => {}
+        }
+    });
+    t.close(span);
+    if let (Some(p), CandCell::Done { cycles, .. }) = (predicted, &cell) {
+        t.record_pair(index, p, *cycles);
+    }
+    (cell, wall, counters)
 }
 
 /// Argmin over executed candidates under the total order `(cycles, index)`.
@@ -333,6 +422,14 @@ struct Engine<'a> {
     fingerprint: u64,
     cells: Vec<CandCell>,
     cpu: Duration,
+    telemetry: Option<Telemetry>,
+    /// Model-predicted cycles per candidate (NaN = unscored). Populated via
+    /// [`Engine::set_predictions`] only when telemetry is attached — the
+    /// uninstrumented hot path never allocates it.
+    predictions: Vec<f64>,
+    /// Machine counters per measured candidate (only kept when telemetry is
+    /// attached; empty otherwise).
+    counters: Vec<Counters>,
 }
 
 impl<'a> Engine<'a> {
@@ -356,6 +453,11 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        let counters = if opts.telemetry.is_some() {
+            vec![Counters::default(); candidates.len()]
+        } else {
+            Vec::new()
+        };
         Engine {
             cfg,
             candidates,
@@ -365,7 +467,26 @@ impl<'a> Engine<'a> {
             fingerprint,
             cells,
             cpu: Duration::ZERO,
+            telemetry: opts.telemetry.clone(),
+            predictions: Vec::new(),
+            counters,
         }
+    }
+
+    /// Remember model predictions for accuracy tracking (telemetry only;
+    /// a no-op shortcut keeps the uninstrumented path allocation-free).
+    fn set_predictions(&mut self, ranked: &[(usize, f64)]) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        self.predictions = vec![f64::NAN; self.candidates.len()];
+        for &(i, score) in ranked {
+            self.predictions[i] = score;
+        }
+    }
+
+    fn prediction(&self, i: usize) -> Option<f64> {
+        self.predictions.get(i).copied().filter(|p| p.is_finite())
     }
 
     /// Measure every still-pending index of `order`, a chunk at a time; a
@@ -378,13 +499,24 @@ impl<'a> Engine<'a> {
         }
         let chunk = self.checkpoint.as_ref().map_or(usize::MAX, |c| c.every.max(1));
         for part in todo.chunks(chunk.min(todo.len())) {
-            let results = pool::par_map_catch(self.jobs, part, |_, &i| {
-                measure_candidate(self.cfg, &self.candidates[i], i, &self.retry)
+            let results = pool::par_map_catch_ctx(self.jobs, part, |worker, _, &i| {
+                measure_instrumented(
+                    self.cfg,
+                    &self.candidates[i],
+                    i,
+                    &self.retry,
+                    self.telemetry.as_ref(),
+                    worker,
+                    self.prediction(i),
+                )
             });
             for (&i, r) in part.iter().zip(results) {
                 self.cells[i] = match r {
-                    Ok((cell, d)) => {
+                    Ok((cell, d, counters)) => {
                         self.cpu += d;
+                        if let Some(slot) = self.counters.get_mut(i) {
+                            *slot = counters;
+                        }
                         cell
                     }
                     Err(msg) => CandCell::Failed { error: format!("panicked: {msg}"), retries: 0 },
@@ -406,6 +538,15 @@ impl<'a> Engine<'a> {
     }
 
     fn outcome(&self, start: Instant, best: usize, cycles: Cycles, executed: usize) -> TuneOutcome {
+        let telemetry = self.telemetry.as_ref().map(|t| {
+            let mut total = Counters::default();
+            for (cell, c) in self.cells.iter().zip(&self.counters) {
+                if !cell.is_pending() {
+                    total.merge(c);
+                }
+            }
+            t.tune_summary(t.scope(), total)
+        });
         TuneOutcome {
             best,
             cycles,
@@ -417,6 +558,7 @@ impl<'a> Engine<'a> {
             failed: self.cells.iter().filter(|c| matches!(c, CandCell::Failed { .. })).count(),
             retried: self.cells.iter().map(|c| u64::from(c.retries())).sum(),
             reports: self.cells.iter().map(CandReport::from_cell).collect(),
+            telemetry,
         }
     }
 }
@@ -449,6 +591,15 @@ pub fn blackbox_tune_opts(
 ) -> Option<TuneOutcome> {
     let start = Instant::now();
     let mut eng = Engine::new(cfg, candidates, opts);
+    if eng.telemetry.is_some() {
+        // Score the space so every measurement contributes a (predicted,
+        // measured) accuracy pair. Pure observability: the scoring cost is
+        // *not* charged to `cpu` (the black-box tuner never pays it) and
+        // the pick below still depends only on measured cycles.
+        let model = GemmModel::cached(cfg);
+        let (ranked, _) = score_all(cfg, &model, candidates, eng.jobs);
+        eng.set_predictions(&ranked);
+    }
     let order: Vec<usize> = (0..candidates.len()).collect();
     eng.run(&order);
     let (best, cycles) = best_of(&eng.all_cycles())?;
@@ -513,6 +664,11 @@ pub fn model_tune_topk_opts(
     let mut eng = Engine::new(cfg, candidates, opts);
     let (ranked, score_cpu) = score_all(cfg, &model, candidates, eng.jobs);
     eng.cpu += score_cpu;
+    // Predictions for the *full* ranked set, not only the winners: every
+    // executed candidate — including ones rejected in the top-k wave and
+    // fallback probes — then feeds the accuracy tracker, so rank
+    // correlation reflects the whole validated ranking.
+    eng.set_predictions(&ranked);
     let wave: Vec<usize> = ranked.iter().take(k).map(|&(i, _)| i).collect();
     eng.run(&wave);
     let mut executed = wave.len();

@@ -51,15 +51,29 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_ctx(jobs, items, |_, i, x| f(i, x))
+}
+
+/// [`par_map`] that also tells `f` *which worker* runs it:
+/// `f(worker, i, &items[i])`. Telemetry uses the worker index to render one
+/// timeline track per worker. Determinism caveat: the worker assignment of
+/// an item depends on scheduling, so `f`'s *result* must not depend on
+/// `worker` — only side observability (span track tags) may.
+pub fn par_map_ctx<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, usize, &T) -> R + Sync,
+{
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs <= 1 {
-        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        return items.iter().enumerate().map(|(i, x)| f(0, i, x)).collect();
     }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
-            .map(|_| {
+            .map(|w| {
                 let next = &next;
                 let f = &f;
                 scope.spawn(move |_| {
@@ -71,7 +85,7 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        out.push((i, f(i, &items[i])));
+                        out.push((i, f(w, i, &items[i])));
                     }
                     out
                 })
@@ -116,6 +130,19 @@ where
 {
     par_map(jobs, items, |i, x| {
         catch_unwind(AssertUnwindSafe(|| f(i, x))).map_err(panic_message)
+    })
+}
+
+/// [`par_map_ctx`] with per-item panic isolation (the worker-aware form of
+/// [`par_map_catch`]).
+pub fn par_map_catch_ctx<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, usize, &T) -> R + Sync,
+{
+    par_map_ctx(jobs, items, |w, i, x| {
+        catch_unwind(AssertUnwindSafe(|| f(w, i, x))).map_err(panic_message)
     })
 }
 
@@ -173,6 +200,21 @@ mod tests {
                 assert_eq!(*r, Ok(i * 2));
             }
         }
+    }
+
+    #[test]
+    fn ctx_variant_reports_sane_worker_ids() {
+        let items: Vec<usize> = (0..64).collect();
+        // Serial: every item runs on worker 0.
+        let serial = par_map_ctx(1, &items, |w, i, &x| (w, i * 2 + x));
+        assert!(serial.iter().all(|&(w, _)| w == 0));
+        // Parallel: worker ids are within [0, jobs) and results (which must
+        // not depend on the worker) match the serial run exactly.
+        let par = par_map_ctx(4, &items, |w, i, &x| (w, i * 2 + x));
+        assert!(par.iter().all(|&(w, _)| w < 4));
+        let results: Vec<usize> = par.iter().map(|&(_, r)| r).collect();
+        let expect: Vec<usize> = serial.iter().map(|&(_, r)| r).collect();
+        assert_eq!(results, expect);
     }
 
     #[test]

@@ -22,12 +22,15 @@
 
 use std::time::{Duration, Instant};
 
-use sw26010::{Cycles, MachineConfig};
+use sw26010::{Counters, Cycles, MachineConfig};
 use swtensor::init::XorShift;
 
 use super::checkpoint::CandCell;
-use super::{measure_candidate, CandReport, RetryPolicy, TuneError, TuneOutcome};
+use super::{
+    measure_instrumented, CandReport, RetryPolicy, TuneError, TuneOptions, TuneOutcome,
+};
 use crate::scheduler::Candidate;
+use crate::telemetry::Telemetry;
 
 /// Serial sampling loop shared by both searches: measures not-yet-tried
 /// indices through the fault-aware path and accumulates per-candidate
@@ -36,6 +39,8 @@ struct Sampler<'a> {
     cfg: &'a MachineConfig,
     candidates: &'a [Candidate],
     retry: RetryPolicy,
+    tel: Option<Telemetry>,
+    counters: Counters,
     cells: Vec<CandCell>,
     best: Option<(usize, Cycles)>,
     executed: usize,
@@ -43,11 +48,13 @@ struct Sampler<'a> {
 }
 
 impl<'a> Sampler<'a> {
-    fn new(cfg: &'a MachineConfig, candidates: &'a [Candidate]) -> Self {
+    fn new(cfg: &'a MachineConfig, candidates: &'a [Candidate], opts: &TuneOptions) -> Self {
         Sampler {
             cfg,
             candidates,
-            retry: RetryPolicy::default(),
+            retry: opts.retry.clone(),
+            tel: opts.telemetry.clone(),
+            counters: Counters::default(),
             cells: vec![CandCell::Pending; candidates.len()],
             best: None,
             executed: 0,
@@ -63,8 +70,21 @@ impl<'a> Sampler<'a> {
             return;
         }
         self.executed += 1;
-        let (cell, d) = measure_candidate(self.cfg, &self.candidates[i], i, &self.retry);
+        // Sampling searches have no model score for the candidate, so no
+        // (predicted, measured) pair is recorded — spans and counters only.
+        let (cell, d, counters) = measure_instrumented(
+            self.cfg,
+            &self.candidates[i],
+            i,
+            &self.retry,
+            self.tel.as_ref(),
+            0,
+            None,
+        );
         self.cpu += d;
+        if self.tel.is_some() && !matches!(cell, CandCell::Pending) {
+            self.counters.merge(&counters);
+        }
         if let Some(c) = cell.cycles() {
             if self.best.is_none_or(|(_, b)| c < b) {
                 self.best = Some((i, c));
@@ -101,6 +121,10 @@ impl<'a> Sampler<'a> {
             failed,
             retried: self.cells.iter().map(|c| u64::from(c.retries())).sum(),
             reports: self.cells.iter().map(CandReport::from_cell).collect(),
+            telemetry: self
+                .tel
+                .as_ref()
+                .map(|t| t.tune_summary(t.scope(), self.counters)),
         })
     }
 }
@@ -116,12 +140,26 @@ pub fn random_search(
     budget: usize,
     seed: u64,
 ) -> Result<TuneOutcome, TuneError> {
+    random_search_opts(cfg, candidates, budget, seed, &TuneOptions::default())
+}
+
+/// [`random_search`] with explicit [`TuneOptions`]. The sampling loop is
+/// inherently serial (each draw depends on what was already measured), so
+/// `opts.jobs` and `opts.checkpoint` are ignored; `opts.retry` and
+/// `opts.telemetry` apply.
+pub fn random_search_opts(
+    cfg: &MachineConfig,
+    candidates: &[Candidate],
+    budget: usize,
+    seed: u64,
+    opts: &TuneOptions,
+) -> Result<TuneOutcome, TuneError> {
     let start = Instant::now();
     if candidates.is_empty() {
         return Err(TuneError::NoCandidates);
     }
     let mut rng = XorShift::new(seed);
-    let mut s = Sampler::new(cfg, candidates);
+    let mut s = Sampler::new(cfg, candidates, opts);
     for _ in 0..budget.min(candidates.len() * 4) {
         let i = (rng.next_u64() % candidates.len() as u64) as usize;
         s.measure(i);
@@ -138,13 +176,26 @@ pub fn greedy_search(
     budget: usize,
     seed: u64,
 ) -> Result<TuneOutcome, TuneError> {
+    greedy_search_opts(cfg, candidates, budget, seed, &TuneOptions::default())
+}
+
+/// [`greedy_search`] with explicit [`TuneOptions`]; like
+/// [`random_search_opts`], `opts.jobs` and `opts.checkpoint` are ignored
+/// because the mutation loop is sequential by nature.
+pub fn greedy_search_opts(
+    cfg: &MachineConfig,
+    candidates: &[Candidate],
+    budget: usize,
+    seed: u64,
+    opts: &TuneOptions,
+) -> Result<TuneOutcome, TuneError> {
     let start = Instant::now();
     let n = candidates.len();
     if n == 0 {
         return Err(TuneError::NoCandidates);
     }
     let mut rng = XorShift::new(seed);
-    let mut s = Sampler::new(cfg, candidates);
+    let mut s = Sampler::new(cfg, candidates, opts);
     // Seed phase: a third of the budget at random.
     for _ in 0..(budget / 3).max(1) {
         let i = (rng.next_u64() % n as u64) as usize;

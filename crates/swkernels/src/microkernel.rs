@@ -197,6 +197,57 @@ pub fn per_cpe_cycles(
     total
 }
 
+/// Per-CPE instruction issue counts of one kernel call, derived analytically
+/// from the same register-blocking walk as [`per_cpe_cycles`]. Used by
+/// telemetry to report issue-slot utilization and register-communication
+/// traffic without re-running the scoreboard (kernel *cycles* are memoised;
+/// these counts are exact regardless of hazard stalls, since in-order issue
+/// never drops instructions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IssueCounts {
+    /// P0 (floating-point/vector) instructions: the vmads.
+    pub p0: u64,
+    /// P1 (memory/register-comm) instructions: broadcast loads plus the
+    /// C-accumulator load/store traffic.
+    pub p1: u64,
+    /// Register-communication broadcast loads (subset of `p1`).
+    pub broadcasts: u64,
+}
+
+/// Count the instructions one CPE issues for a full kernel call of shape
+/// (`v_len`, `s_len`, `kb`), mirroring the blocking of [`per_cpe_cycles`]:
+/// per register block of `vb × sb`, each of the `8·kb` K steps issues
+/// `vb·sb` vmads on P0 and its broadcast loads on P1, and the block loads
+/// and stores its `vb·sb` C accumulators once.
+pub fn per_cpe_issue_counts(
+    v_len: usize,
+    s_len: usize,
+    kb: usize,
+    fast_vec_load: bool,
+) -> IssueCounts {
+    debug_assert_eq!(v_len % 4, 0, "vectorised dim must be a multiple of 4");
+    let n_vec = v_len / 4;
+    let k_total = (MESH * kb) as u64;
+    let mut counts = IssueCounts::default();
+    let mut done_v = 0;
+    while done_v < n_vec {
+        let vb = (n_vec - done_v).min(4);
+        let mut done_s = 0;
+        while done_s < s_len {
+            let sb = (s_len - done_s).min(4);
+            let n_acc = (vb * sb) as u64;
+            counts.p0 += n_acc * k_total;
+            let per_step_loads =
+                (if fast_vec_load { vb } else { 4 * vb } + sb) as u64;
+            counts.broadcasts += per_step_loads * k_total;
+            counts.p1 += per_step_loads * k_total + 2 * n_acc;
+            done_s += sb;
+        }
+        done_v += vb;
+    }
+    counts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +338,43 @@ mod tests {
     #[should_panic]
     fn reg_block_bounds_checked() {
         RegBlock::new(5, 1);
+    }
+
+    #[test]
+    fn issue_counts_match_emitted_streams() {
+        // One full 4×4 block over one panel: counts must equal the vmads and
+        // loads the emitter actually produces, plus 2·16 accumulator moves.
+        let c = cfg();
+        let k_total = MESH * 2;
+        for &fast in &[true, false] {
+            let counts = per_cpe_issue_counts(16, 4, 2, fast);
+            let blk = RegBlock::new(4, 4);
+            let mut loads = Vec::new();
+            emit_loads(&c, blk, 0, fast, &mut loads);
+            let per_step_loads = loads.len() as u64;
+            assert_eq!(counts.p0, 16 * k_total as u64);
+            assert_eq!(counts.broadcasts, per_step_loads * k_total as u64);
+            assert_eq!(counts.p1, per_step_loads * k_total as u64 + 32);
+        }
+    }
+
+    #[test]
+    fn issue_counts_cover_ragged_blocks() {
+        // v_len 20 → n_vec 5 → blocks of 4+1 vectors; s_len 6 → 4+2.
+        // Total vmads must still equal n_vec·s_len per K step.
+        let counts = per_cpe_issue_counts(20, 6, 1, true);
+        let k_total = MESH as u64;
+        assert_eq!(counts.p0, 5 * 6 * k_total);
+        // Four blocks: (4,4), (4,2), (1,4), (1,2); loads = (vb+sb)·k each.
+        let loads: u64 = [(4, 4), (4, 2), (1, 4), (1, 2)]
+            .iter()
+            .map(|&(vb, sb): &(u64, u64)| (vb + sb) * k_total)
+            .sum();
+        assert_eq!(counts.broadcasts, loads);
+        let accs: u64 = [(4, 4), (4, 2), (1, 4), (1, 2)]
+            .iter()
+            .map(|&(vb, sb): &(u64, u64)| 2 * vb * sb)
+            .sum();
+        assert_eq!(counts.p1, loads + accs);
     }
 }

@@ -141,8 +141,29 @@ pub fn spm_gemm(
         }
     }
 
+    // SPM high-water mark: the furthest element any operand block reaches
+    // (same in both modes — functional gather/scatter touch the same spans).
+    for (mat, rows, cols) in [(&a, mb, kb), (&b, kb, nb), (&c, mb, nb)] {
+        cg.counters.note_spm_use((mat.offset + mat.span(rows, cols)) as u64);
+    }
+
     let cycles = gemm_cycles(&cg.cfg, variant, m, n, k);
     let flops = 2 * (m as u64) * (n as u64) * (k as u64);
+    // Issue counts are analytic (the memoised cycle cache bypasses the
+    // scoreboard on hits, so they cannot come from the simulation itself).
+    let (v_len, s_len) = match vd {
+        VecDim::M => (mb, nb),
+        VecDim::N => (nb, mb),
+    };
+    let issue = crate::microkernel::per_cpe_issue_counts(
+        v_len,
+        s_len,
+        kb,
+        variant.vector_load_ok(),
+    );
+    cg.counters.issue_p0 += issue.p0;
+    cg.counters.issue_p1 += issue.p1;
+    cg.counters.regcomm_broadcasts += issue.broadcasts;
     cg.kernel(cycles, flops, m, n, k);
     Ok(())
 }
@@ -319,6 +340,30 @@ mod tests {
         assert!(cg.now().get() > 0);
         // SPM untouched.
         assert_eq!(cg.spm(0).load(128).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn kernel_updates_machine_counters() {
+        let mut cg = CoreGroup::with_mode(ExecMode::CostOnly);
+        let (m, n, k) = (32, 32, 8);
+        let a_desc = SpmMatrix::new(0, RowMajor, k / 8);
+        let b_desc = SpmMatrix::new(64, RowMajor, n / 8);
+        let c_desc = SpmMatrix::new(128, RowMajor, n / 8);
+        spm_gemm(&mut cg, m, n, k, 1.0, a_desc, b_desc, 1.0, c_desc, VecDim::M).unwrap();
+        let counters = cg.counters;
+        assert_eq!(counters.kernel_calls, 1);
+        assert_eq!(counters.kernel_cycles, cg.now().get());
+        // vec M: v_len = mb = 4, s_len = nb = 4, kb = 1.
+        let variant = validate(m, n, k, &a_desc, &b_desc, &c_desc, VecDim::M).unwrap();
+        let issue =
+            crate::microkernel::per_cpe_issue_counts(4, 4, 1, variant.vector_load_ok());
+        assert_eq!(counters.issue_p0, issue.p0);
+        assert_eq!(counters.issue_p1, issue.p1);
+        assert_eq!(counters.regcomm_broadcasts, issue.broadcasts);
+        assert!(counters.issue_p0 > 0 && counters.regcomm_broadcasts > 0);
+        // C ends at offset 128 + span(4×4 row-major, ld 4) = 128 + 16.
+        assert_eq!(counters.spm_high_water_elems, 144);
+        assert!(counters.issue_slot_utilization() > 0.0);
     }
 
     #[test]
