@@ -1,0 +1,94 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` with spawn/join (see
+//! `crates/shims/README.md` for why these shims exist).
+//!
+//! Implemented over `std::thread::scope`, which provides the same borrow
+//! guarantee (workers may borrow from the caller's stack; the scope joins
+//! them before returning). The one semantic difference papered over here:
+//! crossbeam returns a panicking child as `Err` from `scope` rather than
+//! resuming the unwind, so the body is wrapped in `catch_unwind`.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a join or of a whole scope: `Err` carries the panic
+    /// payload of a panicking worker.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle for spawning scoped workers; mirrors
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped worker.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker; the closure receives the scope again so workers
+        /// can spawn siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Run `f` with a scope handle; every spawned worker is joined before
+    /// this returns. A worker panic that the caller did not consume via
+    /// `join` surfaces as `Err` here instead of unwinding.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_workers_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sum: u64 = thread::scope(|s| {
+            let handles: Vec<_> =
+                data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(sum, 100);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r: thread::Result<()> = thread::scope(|s| {
+            s.spawn(|_| panic!("boom")).join().expect("worker panicked");
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_from_worker() {
+        let n = thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 42).join().unwrap()).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

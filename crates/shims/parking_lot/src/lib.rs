@@ -1,0 +1,124 @@
+//! Offline shim for the subset of `parking_lot` this workspace uses.
+//!
+//! The build container has no access to crates.io, so external
+//! dependencies are replaced by local path crates re-implementing exactly
+//! the API surface the workspace consumes (see `crates/shims/README.md`).
+//! This one wraps `std::sync::{Mutex, RwLock}` behind `parking_lot`'s
+//! non-poisoning interface: `lock()`/`read()`/`write()` return guards
+//! directly, and a lock poisoned by a panicking holder is recovered
+//! instead of propagating an error — matching `parking_lot`'s semantics,
+//! where poisoning does not exist.
+
+use std::sync::{
+    Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard,
+};
+
+/// A mutual-exclusion lock with `parking_lot`'s panic-free interface.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(StdMutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A reader-writer lock with `parking_lot`'s panic-free interface.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(StdRwLock<T>);
+
+pub type RwLockReadGuard<'a, T> = StdReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = StdWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(StdRwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basics() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+        let held = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(held);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_basics() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn const_new_in_static() {
+        static S: Mutex<u64> = Mutex::new(7);
+        static R: RwLock<u64> = RwLock::new(9);
+        assert_eq!(*S.lock(), 7);
+        assert_eq!(*R.read(), 9);
+    }
+
+    #[test]
+    fn panicking_holder_does_not_poison() {
+        let m = Mutex::new(0);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock();
+            panic!("holder dies");
+        }));
+        *m.lock() += 1; // parking_lot semantics: still usable
+        assert_eq!(*m.lock(), 1);
+    }
+}

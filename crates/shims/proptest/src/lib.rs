@@ -1,0 +1,179 @@
+//! Offline shim for the subset of `proptest` this workspace uses (see
+//! `crates/shims/README.md` for why these shims exist).
+//!
+//! A small, fully deterministic property-testing harness exposing
+//! proptest's macro surface: `proptest!` test blocks (with optional
+//! `#![proptest_config(..)]`, `pat in strategy` and `name: Type`
+//! parameters), `prop_assert!` / `prop_assert_eq!` / `prop_assume!`,
+//! `prop_oneof!`, `Just`, `any::<T>()`, ranges, tuples, string patterns,
+//! `collection::vec` and `array::uniform4`, plus the `Strategy` trait with
+//! `prop_map` and `boxed`.
+//!
+//! Differences from real proptest, by design: inputs are drawn from a
+//! fixed per-test seed (the run is bit-reproducible, there is no
+//! `PROPTEST_` environment handling), there is **no shrinking** (a failure
+//! reports the failing case index and seed instead of a minimal input),
+//! and string strategies support only the `.{A,B}` pattern form the
+//! workspace uses (anything else generates the pattern text literally).
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — size-bounded container strategies.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of `element` with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// `proptest::array` — fixed-size array strategies.
+pub mod array {
+    use crate::strategy::{ArrayStrategy, Strategy};
+
+    /// Strategy for `[T; 4]` with every element drawn from `element`.
+    pub fn uniform4<S: Strategy>(element: S) -> ArrayStrategy<S, 4> {
+        ArrayStrategy { element }
+    }
+}
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Everything a `proptest!` test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests. Each function's parameters are drawn from their
+/// strategies [`ProptestConfig::cases`] times; the body runs once per
+/// drawn case and fails the test on the first `prop_assert!` violation.
+///
+/// Parameters may mix `name in strategy` and `name: Type` forms; the
+/// macro munches them one at a time (a `pat $(in ..)? $(: ..)?` matcher
+/// would violate macro_rules' expr follow-set rules) into `(name, strat)`
+/// pairs before emitting the test function.
+#[macro_export]
+macro_rules! proptest {
+    // -- internal: walk the fn list ------------------------------------
+    (@impl $cfg:tt) => {};
+    (@impl $cfg:tt
+        $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @params $cfg [$(#[$meta])*] $name [] ($($params)*) $body }
+        $crate::proptest! { @impl $cfg $($rest)* }
+    };
+    // -- internal: munch one parameter per step ------------------------
+    (@params $cfg:tt $meta:tt $name:ident [$($acc:tt)*]
+        ($p:ident in $strat:expr, $($rest:tt)*) $body:block) => {
+        $crate::proptest! { @params $cfg $meta $name [$($acc)* ($p, $strat)] ($($rest)*) $body }
+    };
+    (@params $cfg:tt $meta:tt $name:ident [$($acc:tt)*]
+        ($p:ident in $strat:expr) $body:block) => {
+        $crate::proptest! { @emit $cfg $meta $name [$($acc)* ($p, $strat)] $body }
+    };
+    (@params $cfg:tt $meta:tt $name:ident [$($acc:tt)*]
+        ($p:ident : $ty:ty, $($rest:tt)*) $body:block) => {
+        $crate::proptest! {
+            @params $cfg $meta $name
+            [$($acc)* ($p, $crate::strategy::any::<$ty>())] ($($rest)*) $body
+        }
+    };
+    (@params $cfg:tt $meta:tt $name:ident [$($acc:tt)*]
+        ($p:ident : $ty:ty) $body:block) => {
+        $crate::proptest! {
+            @emit $cfg $meta $name [$($acc)* ($p, $crate::strategy::any::<$ty>())] $body
+        }
+    };
+    (@params $cfg:tt $meta:tt $name:ident [$($acc:tt)*] () $body:block) => {
+        $crate::proptest! { @emit $cfg $meta $name [$($acc)*] $body }
+    };
+    // -- internal: emit the test function ------------------------------
+    (@emit ($config:expr) [$($meta:tt)*] $name:ident
+        [$(($p:ident, $strat:expr))*] $body:block) => {
+        $($meta)*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner = $crate::test_runner::TestRunner::new_for(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let strategy = ($($strat,)*);
+            let outcome = runner.run(&strategy, |($($p,)*)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+            if let ::core::result::Result::Err(e) = outcome {
+                panic!("{e}");
+            }
+        }
+    };
+    // -- entry points --------------------------------------------------
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @impl ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @impl ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Discard the current case (counted as passed) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice between strategies with the same `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,306 @@
+//! Value-generation strategies: the input half of the harness.
+//!
+//! A [`Strategy`] deterministically maps PRNG state to a value. All
+//! combinators sample eagerly — there is no lazy value tree because this
+//! shim does not shrink.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// Something that can generate values of an associated type from the
+/// deterministic test PRNG.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (needed by [`crate::prop_oneof!`], whose
+    /// arms have distinct types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.sample(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies ([`crate::prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` — uniform over the whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! range_strategy_ints {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                // Offset arithmetic in i128 handles negative bounds and
+                // full-width unsigned ranges alike.
+                let width = (self.end as i128) - (self.start as i128);
+                let off = rng.below(width as u64) as i128;
+                ((self.start as i128) + off) as $ty
+            }
+        }
+    )*};
+}
+
+range_strategy_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        let t = rng.unit_f64() as f32;
+        self.start + t * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Characters the string strategy draws from: plain ASCII plus the JSON
+/// troublemakers (quotes, backslash, control characters) and multi-byte
+/// unicode, since the workspace uses string strategies to exercise
+/// escaping.
+const STRING_POOL: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '_', '-', '.', '/', '"', '\\', '\n', '\t',
+    '\r', '\u{1}', '\u{1f}', 'é', 'µ', '仐', '🦀',
+];
+
+/// `&str` as a strategy: the `.{A,B}` pattern form generates strings of
+/// `A..=B` arbitrary characters; any other pattern produces its own text.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        if let Some((lo, hi)) = parse_dot_repeat(self) {
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| STRING_POOL[rng.below(STRING_POOL.len() as u64) as usize])
+                .collect()
+        } else {
+            (*self).to_string()
+        }
+    }
+}
+
+/// Parse the `.{A,B}` regex form; `None` for anything else.
+fn parse_dot_repeat(pat: &str) -> Option<(usize, usize)> {
+    let body = pat.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// [`crate::collection::vec`]'s strategy.
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// [`crate::array::uniform4`]'s strategy.
+pub struct ArrayStrategy<S, const N: usize> {
+    pub(crate) element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let u = (5usize..9).sample(&mut rng);
+            assert!((5..9).contains(&u));
+            let i = (-20i64..20).sample(&mut rng);
+            assert!((-20..20).contains(&i));
+            let f = (-1e6f32..1e6).sample(&mut rng);
+            assert!((-1e6..1e6).contains(&f));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let strat = (0usize..100, -50i64..50, ".{0,40}");
+        let a: Vec<_> =
+            (0..20).scan(TestRng::from_seed(7), |r, _| Some(strat.sample(r))).collect();
+        let b: Vec<_> =
+            (0..20).scan(TestRng::from_seed(7), |r, _| Some(strat.sample(r))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn string_pattern_lengths() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = ".{0,40}".sample(&mut rng);
+            assert!(s.chars().count() <= 40);
+        }
+        assert_eq!("literal".sample(&mut rng), "literal");
+        assert_eq!(parse_dot_repeat(".{2,7}"), Some((2, 7)));
+        assert_eq!(parse_dot_repeat("a{2,7}"), None);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::from_seed(9);
+        let s = crate::prop_oneof![
+            Just(0usize),
+            (1usize..10).prop_map(|x| x * 100),
+        ];
+        let mut saw_low = false;
+        let mut saw_high = false;
+        for _ in 0..100 {
+            match s.sample(&mut rng) {
+                0 => saw_low = true,
+                v if (100..=900).contains(&v) && v % 100 == 0 => saw_high = true,
+                v => panic!("unexpected {v}"),
+            }
+        }
+        assert!(saw_low && saw_high);
+        let v = crate::collection::vec(0u32..3, 2..5).sample(&mut rng);
+        assert!((2..5).contains(&v.len()));
+        let a = crate::array::uniform4(-50i64..50).sample(&mut rng);
+        assert!(a.iter().all(|x| (-50..50).contains(x)));
+    }
+}

@@ -1,0 +1,200 @@
+//! The case-execution half of the harness: configuration, deterministic
+//! PRNG, and the runner loop behind [`crate::proptest!`].
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+
+/// Per-test configuration. Only `cases` is honoured by this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// What a case body returns: `Ok(())` to pass (or discard), `Err` to fail.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Failure report for a whole `proptest!` function: which case failed and
+/// under which seed, since there is no shrinking to a minimal input.
+#[derive(Debug, Clone)]
+pub struct TestError {
+    pub test: String,
+    pub case: u32,
+    pub seed: u64,
+    pub message: String,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "proptest failure in {} (case {} of seed {:#018x}): {}",
+            self.test, self.case, self.seed, self.message
+        )
+    }
+}
+
+/// Deterministic xorshift64* generator. Quality is ample for test-input
+/// generation and the whole run is reproducible from the test name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        // Avoid the xorshift fixed point at zero.
+        TestRng { state: seed | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift bound reduction; the modulo bias at u64 width is
+        // immaterial for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 random bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a, used to turn a test's path into its PRNG seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Drives a strategy through `cases` iterations of a test body.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: String,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Runner seeded deterministically from the test's full path.
+    pub fn new_for(config: ProptestConfig, name: &str) -> TestRunner {
+        let seed = fnv1a(name.as_bytes());
+        TestRunner { config, name: name.to_string(), seed }
+    }
+
+    /// Run `body` once per case with inputs drawn from `strategy`,
+    /// stopping at the first failure.
+    pub fn run<S, F>(&mut self, strategy: &S, mut body: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let mut rng = TestRng::from_seed(self.seed);
+        for case in 0..self.config.cases {
+            let input = strategy.sample(&mut rng);
+            if let Err(e) = body(input) {
+                return Err(TestError {
+                    test: self.name.clone(),
+                    case,
+                    seed: self.seed,
+                    message: e.message,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_varied() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<_> = xs.iter().collect();
+        assert!(distinct.len() > 60);
+        for _ in 0..1000 {
+            assert!(a.below(7) < 7);
+            let u = a.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn runner_reports_failing_case() {
+        let mut runner =
+            TestRunner::new_for(ProptestConfig::with_cases(100), "shim::demo");
+        let mut n = 0u32;
+        let err = runner
+            .run(&(0u64..1000), |_| {
+                n += 1;
+                if n == 5 {
+                    Err(TestCaseError::fail("forced"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.case, 4);
+        assert!(err.to_string().contains("forced"));
+        assert!(err.to_string().contains("shim::demo"));
+    }
+
+    #[test]
+    fn runner_passes_clean_bodies() {
+        let mut runner =
+            TestRunner::new_for(ProptestConfig::default(), "shim::clean");
+        runner.run(&(1u64..10), |x| {
+            assert!((1..10).contains(&x));
+            Ok(())
+        })
+        .unwrap();
+    }
+}

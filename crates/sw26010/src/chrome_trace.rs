@@ -15,27 +15,9 @@ fn us(cycles: u64, clock_ghz: f64) -> f64 {
     cycles as f64 / (clock_ghz * 1e3)
 }
 
-/// Escape a string for embedding inside a JSON string literal. Handles
-/// quotes, backslashes and control characters; everything else passes
-/// through. Every name interpolated into trace JSON goes through this
-/// (also reused by `swatop::telemetry` for its exporters).
-pub fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
+/// Re-export of the shared escape helper (historically defined here; the
+/// single implementation now lives in [`crate::json`] with its own tests).
+pub use crate::json::escape_json;
 
 /// Render the trace as Chrome trace-event JSON ("traceEvents" array form).
 ///
@@ -175,14 +157,6 @@ mod tests {
         assert!(json.contains("pack \\\"edge\\\" case\\\\path"));
         // The raw quote must not survive unescaped inside the name.
         assert!(!json.contains("\"pack \"edge\""));
-    }
-
-    #[test]
-    fn escape_json_covers_controls() {
-        assert_eq!(escape_json("plain"), "plain");
-        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(escape_json("x\ny\tz\r"), "x\\ny\\tz\\r");
-        assert_eq!(escape_json("\u{1}"), "\\u0001");
     }
 
     #[test]

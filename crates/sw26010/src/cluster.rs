@@ -164,6 +164,7 @@ impl CoreGroup {
         self.flops += flops;
         self.counters.kernel_calls += 1;
         self.counters.kernel_cycles += c.get();
+        self.counters.flops += flops;
     }
 
     /// Register a fresh reply word.

@@ -11,6 +11,10 @@ use crate::clock::Cycles;
 use crate::fault::FaultPlan;
 use crate::{ELEM_BYTES, N_CPE};
 
+/// Fraction of the theoretical memory bandwidth the DMA engine can actually
+/// sustain: 22.6 GB/s of 34 GB/s per core group (paper Sec. 2).
+pub const DMA_ACHIEVABLE_FRACTION: f64 = 22.6 / 34.0;
+
 /// Static description of the simulated machine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
@@ -99,6 +103,15 @@ impl MachineConfig {
         self.mem_bytes_per_cycle * self.clock_ghz * 1e9
     }
 
+    /// *Achievable* DMA bandwidth in bytes/second: the SW26010 literature
+    /// measures 22.6 GB/s of the 34 GB/s theoretical peak actually reachable
+    /// through the DMA engine. Expressed as a fixed fraction of the
+    /// theoretical peak so it scales with a re-configured machine; this is
+    /// the bandwidth roof the observatory's roofline analysis uses.
+    pub fn dma_achievable_bytes_per_sec(&self) -> f64 {
+        self.peak_bw_bytes_per_sec() * DMA_ACHIEVABLE_FRACTION
+    }
+
     /// SPM capacity per CPE in f32 elements.
     pub fn spm_elems(&self) -> usize {
         self.spm_bytes / ELEM_BYTES
@@ -128,6 +141,7 @@ mod tests {
         // One CG: 742.4 GFLOPS single precision; 34 GB/s.
         assert!((c.peak_flops() / 1e9 - 742.4).abs() < 0.1);
         assert!((c.peak_bw_bytes_per_sec() / 1e9 - 34.0).abs() < 1e-9);
+        assert!((c.dma_achievable_bytes_per_sec() / 1e9 - 22.6).abs() < 1e-9);
         assert_eq!(c.spm_elems(), 16 * 1024);
     }
 

@@ -41,6 +41,10 @@ pub struct Counters {
     pub kernel_calls: u64,
     /// Cycles spent inside GEMM kernels.
     pub kernel_cycles: u64,
+    /// Floating-point operations performed by GEMM kernels (2·M·N·K per
+    /// call). Auxiliary transforms are accounted as cycles, not flops, so
+    /// this matches the paper's direct-normalised numerator.
+    pub flops: u64,
     /// Cycles spent in auxiliary compute (transforms, padding copies).
     pub compute_cycles: u64,
     /// Per-CPE P0 (floating-point/vector) instructions issued.
@@ -66,6 +70,7 @@ impl Counters {
         self.dma_waits += o.dma_waits;
         self.kernel_calls += o.kernel_calls;
         self.kernel_cycles += o.kernel_cycles;
+        self.flops += o.flops;
         self.compute_cycles += o.compute_cycles;
         self.issue_p0 += o.issue_p0;
         self.issue_p1 += o.issue_p1;
@@ -127,6 +132,7 @@ mod tests {
             dma_waits: 1,
             kernel_calls: 2,
             kernel_cycles: 1000,
+            flops: 4096,
             compute_cycles: 50,
             issue_p0: 800,
             issue_p1: 600,
@@ -138,6 +144,7 @@ mod tests {
         assert_eq!(a.dma_payload_bytes, 200);
         assert_eq!(a.dma_batches, 4);
         assert_eq!(a.kernel_cycles, 2000);
+        assert_eq!(a.flops, 8192);
         assert_eq!(a.spm_high_water_elems, 4096, "high water merges with max");
         let mut c = Counters::default();
         c.merge(&b);

@@ -59,6 +59,7 @@ pub mod dma;
 pub mod error;
 pub mod fault;
 pub mod gldst;
+pub mod json;
 pub mod mem;
 pub mod pipeline;
 pub mod regcomm;

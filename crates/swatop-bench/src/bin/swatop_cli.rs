@@ -43,7 +43,10 @@ fn usage() -> ! {
          swatop_cli conv B NI NO RO [--method implicit|winograd|explicit|auto] \
          [--kernel K] [--stride S] [--pad P] [common flags]\n  \
          swatop_cli bwd-data B NI NO RO [common flags]\n  \
-         swatop_cli bwd-filter B NI NO RO [common flags]\n\
+         swatop_cli bwd-filter B NI NO RO [common flags]\n  \
+         swatop_cli bench [--journal FILE] [--label L] [--repeats N] [--smoke]\n               \
+         [--handicap N] [--jobs N] [--faults SEED]\n               \
+         run the canonical bench set, appending journal records\n\
          common flags:\n  \
          --jobs N          tuner worker threads (0/omitted = all cores, 1 = serial;\n                    \
          the chosen schedule is identical for every value)\n  \
@@ -63,7 +66,10 @@ fn usage() -> ! {
          write a Perfetto/Chrome trace of the tuning run itself\n                    \
          (one timeline track per tuner worker)\n  \
          --verbose         print the per-run telemetry summary (counters, MAPE,\n                    \
-         rank correlation) after the result"
+         rank correlation) and the per-candidate roofline table\n                    \
+         (bottleneck class, % of peak GFLOPS / DMA bandwidth)\n  \
+         --json            machine-readable result: one JSON object on stdout\n                    \
+         (result summary + full telemetry snapshot), no human text"
     );
     std::process::exit(2);
 }
@@ -74,7 +80,7 @@ struct Args {
 }
 
 /// Flags that take no value argument.
-const BOOL_FLAGS: &[&str] = &["verbose"];
+const BOOL_FLAGS: &[&str] = &["verbose", "json", "smoke"];
 
 fn parse_args(args: &[String]) -> Args {
     let mut positional = Vec::new();
@@ -164,6 +170,39 @@ fn tune(
     Some((cands[outcome.best].clone(), outcome))
 }
 
+/// Machine-readable result: one JSON object combining the tuning result
+/// summary (winner, cycles, roofline position) with the full telemetry
+/// snapshot (which is itself produced by the snapshot exporter).
+fn json_report(
+    cfg: &MachineConfig,
+    name: &str,
+    flops: u64,
+    winner: &Candidate,
+    outcome: &TuneOutcome,
+    tel: &swatop::telemetry::Telemetry,
+) -> String {
+    use sw26010::json::{escape_json, fmt_f64};
+    let peaks = swatop::observatory::Peaks::of(cfg);
+    let cycles = outcome.cycles.get();
+    let gflops = sw26010::clock::gflops(flops, sw26010::Cycles(cycles), cfg.clock_ghz);
+    let mix = outcome.telemetry.as_ref().map(|t| t.mix).unwrap_or_default();
+    format!(
+        "{{\"operator\":\"{}\",\"schedule\":\"{}\",\"cycles\":{},\"gflops\":{},\
+         \"pct_peak_gflops\":{},\"bottleneck_mix\":{{\"dma\":{},\"compute\":{},\
+         \"stall\":{},\"spm_capacity\":{}}},\"telemetry\":{}}}",
+        escape_json(name),
+        escape_json(&winner.describe),
+        cycles,
+        fmt_f64(gflops),
+        fmt_f64(100.0 * gflops / peaks.gflops),
+        mix.dma,
+        mix.compute,
+        mix.stall,
+        mix.spm_capacity,
+        tel.snapshot_json_with(Some(&peaks))
+    )
+}
+
 fn report(
     cfg: &MachineConfig,
     name: &str,
@@ -171,48 +210,56 @@ fn report(
     winner: &Candidate,
     outcome: &TuneOutcome,
     a: &Args,
+    tel: Option<&Telemetry>,
 ) {
+    let json_mode = a.flags.contains_key("json");
     let cycles = outcome.cycles.get();
-    println!("operator : {name}");
-    println!("schedule : {}", winner.describe);
-    println!(
-        "time     : {cycles} cycles = {:.3} ms on one CG",
-        1e3 * cfg.seconds(sw26010::Cycles(cycles))
-    );
-    println!(
-        "perf     : {:.0} GFLOPS ({:.0}% of CG peak, direct-normalised)",
-        sw26010::clock::gflops(flops, sw26010::Cycles(cycles), cfg.clock_ghz),
-        100.0 * cfg.efficiency(flops, sw26010::Cycles(cycles))
-    );
-    if cfg.fault.is_some() || outcome.failed > 0 {
-        let seed = cfg.fault.map_or_else(|| "-".to_string(), |p| p.seed.to_string());
+    if json_mode {
+        let tel = tel.expect("--json instruments telemetry");
+        println!("{}", json_report(cfg, name, flops, winner, outcome, tel));
+    } else {
+        println!("operator : {name}");
+        println!("schedule : {}", winner.describe);
         println!(
-            "faults   : seed {seed}; {} of {} measured candidates failed, {} transient retries",
-            outcome.failed, outcome.executed, outcome.retried
+            "time     : {cycles} cycles = {:.3} ms on one CG",
+            1e3 * cfg.seconds(sw26010::Cycles(cycles))
         );
-    }
-    if a.flags.contains_key("verbose") {
-        if let Some(tel) = &outcome.telemetry {
-            let c = &tel.counters;
+        println!(
+            "perf     : {:.0} GFLOPS ({:.0}% of CG peak, direct-normalised)",
+            sw26010::clock::gflops(flops, sw26010::Cycles(cycles), cfg.clock_ghz),
+            100.0 * cfg.efficiency(flops, sw26010::Cycles(cycles))
+        );
+        if cfg.fault.is_some() || outcome.failed > 0 {
+            let seed = cfg.fault.map_or_else(|| "-".to_string(), |p| p.seed.to_string());
             println!(
-                "counters : {} DMA batches, {:.1} KiB payload ({:.0}% bus efficiency), \
-                 {} kernel calls, {:.1}% issue-slot utilization, SPM high water {:.1} KiB",
-                c.dma_batches,
-                c.dma_payload_bytes as f64 / 1024.0,
-                100.0 * c.dma_efficiency(),
-                c.kernel_calls,
-                100.0 * c.issue_slot_utilization(),
-                c.spm_high_water_elems as f64 * 4.0 / 1024.0
+                "faults   : seed {seed}; {} of {} measured candidates failed, {} transient retries",
+                outcome.failed, outcome.executed, outcome.retried
             );
-            let fmt = |x: Option<f64>| x.map_or_else(|| "-".to_string(), |v| format!("{v:.3}"));
-            println!(
-                "model    : {} (predicted, measured) pairs, MAPE {}%, rank correlation {}, \
-                 {} misranked",
-                tel.pairs,
-                fmt(tel.mape_pct),
-                fmt(tel.rank_correlation),
-                tel.misranked
-            );
+        }
+        if a.flags.contains_key("verbose") {
+            if let Some(tel) = &outcome.telemetry {
+                let c = &tel.counters;
+                println!(
+                    "counters : {} DMA batches, {:.1} KiB payload ({:.0}% bus efficiency), \
+                     {} kernel calls, {:.1}% issue-slot utilization, SPM high water {:.1} KiB",
+                    c.dma_batches,
+                    c.dma_payload_bytes as f64 / 1024.0,
+                    100.0 * c.dma_efficiency(),
+                    c.kernel_calls,
+                    100.0 * c.issue_slot_utilization(),
+                    c.spm_high_water_elems as f64 * 4.0 / 1024.0
+                );
+                let fmt = |x: Option<f64>| x.map_or_else(|| "-".to_string(), |v| format!("{v:.3}"));
+                println!(
+                    "model    : {} (predicted, measured) pairs, MAPE {}%, rank correlation {}, \
+                     {} misranked",
+                    tel.pairs,
+                    fmt(tel.mape_pct),
+                    fmt(tel.rank_correlation),
+                    tel.misranked
+                );
+                println!("roofline : {}", tel.mix.summary());
+            }
         }
     }
     // The artifacts below re-execute the winner; they describe the *code*,
@@ -220,7 +267,9 @@ fn report(
     let clean = MachineConfig { fault: None, ..cfg.clone() };
     if let Some(path) = a.flags.get("out") {
         std::fs::write(path, winner.exe.emit_c()).expect("write C file");
-        println!("C code   : {path}");
+        if !json_mode {
+            println!("C code   : {path}");
+        }
     }
     if let Some(path) = a.flags.get("trace") {
         let mut cg = CoreGroup::new(clean, ExecMode::CostOnly);
@@ -229,7 +278,9 @@ fn report(
         execute(&mut cg, &winner.exe, &binding).expect("trace run");
         let json = sw26010::chrome_trace::to_chrome_json(&cg.trace, cfg.clock_ghz);
         std::fs::write(path, json).expect("write trace");
-        println!("trace    : {path} (open in chrome://tracing)");
+        if !json_mode {
+            println!("trace    : {path} (open in chrome://tracing)");
+        }
     }
 }
 
@@ -255,7 +306,7 @@ fn main() {
         _ => usage(),
     };
     let resume = a.flags.get("resume").map(PathBuf::from);
-    let instrument = ["telemetry", "trace-timeline", "verbose"]
+    let instrument = ["telemetry", "trace-timeline", "verbose", "json"]
         .iter()
         .any(|f| a.flags.contains_key(*f));
     let setup = Setup {
@@ -266,11 +317,37 @@ fn main() {
         telemetry: instrument.then(Telemetry::new),
     };
     match cmd {
+        "bench" => {
+            let num = |k: &str, d: u64| {
+                a.flags.get(k).map_or(d, |v| v.parse().unwrap_or_else(|_| usage()))
+            };
+            let bench = swatop_bench::journal::BenchOpts {
+                label: a.flags.get("label").cloned().unwrap_or_else(|| "default".to_string()),
+                jobs,
+                smoke: a.flags.contains_key("smoke"),
+                handicap: num("handicap", 1),
+                faults: cfg.fault.map(|p| p.seed),
+            };
+            let repeats = num("repeats", 1);
+            for _ in 0..repeats {
+                let record = swatop_bench::journal::run_bench(&bench);
+                swatop_bench::journal::record_table(&record).print();
+                if let Some(path) = a.flags.get("journal") {
+                    swatop_bench::journal::Journal::append(
+                        std::path::Path::new(path),
+                        record,
+                    )
+                    .expect("append bench journal");
+                    println!("journal  : appended to {path}");
+                }
+            }
+            return;
+        }
         "gemm" => {
             let [m, n, k] = a.positional[..] else { usage() };
             let op = MatmulOp::new(m, n, k);
             let (winner, outcome) = tune(&cfg, &op, &setup, 0, 1).expect("no valid schedule");
-            report(&cfg, &op.name(), op.flops(), &winner, &outcome, &a);
+            report(&cfg, &op.name(), op.flops(), &winner, &outcome, &a, setup.telemetry.as_ref());
         }
         "conv" | "bwd-data" | "bwd-filter" => {
             let [b, ni, no, ro] = a.positional[..] else { usage() };
@@ -313,22 +390,31 @@ fn main() {
             }
             let (name, flops, winner, outcome) =
                 best.expect("no applicable method for this shape");
-            report(&cfg, &name, flops, &winner, &outcome, &a);
+            report(&cfg, &name, flops, &winner, &outcome, &a, setup.telemetry.as_ref());
         }
         _ => usage(),
     }
     if let Some(tel) = &setup.telemetry {
+        let json_mode = a.flags.contains_key("json");
+        let peaks = swatop::observatory::Peaks::of(&cfg);
         if let Some(path) = a.flags.get("telemetry") {
-            std::fs::write(path, tel.snapshot_json()).expect("write telemetry JSON");
-            println!("telemetry: {path}");
+            std::fs::write(path, tel.snapshot_json_with(Some(&peaks)))
+                .expect("write telemetry JSON");
+            if !json_mode {
+                println!("telemetry: {path}");
+            }
         }
         if let Some(path) = a.flags.get("trace-timeline") {
-            std::fs::write(path, tel.perfetto_json()).expect("write timeline JSON");
-            println!("timeline : {path} (open in ui.perfetto.dev)");
+            std::fs::write(path, tel.perfetto_json_with(Some(&peaks)))
+                .expect("write timeline JSON");
+            if !json_mode {
+                println!("timeline : {path} (open in ui.perfetto.dev)");
+            }
         }
-        if a.flags.contains_key("verbose") {
+        if a.flags.contains_key("verbose") && !json_mode {
             println!();
-            swatop_bench::report::telemetry_summary(tel).print();
+            swatop_bench::report::telemetry_summary(tel, &cfg).print();
+            swatop_bench::report::roofline_table(tel, &cfg).print();
         }
     }
 }

@@ -61,6 +61,14 @@ pub struct Opts {
     pub telemetry_path: Option<PathBuf>,
     /// Where to write the Perfetto timeline JSON (`--trace-timeline FILE`).
     pub timeline_path: Option<PathBuf>,
+    /// Append a bench-journal record after the run (`--bench-journal`).
+    pub bench_journal: bool,
+    /// Label for the appended journal record (`--journal-label L`).
+    pub journal_label: String,
+    /// Synthetic slowdown factor recorded into the journal
+    /// (`--journal-handicap N`), used by CI to self-test the regression
+    /// gate.
+    pub journal_handicap: u64,
 }
 
 impl Default for Opts {
@@ -76,6 +84,9 @@ impl Default for Opts {
             telemetry: None,
             telemetry_path: None,
             timeline_path: None,
+            bench_journal: false,
+            journal_label: "default".to_string(),
+            journal_handicap: 1,
         }
     }
 }
@@ -119,11 +130,21 @@ impl Opts {
                     i += 1;
                     o.timeline_path = Some(PathBuf::from(&args[i]));
                 }
+                "--bench-journal" => o.bench_journal = true,
+                "--journal-label" => {
+                    i += 1;
+                    o.journal_label = args[i].clone();
+                }
+                "--journal-handicap" => {
+                    i += 1;
+                    o.journal_handicap = args[i].parse().expect("--journal-handicap N");
+                }
                 other => {
                     panic!(
                         "unknown argument {other} \
                          (try --full, --smoke, --cap N, --jobs N, --faults SEED, \
-                         --telemetry FILE, --trace-timeline FILE)"
+                         --telemetry FILE, --trace-timeline FILE, --bench-journal, \
+                         --journal-label L, --journal-handicap N)"
                     )
                 }
             }
@@ -146,15 +167,41 @@ impl Opts {
     /// human-readable per-operator summary. A no-op when uninstrumented.
     pub fn finish_telemetry(&self) {
         let Some(tel) = &self.telemetry else { return };
+        let cfg = self.machine();
+        let peaks = swatop::observatory::Peaks::of(&cfg);
         if let Some(path) = &self.telemetry_path {
-            std::fs::write(path, tel.snapshot_json()).expect("write telemetry JSON");
+            std::fs::write(path, tel.snapshot_json_with(Some(&peaks)))
+                .expect("write telemetry JSON");
             println!("telemetry : {}", path.display());
         }
         if let Some(path) = &self.timeline_path {
-            std::fs::write(path, tel.perfetto_json()).expect("write timeline JSON");
+            std::fs::write(path, tel.perfetto_json_with(Some(&peaks)))
+                .expect("write timeline JSON");
             println!("timeline  : {} (open in ui.perfetto.dev)", path.display());
         }
-        crate::report::telemetry_summary(tel).print();
+        crate::report::telemetry_summary(tel, &cfg).print();
+    }
+
+    /// When `--bench-journal` was given: run the canonical benchmark op
+    /// set, append the record to [`crate::journal::DEFAULT_PATH`] and print
+    /// it. Returns the appended record.
+    pub fn finish_journal(&self) -> Option<crate::journal::Record> {
+        if !self.bench_journal {
+            return None;
+        }
+        let bench = crate::journal::BenchOpts {
+            label: self.journal_label.clone(),
+            jobs: self.jobs,
+            smoke: self.scale == Scale::Smoke,
+            handicap: self.journal_handicap,
+            faults: self.faults,
+        };
+        let record = crate::journal::run_bench(&bench);
+        let path = std::path::Path::new(crate::journal::DEFAULT_PATH);
+        crate::journal::Journal::append(path, record.clone()).expect("append bench journal");
+        crate::journal::record_table(&record).print();
+        println!("journal   : appended record {:?} to {}", record.label, path.display());
+        Some(record)
     }
 
     /// Deterministically sub-sample a list according to the scale.

@@ -1,0 +1,619 @@
+//! Bench journal: schema-versioned performance records in
+//! `BENCH_swatop.json` at the repository root, plus a noise-aware
+//! regression comparator (`journal compare`, see `src/bin/journal.rs`).
+//!
+//! A record captures one run of the canonical benchmark op set: harness
+//! wall time, each op's tuned cycles and roofline position (achieved
+//! GFLOPS, % of compute/DMA peak, bottleneck class), the model-accuracy
+//! headline numbers (MAPE, Spearman rank correlation) and the run's
+//! bottleneck mix, stamped with the git revision. Appends are atomic
+//! (write-temp + rename) so a crashed run never corrupts the journal.
+//!
+//! The comparator is built for repeated runs: it takes the median over
+//! each side's samples and trips only when the candidate median exceeds
+//! the baseline median by more than `max(rel_tolerance, k × MAD)` — wall
+//! time is noisy, so its tolerance is wide; tuned cycles come from a
+//! deterministic simulation, so theirs is essentially exact.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use sw26010::json::{self, escape_json, fmt_f64, Json};
+use sw26010::MachineConfig;
+use swatop::observatory::{self, Bottleneck, BottleneckMix, Peaks};
+use swatop::telemetry::{mape, rank_correlation, Telemetry};
+use swatop::tuner::TuneOptions;
+
+use crate::runner::{tune_conv_opts, tune_gemm_opts, ConvMethod};
+use swtensor::ConvShape;
+
+/// Journal file format version; bump on breaking record changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default journal location (relative to the workspace root, where
+/// `cargo run` executes).
+pub const DEFAULT_PATH: &str = "BENCH_swatop.json";
+
+/// One benchmark operator inside a [`Record`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpBench {
+    pub name: String,
+    /// Tuned (winning-schedule) cycles, after any handicap.
+    pub cycles: u64,
+    /// Achieved GFLOPS of the winning schedule.
+    pub gflops: f64,
+    /// Percent of the 742.5 GFLOPS/CG compute peak.
+    pub pct_peak_gflops: f64,
+    /// Percent of the 22.6 GB/s achievable DMA bandwidth.
+    pub pct_peak_dma_bw: f64,
+    /// Roofline bottleneck class of the winning schedule.
+    pub bottleneck: Bottleneck,
+}
+
+/// One journal entry: a full run of the canonical benchmark set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    pub schema: u64,
+    /// Run label; `journal compare` groups records by it.
+    pub label: String,
+    /// `git rev-parse --short HEAD`, or `"unknown"`.
+    pub rev: String,
+    /// Unix timestamp in milliseconds.
+    pub unix_ms: u64,
+    /// Tuner worker threads the run used.
+    pub jobs: usize,
+    /// Harness wall time over the whole op set, ms (after any handicap).
+    pub wall_ms: f64,
+    pub ops: Vec<OpBench>,
+    /// Model MAPE over every (predicted, measured) pair of the run.
+    pub mape_pct: Option<f64>,
+    /// Spearman rank correlation over the same pairs.
+    pub rank_correlation: Option<f64>,
+    /// Bottleneck mix over every executed candidate of the run.
+    pub mix: BottleneckMix,
+}
+
+impl Record {
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"schema\":{},\"label\":\"{}\",\"rev\":\"{}\",\"unix_ms\":{},\"jobs\":{},\
+             \"wall_ms\":{}",
+            self.schema,
+            escape_json(&self.label),
+            escape_json(&self.rev),
+            self.unix_ms,
+            self.jobs,
+            fmt_f64(self.wall_ms)
+        );
+        s.push_str(",\"ops\":[");
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"cycles\":{},\"gflops\":{},\"pct_peak_gflops\":{},\
+                 \"pct_peak_dma_bw\":{},\"bottleneck\":\"{}\"}}",
+                escape_json(&op.name),
+                op.cycles,
+                fmt_f64(op.gflops),
+                fmt_f64(op.pct_peak_gflops),
+                fmt_f64(op.pct_peak_dma_bw),
+                op.bottleneck.name()
+            );
+        }
+        s.push(']');
+        let opt = |x: Option<f64>| x.map_or_else(|| "null".to_string(), fmt_f64);
+        let _ = write!(
+            s,
+            ",\"mape_pct\":{},\"rank_correlation\":{},\
+             \"mix\":{{\"dma\":{},\"compute\":{},\"stall\":{},\"spm_capacity\":{}}}}}",
+            opt(self.mape_pct),
+            opt(self.rank_correlation),
+            self.mix.dma,
+            self.mix.compute,
+            self.mix.stall,
+            self.mix.spm_capacity
+        );
+        s
+    }
+
+    pub fn from_json(v: &Json) -> Result<Record, String> {
+        let schema = v.field("schema")?.as_u64("schema")?;
+        if schema != SCHEMA_VERSION {
+            return Err(format!("unsupported record schema {schema} (expected {SCHEMA_VERSION})"));
+        }
+        let mut ops = Vec::new();
+        for (i, o) in v.field("ops")?.as_arr("ops")?.iter().enumerate() {
+            let what = |f: &str| format!("ops[{i}].{f}");
+            let bname = o.field("bottleneck")?.as_str(&what("bottleneck"))?;
+            ops.push(OpBench {
+                name: o.field("name")?.as_str(&what("name"))?.to_string(),
+                cycles: o.field("cycles")?.as_u64(&what("cycles"))?,
+                gflops: o.field("gflops")?.as_f64(&what("gflops"))?,
+                pct_peak_gflops: o.field("pct_peak_gflops")?.as_f64(&what("pct_peak_gflops"))?,
+                pct_peak_dma_bw: o.field("pct_peak_dma_bw")?.as_f64(&what("pct_peak_dma_bw"))?,
+                bottleneck: Bottleneck::parse(bname)
+                    .ok_or_else(|| format!("{}: unknown class {bname:?}", what("bottleneck")))?,
+            });
+        }
+        let mix = v.field("mix")?;
+        Ok(Record {
+            schema,
+            label: v.field("label")?.as_str("label")?.to_string(),
+            rev: v.field("rev")?.as_str("rev")?.to_string(),
+            unix_ms: v.field("unix_ms")?.as_u64("unix_ms")?,
+            jobs: v.field("jobs")?.as_u64("jobs")? as usize,
+            wall_ms: v.field("wall_ms")?.as_f64("wall_ms")?,
+            ops,
+            mape_pct: v.field("mape_pct")?.as_opt_f64("mape_pct")?,
+            rank_correlation: v.field("rank_correlation")?.as_opt_f64("rank_correlation")?,
+            mix: BottleneckMix {
+                dma: mix.field("dma")?.as_u64("mix.dma")? as usize,
+                compute: mix.field("compute")?.as_u64("mix.compute")? as usize,
+                stall: mix.field("stall")?.as_u64("mix.stall")? as usize,
+                spm_capacity: mix.field("spm_capacity")?.as_u64("mix.spm_capacity")? as usize,
+            },
+        })
+    }
+}
+
+/// The whole journal file: `{"schema":1,"records":[...]}`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Journal {
+    pub records: Vec<Record>,
+}
+
+impl Journal {
+    pub fn to_json(&self) -> String {
+        let mut s = format!("{{\"schema\":{SCHEMA_VERSION},\"records\":[");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            s.push_str(&r.to_json());
+        }
+        s.push_str("\n]}\n");
+        s
+    }
+
+    /// Parse and schema-check a journal document. This is the journal's own
+    /// validity checker: every field of every record must parse, including
+    /// bottleneck names and the mix counts.
+    pub fn validate(text: &str) -> Result<Journal, String> {
+        let v = json::parse(text)?;
+        let schema = v.field("schema")?.as_u64("schema")?;
+        if schema != SCHEMA_VERSION {
+            return Err(format!("unsupported journal schema {schema} (expected {SCHEMA_VERSION})"));
+        }
+        let mut records = Vec::new();
+        for (i, r) in v.field("records")?.as_arr("records")?.iter().enumerate() {
+            records.push(Record::from_json(r).map_err(|e| format!("records[{i}]: {e}"))?);
+        }
+        Ok(Journal { records })
+    }
+
+    /// Load a journal; a missing file is an empty journal, a malformed one
+    /// is an error (never silently truncated).
+    pub fn load(path: &Path) -> Result<Journal, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Journal::validate(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Journal::default()),
+            Err(e) => Err(format!("read {}: {e}", path.display())),
+        }
+    }
+
+    /// Append `record` to the journal at `path`, atomically: the new file is
+    /// fully written beside the old one and renamed into place.
+    pub fn append(path: &Path, record: Record) -> Result<Journal, String> {
+        let mut journal = Journal::load(path)?;
+        journal.records.push(record);
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, journal.to_json()).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))?;
+        Ok(journal)
+    }
+
+    /// Records carrying the given label, in journal order.
+    pub fn with_label(&self, label: &str) -> Vec<&Record> {
+        self.records.iter().filter(|r| r.label == label).collect()
+    }
+}
+
+/// The current `git rev-parse --short HEAD`, or `"unknown"` outside a work
+/// tree (records stay writable in exported source drops).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Configuration for one canonical benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    pub label: String,
+    pub jobs: usize,
+    /// Smaller op set and shapes (CI smoke runs).
+    pub smoke: bool,
+    /// Multiply recorded cycles and wall time by this factor — a synthetic
+    /// slowdown used to self-test the regression gate (CI injects 2).
+    pub handicap: u64,
+    /// Fault-injection seed for the tuning run (`None` = clean machine).
+    pub faults: Option<u64>,
+}
+
+impl Default for BenchOpts {
+    fn default() -> BenchOpts {
+        BenchOpts {
+            label: "default".to_string(),
+            jobs: 1,
+            smoke: false,
+            handicap: 1,
+            faults: None,
+        }
+    }
+}
+
+type GemmSpec = (String, usize, usize, usize);
+type ConvSpec = (String, ConvMethod, ConvShape);
+
+/// The canonical op set a journal record measures: a GEMM and one
+/// convolution per decomposition, sized so a full run stays in seconds.
+fn bench_ops(smoke: bool) -> (Vec<GemmSpec>, Vec<ConvSpec>) {
+    if smoke {
+        (
+            vec![("gemm_96".into(), 96, 96, 96)],
+            vec![
+                ("conv_implicit_16".into(), ConvMethod::Implicit, ConvShape::square(16, 16, 16, 8)),
+                ("conv_winograd_16".into(), ConvMethod::Winograd, ConvShape::square(16, 16, 16, 8)),
+            ],
+        )
+    } else {
+        (
+            vec![
+                ("gemm_256".into(), 256, 256, 256),
+                ("gemm_512".into(), 512, 512, 512),
+            ],
+            vec![
+                ("conv_implicit_32".into(), ConvMethod::Implicit, ConvShape::square(32, 32, 32, 16)),
+                ("conv_winograd_32".into(), ConvMethod::Winograd, ConvShape::square(32, 32, 32, 16)),
+                ("conv_explicit_32".into(), ConvMethod::Explicit, ConvShape::square(32, 32, 32, 16)),
+            ],
+        )
+    }
+}
+
+/// Run the canonical benchmark set once and build its journal [`Record`].
+///
+/// Each op is tuned under a shared telemetry recorder; the record's
+/// per-op roofline numbers attribute the *winning* schedule (the rollup's
+/// best-candidate counters), while MAPE/Spearman and the bottleneck mix
+/// cover every executed candidate of the run.
+pub fn run_bench(opts: &BenchOpts) -> Record {
+    let cfg = MachineConfig {
+        fault: opts.faults.map(sw26010::FaultPlan::with_seed),
+        ..MachineConfig::default()
+    };
+    let peaks = Peaks::of(&cfg);
+    let tel = Telemetry::new();
+    let tune_opts =
+        TuneOptions { jobs: opts.jobs, telemetry: Some(tel.clone()), ..TuneOptions::default() };
+
+    let (gemms, convs) = bench_ops(opts.smoke);
+    let t0 = Instant::now();
+    let mut tuned: Vec<(String, swatop::tuner::TuneOutcome)> = Vec::new();
+    for (name, m, n, k) in &gemms {
+        if let Some(t) = tune_gemm_opts(&cfg, *m, *n, *k, &tune_opts) {
+            tuned.push((name.clone(), t.outcome));
+        }
+    }
+    for (name, method, shape) in &convs {
+        if let Some(t) = tune_conv_opts(&cfg, *method, shape, &tune_opts) {
+            tuned.push((name.clone(), t.outcome));
+        }
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3 * opts.handicap as f64;
+
+    // Winning-schedule roofline attribution from the rollups (the rollup
+    // order matches tuning order: one operator span per op).
+    let rollups = tel.rollups();
+    let mut ops = Vec::new();
+    for ((name, outcome), rollup) in tuned.iter().zip(&rollups) {
+        let best = rollup.candidates.iter().find(|c| c.index == outcome.best);
+        let (cycles, counters) = match best.and_then(|c| c.measured.map(|m| (m, c.counters))) {
+            Some(x) => x,
+            None => continue,
+        };
+        let cycles = cycles * opts.handicap;
+        let a = observatory::attribute(&peaks, cycles, &counters);
+        ops.push(OpBench {
+            name: name.clone(),
+            cycles,
+            gflops: a.metrics.get("achieved_gflops").unwrap_or(0.0),
+            pct_peak_gflops: a.metrics.get("pct_peak_gflops").unwrap_or(0.0),
+            pct_peak_dma_bw: a.metrics.get("pct_peak_dma_bw").unwrap_or(0.0),
+            bottleneck: a.bottleneck,
+        });
+    }
+
+    let obs: Vec<(f64, f64)> =
+        tel.pairs().iter().map(|p| (p.predicted, p.measured as f64)).collect();
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    Record {
+        schema: SCHEMA_VERSION,
+        label: opts.label.clone(),
+        rev: git_rev(),
+        unix_ms,
+        jobs: opts.jobs,
+        wall_ms,
+        ops,
+        mape_pct: mape(&obs),
+        rank_correlation: rank_correlation(&obs),
+        mix: tel.bottleneck_mix(&peaks),
+    }
+}
+
+/// Render a journal record as a human-readable table.
+pub fn record_table(r: &Record) -> crate::report::Table {
+    let mut t = crate::report::Table::new(
+        format!("bench journal — {} @ {} ({} ms wall, jobs {})", r.label, r.rev, r.wall_ms as u64, r.jobs),
+        &["op", "cycles", "GFLOPS", "% peak", "% DMA bw", "bottleneck"],
+    );
+    for op in &r.ops {
+        t.row(vec![
+            op.name.clone(),
+            op.cycles.to_string(),
+            format!("{:.1}", op.gflops),
+            format!("{:.1}", op.pct_peak_gflops),
+            format!("{:.1}", op.pct_peak_dma_bw),
+            op.bottleneck.name().to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Regression comparison
+// ---------------------------------------------------------------------------
+
+/// Tolerances for [`compare`].
+#[derive(Debug, Clone)]
+pub struct CompareOpts {
+    /// Relative wall-time growth tolerated (0.5 = candidate may be up to
+    /// 50% slower before the gate trips; wall time is noisy).
+    pub wall_rel: f64,
+    /// Noise multiplier: growth under `mad_factor × MAD(baseline)` never
+    /// trips, whatever the relative tolerance says.
+    pub mad_factor: f64,
+    /// Relative tuned-cycles growth tolerated. Cycles are deterministic, so
+    /// this is a guard against float formatting, not noise.
+    pub cycles_rel: f64,
+}
+
+impl Default for CompareOpts {
+    fn default() -> CompareOpts {
+        CompareOpts { wall_rel: 0.5, mad_factor: 4.0, cycles_rel: 0.001 }
+    }
+}
+
+/// One tripped gate.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    pub what: String,
+    pub baseline: f64,
+    pub candidate: f64,
+    pub allowed: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "REGRESSION {}: {:.1} -> {:.1} (allowed {:.1})",
+            self.what, self.baseline, self.candidate, self.allowed
+        )
+    }
+}
+
+fn median(xs: &mut [f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(|a, b| a.total_cmp(b));
+    Some(xs[xs.len() / 2])
+}
+
+/// Median absolute deviation around `m`.
+fn mad(xs: &[f64], m: f64) -> f64 {
+    let mut devs: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&mut devs).unwrap_or(0.0)
+}
+
+/// Noise-aware comparison of candidate records against baseline records.
+///
+/// Wall time: candidate median may exceed baseline median by
+/// `max(wall_rel × baseline, mad_factor × MAD(baseline))`. Per-op tuned
+/// cycles: medians compared op-by-op (ops present on only one side are
+/// reported as regressions of coverage, not performance).
+pub fn compare(base: &[&Record], cand: &[&Record], opts: &CompareOpts) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    if base.is_empty() || cand.is_empty() {
+        regressions.push(Regression {
+            what: format!(
+                "coverage: {} baseline and {} candidate records",
+                base.len(),
+                cand.len()
+            ),
+            baseline: base.len() as f64,
+            candidate: cand.len() as f64,
+            allowed: 1.0,
+        });
+        return regressions;
+    }
+
+    let base_walls: Vec<f64> = base.iter().map(|r| r.wall_ms).collect();
+    let base_wall = median(&mut base_walls.clone()).unwrap();
+    let cand_wall = median(&mut cand.iter().map(|r| r.wall_ms).collect::<Vec<f64>>()).unwrap();
+    let allowed_wall =
+        base_wall + (base_wall * opts.wall_rel).max(opts.mad_factor * mad(&base_walls, base_wall));
+    if cand_wall > allowed_wall {
+        regressions.push(Regression {
+            what: "wall_ms".to_string(),
+            baseline: base_wall,
+            candidate: cand_wall,
+            allowed: allowed_wall,
+        });
+    }
+
+    // Op names in baseline order (first record wins the ordering).
+    let mut names: Vec<&str> = Vec::new();
+    for r in base.iter().chain(cand.iter()) {
+        for op in &r.ops {
+            if !names.contains(&op.name.as_str()) {
+                names.push(&op.name);
+            }
+        }
+    }
+    for name in names {
+        let collect = |side: &[&Record]| -> Vec<f64> {
+            side.iter()
+                .flat_map(|r| r.ops.iter().filter(|o| o.name == name).map(|o| o.cycles as f64))
+                .collect()
+        };
+        let (mut b, mut c) = (collect(base), collect(cand));
+        match (median(&mut b), median(&mut c)) {
+            (Some(b_med), Some(c_med)) => {
+                let allowed = b_med * (1.0 + opts.cycles_rel);
+                if c_med > allowed {
+                    regressions.push(Regression {
+                        what: format!("cycles[{name}]"),
+                        baseline: b_med,
+                        candidate: c_med,
+                        allowed,
+                    });
+                }
+            }
+            (b_med, c_med) => regressions.push(Regression {
+                what: format!("coverage[{name}]: op missing on one side"),
+                baseline: b_med.map_or(0.0, |_| 1.0),
+                candidate: c_med.map_or(0.0, |_| 1.0),
+                allowed: 1.0,
+            }),
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swatop::telemetry::validate_json;
+
+    fn sample_record(label: &str, wall: f64, cycles: u64) -> Record {
+        Record {
+            schema: SCHEMA_VERSION,
+            label: label.to_string(),
+            rev: "abc123".to_string(),
+            unix_ms: 1_700_000_000_000,
+            jobs: 2,
+            wall_ms: wall,
+            ops: vec![OpBench {
+                name: "gemm_256".to_string(),
+                cycles,
+                gflops: 310.5,
+                pct_peak_gflops: 41.8,
+                pct_peak_dma_bw: 12.0,
+                bottleneck: Bottleneck::Compute,
+            }],
+            mape_pct: Some(7.25),
+            rank_correlation: Some(0.93),
+            mix: BottleneckMix { dma: 3, compute: 5, stall: 1, spm_capacity: 0 },
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let r = sample_record("run \"quoted\"/β", 123.5, 42_000);
+        let json = r.to_json();
+        validate_json(&json).unwrap();
+        let back = Record::from_json(&json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn journal_validates_and_rejects() {
+        let j = Journal { records: vec![sample_record("a", 1.0, 10), sample_record("b", 2.0, 11)] };
+        let text = j.to_json();
+        validate_json(&text).unwrap();
+        assert_eq!(Journal::validate(&text).unwrap(), j);
+        assert!(Journal::validate("{\"schema\":99,\"records\":[]}").is_err());
+        assert!(Journal::validate("{\"records\":[]}").is_err());
+        let bad_class = text.replace("\"compute\"", "\"warp-divergence\"");
+        assert!(Journal::validate(&bad_class).unwrap_err().contains("unknown class"));
+    }
+
+    #[test]
+    fn append_is_atomic_and_loadable() {
+        let dir = std::env::temp_dir().join("swatop_journal_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_swatop.json");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(Journal::load(&path).unwrap(), Journal::default());
+        Journal::append(&path, sample_record("x", 1.0, 10)).unwrap();
+        let j = Journal::append(&path, sample_record("y", 2.0, 20)).unwrap();
+        assert_eq!(j.records.len(), 2);
+        assert_eq!(Journal::load(&path).unwrap(), j);
+        assert_eq!(j.with_label("y").len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compare_passes_same_runs_and_trips_on_slowdown() {
+        let base = [
+            sample_record("base", 100.0, 10_000),
+            sample_record("base", 110.0, 10_000),
+            sample_record("base", 96.0, 10_000),
+        ];
+        let same = sample_record("cand", 118.0, 10_000);
+        let opts = CompareOpts::default();
+        let b: Vec<&Record> = base.iter().collect();
+        assert!(compare(&b, &[&same], &opts).is_empty());
+
+        let slow = sample_record("cand", 230.0, 21_000);
+        let regs = compare(&b, &[&slow], &opts);
+        let whats: Vec<&str> = regs.iter().map(|r| r.what.as_str()).collect();
+        assert!(whats.contains(&"wall_ms"), "{whats:?}");
+        assert!(whats.iter().any(|w| w.starts_with("cycles[gemm_256]")), "{whats:?}");
+    }
+
+    #[test]
+    fn compare_flags_missing_sides_and_ops() {
+        let a = sample_record("base", 100.0, 10_000);
+        let mut c = sample_record("cand", 100.0, 10_000);
+        c.ops[0].name = "other_op".to_string();
+        let regs = compare(&[&a], &[&c], &CompareOpts::default());
+        assert_eq!(regs.len(), 2, "{regs:?}"); // each op missing on one side
+        assert!(compare(&[], &[&a], &CompareOpts::default()).len() == 1);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        let xs = [100.0, 101.0, 99.0, 100.5, 400.0];
+        let m = median(&mut xs.to_vec()).unwrap();
+        assert_eq!(m, 100.5);
+        assert!(mad(&xs, m) < 2.0);
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use sw26010::MachineConfig;
+use swatop::observatory::{self, BottleneckMix, Peaks};
 use swatop::telemetry::Telemetry;
 
 /// A simple aligned text table.
@@ -62,15 +64,23 @@ impl Table {
 
 /// Human-readable per-operator telemetry summary: one row per operator
 /// span with candidate count, wall time, DMA traffic/efficiency, issue-slot
-/// utilization, SPM footprint and the model-accuracy headline numbers.
-pub fn telemetry_summary(tel: &Telemetry) -> Table {
+/// utilization, SPM footprint, the dominant roofline bottleneck of the
+/// operator's executed candidates, and the model-accuracy headline numbers.
+pub fn telemetry_summary(tel: &Telemetry, cfg: &MachineConfig) -> Table {
+    let peaks = Peaks::of(cfg);
     let mut t = Table::new(
         "telemetry",
-        &["operator", "cands", "wall ms", "dma MiB", "dma eff", "issue util", "spm KiB", "mape %", "rank corr", "misrank"],
+        &["operator", "cands", "wall ms", "dma MiB", "dma eff", "issue util", "spm KiB", "bottleneck", "mape %", "rank corr", "misrank"],
     );
     let opt = |x: Option<f64>| x.map_or_else(|| "-".to_string(), |v| format!("{v:.3}"));
     for g in tel.rollups() {
         let c = &g.counters;
+        let mut mix = BottleneckMix::default();
+        for cand in &g.candidates {
+            if let Some(cycles) = cand.measured {
+                mix.note(observatory::classify(&peaks, cycles, &cand.counters));
+            }
+        }
         t.row(vec![
             g.label.clone(),
             g.candidates.len().to_string(),
@@ -79,10 +89,47 @@ pub fn telemetry_summary(tel: &Telemetry) -> Table {
             format!("{:.3}", c.dma_efficiency()),
             format!("{:.3}", c.issue_slot_utilization()),
             format!("{:.1}", c.spm_high_water_elems as f64 * 4.0 / 1024.0),
+            mix.dominant().map_or_else(|| "-".to_string(), |b| b.name().to_string()),
             opt(g.accuracy.as_ref().and_then(|a| a.mape_pct)),
             opt(g.accuracy.as_ref().and_then(|a| a.rank_correlation)),
             g.accuracy.as_ref().map_or(0, |a| a.misranked.len()).to_string(),
         ]);
+    }
+    t
+}
+
+/// Roofline attribution table: one row per *executed* candidate with its
+/// achieved GFLOPS, percent of the compute and DMA-bandwidth peaks,
+/// arithmetic intensity and bottleneck class. Derived purely from each
+/// candidate's cycles + counters, so it is identical for every `--jobs`
+/// value.
+pub fn roofline_table(tel: &Telemetry, cfg: &MachineConfig) -> Table {
+    let peaks = Peaks::of(cfg);
+    let mut t = Table::new(
+        format!(
+            "roofline (peak {:.1} GFLOPS, {:.1} GB/s DMA, ridge {:.1} flops/B)",
+            peaks.gflops,
+            peaks.dma_gbps,
+            peaks.ridge_intensity()
+        ),
+        &["operator", "cand", "cycles", "GFLOPS", "% peak", "% DMA bw", "flops/B", "bottleneck"],
+    );
+    for g in tel.rollups() {
+        for cand in &g.candidates {
+            let Some(cycles) = cand.measured else { continue };
+            let a = observatory::attribute(&peaks, cycles, &cand.counters);
+            let m = |name: &str| a.metrics.get(name).unwrap_or(0.0);
+            t.row(vec![
+                g.label.clone(),
+                cand.index.to_string(),
+                cycles.to_string(),
+                format!("{:.1}", m("achieved_gflops")),
+                format!("{:.1}", m("pct_peak_gflops")),
+                format!("{:.1}", m("pct_peak_dma_bw")),
+                format!("{:.2}", m("arithmetic_intensity")),
+                a.bottleneck.name().to_string(),
+            ]);
+        }
     }
     t
 }

@@ -31,6 +31,9 @@
 //!   the interpreter can run on a [`sw26010::CoreGroup`].
 //! * [`ops`] is the operator library: matrix multiplication plus the three
 //!   convolution decompositions (implicit-GEMM, explicit-GEMM, Winograd).
+//! * [`telemetry`] records tuning spans, machine counters and model
+//!   accuracy; [`observatory`] folds them into roofline metrics and a
+//!   deterministic bottleneck attribution per executed candidate.
 
 //! ```
 //! use sw26010::MachineConfig;
@@ -51,6 +54,7 @@ pub mod chip;
 pub mod codegen;
 pub mod interp;
 pub mod model;
+pub mod observatory;
 pub mod ops;
 pub mod optimizer;
 pub mod scheduler;
@@ -59,6 +63,7 @@ pub mod tuner;
 
 pub use codegen::Executable;
 pub use interp::{execute, Binding};
+pub use observatory::{Attribution, Bottleneck, BottleneckMix, MetricSet, Peaks};
 pub use scheduler::{Candidate, Scheduler};
 pub use telemetry::{Telemetry, TuneTelemetry};
 pub use tuner::{

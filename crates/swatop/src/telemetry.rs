@@ -29,7 +29,7 @@
 //!
 //! Exports are hand-rolled JSON in the same spirit as
 //! [`checkpoint`](crate::tuner::checkpoint): no serde dependency, strings
-//! escaped through [`sw26010::chrome_trace::escape_json`], floats emitted
+//! escaped through [`sw26010::json::escape_json`], floats emitted
 //! as plain decimals (`null` when non-finite), and a small structural
 //! validator ([`validate_json`]) used by the test suite and the CI smoke
 //! leg.
@@ -38,8 +38,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use sw26010::chrome_trace::escape_json;
+use sw26010::json::escape_json;
 use sw26010::Counters;
+
+use crate::observatory::{self, BottleneckMix, Peaks};
 
 /// Identifier of a recorded span (index into the span table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -363,13 +365,39 @@ impl Telemetry {
             mape_pct: acc.as_ref().and_then(|a| a.mape_pct),
             rank_correlation: acc.as_ref().and_then(|a| a.rank_correlation),
             misranked: acc.as_ref().map_or(0, |a| a.misranked.len()),
+            mix: BottleneckMix::default(),
         }
+    }
+
+    /// Bottleneck class counts over every executed candidate span, classified
+    /// against the machine's roofline peaks. Deterministic: derived purely
+    /// from per-candidate cycles + counters.
+    pub fn bottleneck_mix(&self, peaks: &Peaks) -> BottleneckMix {
+        let mut mix = BottleneckMix::default();
+        for s in self.spans() {
+            if s.kind == SpanKind::Candidate {
+                if let Some(cycles) = s.cycles {
+                    mix.note(observatory::classify(peaks, cycles, &s.counters));
+                }
+            }
+        }
+        mix
     }
 
     /// Structured metrics snapshot (hand-rolled JSON): per-operator
     /// candidate tables with (predicted, measured) pairs and counters,
     /// accuracy summaries, and whole-run counter totals.
     pub fn snapshot_json(&self) -> String {
+        self.snapshot_json_with(None)
+    }
+
+    /// [`Telemetry::snapshot_json`] enriched with the observatory: when
+    /// `peaks` is given, every measured candidate additionally carries an
+    /// `"observatory"` object (the full derived-metric schema plus its
+    /// bottleneck class) and the top level gains a `"bottleneck_mix"`
+    /// object. With `peaks = None` the output is byte-identical to
+    /// [`Telemetry::snapshot_json`].
+    pub fn snapshot_json_with(&self, peaks: Option<&Peaks>) -> String {
         let mut out = String::from("{\"v\":1,\"operators\":[");
         for (gi, g) in self.rollups().iter().enumerate() {
             if gi > 0 {
@@ -401,10 +429,21 @@ impl Telemetry {
                 if ci > 0 {
                     out.push(',');
                 }
+                let obs = match (peaks, c.measured) {
+                    (Some(p), Some(cycles)) => {
+                        let a = observatory::attribute(p, cycles, &c.counters);
+                        format!(
+                            ",\"observatory\":{{\"bottleneck\":\"{}\",\"metrics\":{}}}",
+                            a.bottleneck.name(),
+                            a.metrics.to_json()
+                        )
+                    }
+                    _ => String::new(),
+                };
                 out.push_str(&format!(
                     "{{\"index\":{},\"label\":\"{}\",\"predicted\":{},\
                      \"measured\":{},\"retries\":{},\"samples\":{},\
-                     \"error\":{},\"wall_us\":{},\"track\":{},\"counters\":{}}}",
+                     \"error\":{},\"wall_us\":{},\"track\":{},\"counters\":{}{obs}}}",
                     c.index,
                     escape_json(&c.label),
                     float_json(c.predicted),
@@ -422,7 +461,16 @@ impl Telemetry {
             }
             out.push_str("]}");
         }
-        out.push_str(&format!("],\"totals\":{}}}", counters_json(&self.totals())));
+        out.push_str(&format!("],\"totals\":{}", counters_json(&self.totals())));
+        if let Some(p) = peaks {
+            let mix = self.bottleneck_mix(p);
+            out.push_str(&format!(
+                ",\"bottleneck_mix\":{{\"dma\":{},\"compute\":{},\"stall\":{},\
+                 \"spm_capacity\":{}}}",
+                mix.dma, mix.compute, mix.stall, mix.spm_capacity
+            ));
+        }
+        out.push('}');
         out
     }
 
@@ -431,6 +479,16 @@ impl Telemetry {
     /// (tid 0) for sweep/operator spans. Loadable in `ui.perfetto.dev` or
     /// `chrome://tracing`.
     pub fn perfetto_json(&self) -> String {
+        self.perfetto_json_with(None)
+    }
+
+    /// [`Telemetry::perfetto_json`] enriched with the observatory: when
+    /// `peaks` is given, every measured candidate span's `args` additionally
+    /// carry its bottleneck class and headline roofline percentages, so the
+    /// attribution is visible directly in the Perfetto UI. With
+    /// `peaks = None` the output is byte-identical to
+    /// [`Telemetry::perfetto_json`].
+    pub fn perfetto_json_with(&self, peaks: Option<&Peaks>) -> String {
         let spans = self.spans();
         let mut out = String::from("{\"traceEvents\":[");
         let mut first = true;
@@ -455,6 +513,20 @@ impl Telemetry {
             }
             if s.kind == SpanKind::Candidate {
                 args.push_str(&format!(",\"counters\":{}", counters_json(&s.counters)));
+                if let (Some(p), Some(cycles)) = (peaks, s.cycles) {
+                    let a = observatory::attribute(p, cycles, &s.counters);
+                    let pct = |name: &str| {
+                        float_json(Some(a.metrics.get(name).unwrap_or(0.0)))
+                    };
+                    args.push_str(&format!(
+                        ",\"bottleneck\":\"{}\",\"pct_peak_gflops\":{},\
+                         \"pct_peak_dma_bw\":{},\"pct_roofline\":{}",
+                        a.bottleneck.name(),
+                        pct("pct_peak_gflops"),
+                        pct("pct_peak_dma_bw"),
+                        pct("pct_roofline")
+                    ));
+                }
             }
             if !first {
                 out.push(',');
@@ -570,6 +642,10 @@ pub struct TuneTelemetry {
     pub rank_correlation: Option<f64>,
     /// Candidates misranked beyond the threshold.
     pub misranked: usize,
+    /// Roofline bottleneck classes over every executed candidate
+    /// ([`crate::observatory::classify`]): the run's dma / compute / stall /
+    /// spm-capacity mix.
+    pub mix: BottleneckMix,
 }
 
 /// Mean absolute percentage error of (predicted, measured) observations,
@@ -633,7 +709,7 @@ pub fn rank_correlation(obs: &[(f64, f64)]) -> Option<f64> {
 
 /// Render an optional float as a JSON value: plain decimal, or `null` when
 /// absent or non-finite (JSON has no NaN/Infinity).
-fn float_json(x: Option<f64>) -> String {
+pub(crate) fn float_json(x: Option<f64>) -> String {
     match x {
         Some(v) if v.is_finite() => {
             let s = format!("{v}");
@@ -654,7 +730,7 @@ fn counters_json(c: &Counters) -> String {
     format!(
         "{{\"dma_payload_bytes\":{},\"dma_bus_bytes\":{},\"dma_batches\":{},\
          \"dma_stall_cycles\":{},\"dma_waits\":{},\"kernel_calls\":{},\
-         \"kernel_cycles\":{},\"compute_cycles\":{},\"issue_p0\":{},\
+         \"kernel_cycles\":{},\"flops\":{},\"compute_cycles\":{},\"issue_p0\":{},\
          \"issue_p1\":{},\"regcomm_broadcasts\":{},\"spm_high_water_elems\":{}}}",
         c.dma_payload_bytes,
         c.dma_bus_bytes,
@@ -663,6 +739,7 @@ fn counters_json(c: &Counters) -> String {
         c.dma_waits,
         c.kernel_calls,
         c.kernel_cycles,
+        c.flops,
         c.compute_cycles,
         c.issue_p0,
         c.issue_p1,
@@ -884,6 +961,42 @@ mod tests {
     }
 
     #[test]
+    fn rank_statistics_edge_cases() {
+        // Length 0 and 1: no correlation is defined, never NaN.
+        assert!(rank_correlation(&[]).is_none());
+        assert!(rank_correlation(&[(7.0, 3.0)]).is_none());
+        assert!(mape(&[]).is_none());
+        // Constant vectors on either side: zero rank variance ⇒ None
+        // (a NaN would otherwise leak from 0/0).
+        let const_pred: Vec<(f64, f64)> = (0..5).map(|i| (42.0, i as f64)).collect();
+        let const_meas: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 42.0)).collect();
+        let both_const: Vec<(f64, f64)> = (0..5).map(|_| (1.0, 2.0)).collect();
+        assert!(rank_correlation(&const_pred).is_none());
+        assert!(rank_correlation(&const_meas).is_none());
+        assert!(rank_correlation(&both_const).is_none());
+        // Tied predictions with distinct measurements: ties get average
+        // ranks and the coefficient stays in [-1, 1].
+        let tied = [(10.0, 100.0), (10.0, 200.0), (20.0, 300.0), (20.0, 400.0)];
+        let rho = rank_correlation(&tied).unwrap();
+        assert!(rho.is_finite() && (-1.0..=1.0).contains(&rho));
+        // Perfectly tied pairs (same tie structure both sides) correlate 1.
+        let sym = [(1.0, 10.0), (1.0, 10.0), (2.0, 20.0), (3.0, 30.0)];
+        assert!((rank_correlation(&sym).unwrap() - 1.0).abs() < 1e-12);
+        // All measurements zero: MAPE undefined rather than infinite.
+        assert!(mape(&[(5.0, 0.0), (6.0, 0.0)]).is_none());
+        // None of the degenerate summaries leaks NaN into JSON.
+        for acc in [
+            rank_correlation(&const_pred),
+            mape(&[]),
+            Some(f64::NAN),
+        ] {
+            let rendered = float_json(acc);
+            validate_json(&rendered).unwrap();
+            assert!(!rendered.contains("NaN"));
+        }
+    }
+
+    #[test]
     fn misranked_candidates_are_flagged() {
         let t = Telemetry::new();
         // 8 pairs; candidate 0 predicted fastest but measured slowest —
@@ -969,6 +1082,20 @@ mod tests {
         assert!(perf.contains("\"orchestrator\""));
         assert!(snap.contains("\"predicted\":512.25"));
         assert!(snap.contains("\"measured\":500"));
+        // The peaks-enriched variants stay valid JSON and carry the
+        // observatory fields; the `None` forms are byte-identical to the
+        // plain exporters.
+        let peaks = Peaks::of(&sw26010::MachineConfig::default());
+        let snap2 = t.snapshot_json_with(Some(&peaks));
+        validate_json(&snap2).unwrap_or_else(|e| panic!("rich snapshot invalid: {e}\n{snap2}"));
+        assert!(snap2.contains("\"observatory\":{\"bottleneck\":\""));
+        assert!(snap2.contains("\"bottleneck_mix\":{"));
+        let perf2 = t.perfetto_json_with(Some(&peaks));
+        validate_json(&perf2).unwrap_or_else(|e| panic!("rich perfetto invalid: {e}\n{perf2}"));
+        assert!(perf2.contains("\"bottleneck\":\""));
+        assert!(perf2.contains("\"pct_peak_gflops\":"));
+        assert_eq!(t.snapshot_json_with(None), snap);
+        assert_eq!(t.perfetto_json_with(None), perf);
     }
 
     #[test]

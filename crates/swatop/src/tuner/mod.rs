@@ -40,6 +40,7 @@ use self::checkpoint::CandCell;
 use crate::codegen::Executable;
 use crate::interp::{execute, instantiate};
 use crate::model::{estimate_program, GemmModel};
+use crate::observatory::{self, BottleneckMix, Peaks};
 use crate::scheduler::Candidate;
 use crate::telemetry::{SpanKind, Telemetry, TuneTelemetry};
 
@@ -70,8 +71,9 @@ pub struct TuneOutcome {
     pub retried: u64,
     /// Per-candidate measurement report, index-aligned with the input.
     pub reports: Vec<CandReport>,
-    /// Condensed telemetry (counter totals, model accuracy); present iff
-    /// the run was instrumented via [`TuneOptions::telemetry`].
+    /// Condensed telemetry (counter totals, model accuracy, roofline
+    /// bottleneck mix); present iff the run was instrumented via
+    /// [`TuneOptions::telemetry`].
     pub telemetry: Option<TuneTelemetry>,
 }
 
@@ -539,13 +541,23 @@ impl<'a> Engine<'a> {
 
     fn outcome(&self, start: Instant, best: usize, cycles: Cycles, executed: usize) -> TuneOutcome {
         let telemetry = self.telemetry.as_ref().map(|t| {
+            let peaks = Peaks::of(self.cfg);
             let mut total = Counters::default();
+            let mut mix = BottleneckMix::default();
             for (cell, c) in self.cells.iter().zip(&self.counters) {
                 if !cell.is_pending() {
                     total.merge(c);
                 }
+                // Attribute each measured candidate against the roofline;
+                // pure function of (cycles, counters), so the mix is
+                // identical for every worker count.
+                if let Some(cycles) = cell.cycles() {
+                    mix.note(observatory::classify(&peaks, cycles.get(), c));
+                }
             }
-            t.tune_summary(t.scope(), total)
+            let mut summary = t.tune_summary(t.scope(), total);
+            summary.mix = mix;
+            summary
         });
         TuneOutcome {
             best,

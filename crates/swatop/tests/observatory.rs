@@ -1,0 +1,110 @@
+//! Determinism guarantees of the performance observatory: derived metrics
+//! and bottleneck classes are pure functions of (peaks, cycles, counters),
+//! so they must be bit-identical across worker counts, and attaching a
+//! telemetry recorder must never change what the tuner picks.
+
+use sw26010::MachineConfig;
+use swatop::observatory::{self, Bottleneck, MetricSet, Peaks};
+use swatop::ops::ImplicitConvOp;
+use swatop::scheduler::{Candidate, Scheduler};
+use swatop::telemetry::Telemetry;
+use swatop::tuner::{blackbox_tune_opts, model_tune_opts, TuneOptions};
+
+fn space(cfg: &MachineConfig) -> Vec<Candidate> {
+    let shape = swtensor::ConvShape::square(32, 64, 64, 16);
+    let cands = Scheduler::new(cfg.clone()).enumerate(&ImplicitConvOp::new(shape));
+    assert!(cands.len() >= 200, "need a nontrivial space, got {}", cands.len());
+    cands
+}
+
+fn opts(jobs: usize, tel: Option<&Telemetry>) -> TuneOptions {
+    TuneOptions { jobs, telemetry: tel.cloned(), ..TuneOptions::default() }
+}
+
+/// Per-candidate (index, metrics, bottleneck) for every executed candidate
+/// of an instrumented run, in candidate-index order.
+fn attributions(tel: &Telemetry, peaks: &Peaks) -> Vec<(usize, MetricSet, Bottleneck)> {
+    let mut out = Vec::new();
+    for g in tel.rollups() {
+        for c in &g.candidates {
+            if let Some(cycles) = c.measured {
+                let a = observatory::attribute(peaks, cycles, &c.counters);
+                out.push((c.index, a.metrics, a.bottleneck));
+            }
+        }
+    }
+    out.sort_by_key(|(i, _, _)| *i);
+    out
+}
+
+#[test]
+fn metrics_and_bottlenecks_identical_across_job_counts() {
+    let cfg = MachineConfig::default();
+    let peaks = Peaks::of(&cfg);
+    let cands = space(&cfg);
+
+    let tel1 = Telemetry::new();
+    let serial = blackbox_tune_opts(&cfg, &cands, &opts(1, Some(&tel1))).expect("serial");
+    let base = attributions(&tel1, &peaks);
+    assert_eq!(base.len(), cands.len(), "blackbox executes everything");
+    assert!(base.iter().any(|(_, m, _)| m.get("achieved_gflops").unwrap() > 0.0));
+
+    for jobs in [2, 8] {
+        let tel = Telemetry::new();
+        let par = blackbox_tune_opts(&cfg, &cands, &opts(jobs, Some(&tel))).expect("parallel");
+        assert_eq!(par.best, serial.best, "jobs={jobs}");
+        assert_eq!(par.cycles, serial.cycles, "jobs={jobs}");
+        let got = attributions(&tel, &peaks);
+        assert_eq!(got.len(), base.len(), "jobs={jobs}");
+        for ((bi, bm, bb), (gi, gm, gb)) in base.iter().zip(&got) {
+            assert_eq!(bi, gi, "jobs={jobs}");
+            assert_eq!(bb, gb, "jobs={jobs} candidate {bi}");
+            // Bit-identical, not approximately equal: metrics derive from
+            // integer counters through the same float expressions.
+            for (name, v) in bm.iter() {
+                let w = gm.get(name).unwrap();
+                assert_eq!(
+                    v.to_bits(),
+                    w.to_bits(),
+                    "jobs={jobs} candidate {bi} metric {name}: {v} vs {w}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bottleneck_mix_on_outcome_matches_recount_across_jobs() {
+    let cfg = MachineConfig::default();
+    let peaks = Peaks::of(&cfg);
+    let cands = space(&cfg);
+    let mut mixes = Vec::new();
+    for jobs in [1, 2, 8] {
+        let tel = Telemetry::new();
+        let outcome = model_tune_opts(&cfg, &cands, &opts(jobs, Some(&tel))).expect("tune");
+        let summary = outcome.telemetry.expect("instrumented run carries telemetry");
+        assert!(summary.mix.total() > 0, "jobs={jobs}: executed candidates were classified");
+        assert_eq!(summary.mix.total(), outcome.executed - outcome.failed, "jobs={jobs}");
+        assert_eq!(summary.mix, tel.bottleneck_mix(&peaks), "jobs={jobs}");
+        mixes.push(summary.mix);
+    }
+    assert_eq!(mixes[0], mixes[1]);
+    assert_eq!(mixes[0], mixes[2]);
+}
+
+#[test]
+fn telemetry_attachment_does_not_change_tuning() {
+    let cfg = MachineConfig::default();
+    let cands = space(&cfg);
+    for jobs in [1, 4] {
+        let bare = model_tune_opts(&cfg, &cands, &opts(jobs, None)).expect("bare");
+        assert!(bare.telemetry.is_none());
+        let tel = Telemetry::new();
+        let instrumented =
+            model_tune_opts(&cfg, &cands, &opts(jobs, Some(&tel))).expect("instrumented");
+        assert_eq!(instrumented.best, bare.best, "jobs={jobs}");
+        assert_eq!(instrumented.cycles, bare.cycles, "jobs={jobs}");
+        assert_eq!(instrumented.executed, bare.executed, "jobs={jobs}");
+        assert_eq!(instrumented.all_cycles, bare.all_cycles, "jobs={jobs}");
+    }
+}

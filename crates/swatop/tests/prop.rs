@@ -93,7 +93,7 @@ proptest! {
             let tail_seg = segs.last().unwrap();
             prop_assert_eq!(tail_seg.start, d.full * d.tile);
             prop_assert!(tail_seg.size >= d.tail);
-            prop_assert_eq!(tail_seg.aux, d.tail % align != 0);
+            prop_assert_eq!(tail_seg.aux, !d.tail.is_multiple_of(align));
         }
     }
 
@@ -102,7 +102,7 @@ proptest! {
     fn round_up_minimal(n in 0usize..10_000, align_pow in 0usize..6) {
         let align = 1usize << (align_pow + 2);
         let r = round_up(n, align);
-        prop_assert!(r >= n && r % align == 0 && r < n + align);
+        prop_assert!(r >= n && r.is_multiple_of(align) && r < n + align);
     }
 }
 

@@ -74,6 +74,30 @@ pub fn cache_len() -> usize {
     CACHE.read().as_ref().map_or(0, |m| m.len())
 }
 
+/// FLOPs of one `C += A·B` call: 2·M·N·K multiply-accumulates. The single
+/// flop-accounting definition shared by the kernel (which feeds the machine
+/// counters) and the observatory's roofline metrics.
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * (m as u64) * (n as u64) * (k as u64)
+}
+
+/// Operand bytes of one GEMM call: A (M·K) and B (K·N) read, C (M·N) read
+/// and written, at 4 bytes per f32 element.
+pub fn gemm_operand_bytes(m: usize, n: usize, k: usize) -> u64 {
+    4 * ((m * k) as u64 + (k * n) as u64 + 2 * (m * n) as u64)
+}
+
+/// Arithmetic intensity (flops per operand byte) of one GEMM call — the
+/// variant-independent upper bound a schedule's *measured* intensity
+/// (flops / DMA bus bytes) approaches as tiling amortises reloads.
+pub fn gemm_intensity(m: usize, n: usize, k: usize) -> f64 {
+    let bytes = gemm_operand_bytes(m, n, k);
+    if bytes == 0 {
+        return 0.0;
+    }
+    gemm_flops(m, n, k) as f64 / bytes as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +164,17 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn flop_and_byte_accounting() {
+        assert_eq!(gemm_flops(64, 64, 64), 2 * 64 * 64 * 64);
+        assert_eq!(gemm_operand_bytes(8, 8, 8), 4 * (64 + 64 + 128));
+        // Square GEMM intensity grows linearly with the dimension:
+        // 2n³ / (16n²) = n/8 flops per byte.
+        assert!((gemm_intensity(64, 64, 64) - 8.0).abs() < 1e-12);
+        assert!((gemm_intensity(128, 128, 128) - 16.0).abs() < 1e-12);
+        assert_eq!(gemm_intensity(0, 0, 0), 0.0);
     }
 
     #[test]

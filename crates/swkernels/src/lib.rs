@@ -28,7 +28,7 @@ pub mod microkernel;
 pub mod spm_gemm;
 pub mod variant;
 
-pub use cost::gemm_cycles;
+pub use cost::{gemm_cycles, gemm_flops, gemm_intensity, gemm_operand_bytes};
 pub use distribute::{block_dims, BlockOwner};
 pub use spm_gemm::{spm_gemm, SpmMatrix};
 pub use variant::{GemmVariant, VecDim, ALL_VARIANTS};

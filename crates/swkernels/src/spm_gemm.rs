@@ -148,7 +148,7 @@ pub fn spm_gemm(
     }
 
     let cycles = gemm_cycles(&cg.cfg, variant, m, n, k);
-    let flops = 2 * (m as u64) * (n as u64) * (k as u64);
+    let flops = crate::cost::gemm_flops(m, n, k);
     // Issue counts are analytic (the memoised cycle cache bypasses the
     // scoreboard on hits, so they cannot come from the simulation itself).
     let (v_len, s_len) = match vd {
