@@ -35,6 +35,8 @@ pub fn xmath_knobs() -> MatmulKnobs {
         b_col: false,
         vec_m: false,
         n_outer: false,
+        dma: Default::default(),
+        resident: swatop::ops::matmul::Resident::None,
     }
 }
 
@@ -62,13 +64,13 @@ pub fn xmath_explicit_conv(cfg: &MachineConfig, shape: &ConvShape) -> MachineRes
     let out_buf = p.mem_buf("out", s.output_shape().numel(), MemRole::Output);
     let cols = p.mem_buf("cols", k * n, MemRole::Temp);
     let prod = p.mem_buf("prod", m * n, MemRole::Temp);
-    let im2col = Stmt::Transform(TransformOp {
+    let im2col = Stmt::Transform(TransformOp { fused: false,
         kind: TransformKind::Im2col { shape: *s, src: in_buf, dst: cols },
     });
     let gemm =
         lower_matmul_body(&mut p, &xmath_knobs(), w_buf, cols, prod, m, n, k, PadMode::Traditional)
             .ok_or_else(|| sw26010::MachineError::Invalid("xmath blocking inapplicable".into()))?;
-    let reorder = Stmt::Transform(TransformOp {
+    let reorder = Stmt::Transform(TransformOp { fused: false,
         kind: TransformKind::PackTensor {
             src: prod,
             dst: out_buf,
@@ -117,7 +119,7 @@ pub fn xmath_winograd_conv(cfg: &MachineConfig, shape: &ConvShape) -> MachineRes
     ];
 
     let mut body = vec![
-        Stmt::Transform(TransformOp {
+        Stmt::Transform(TransformOp { fused: false,
             kind: TransformKind::WinogradFilter {
                 shape: *s,
                 src: w_buf,
@@ -125,7 +127,7 @@ pub fn xmath_winograd_conv(cfg: &MachineConfig, shape: &ConvShape) -> MachineRes
                 transposed: false,
             },
         }),
-        Stmt::Transform(TransformOp {
+        Stmt::Transform(TransformOp { fused: false,
             kind: TransformKind::WinogradInput {
                 shape: *s,
                 src: in_buf,
@@ -138,7 +140,7 @@ pub fn xmath_winograd_conv(cfg: &MachineConfig, shape: &ConvShape) -> MachineRes
     for pos in 0..16 {
         // Marshal U[pos] and V[pos] out of the batched tensors (viewed as
         // (16·no × ni) and (16·ni × nt) row-major matrices).
-        body.push(Stmt::Transform(TransformOp {
+        body.push(Stmt::Transform(TransformOp { fused: false,
             kind: TransformKind::PadSubmatrix {
                 src: u_all,
                 src_rows: 16 * no,
@@ -153,7 +155,7 @@ pub fn xmath_winograd_conv(cfg: &MachineConfig, shape: &ConvShape) -> MachineRes
                 zero_first: false,
             },
         }));
-        body.push(Stmt::Transform(TransformOp {
+        body.push(Stmt::Transform(TransformOp { fused: false,
             kind: TransformKind::PadSubmatrix {
                 src: v_all,
                 src_rows: 16 * ni,
@@ -182,7 +184,7 @@ pub fn xmath_winograd_conv(cfg: &MachineConfig, shape: &ConvShape) -> MachineRes
         )
         .ok_or_else(|| sw26010::MachineError::Invalid("xmath blocking inapplicable".into()))?;
         body.extend(gemm);
-        body.push(Stmt::Transform(TransformOp {
+        body.push(Stmt::Transform(TransformOp { fused: false,
             kind: TransformKind::UnpadSubmatrix {
                 src: m_call,
                 src_rows: no,
@@ -198,7 +200,7 @@ pub fn xmath_winograd_conv(cfg: &MachineConfig, shape: &ConvShape) -> MachineRes
         }));
     }
 
-    body.push(Stmt::Transform(TransformOp {
+    body.push(Stmt::Transform(TransformOp { fused: false,
         kind: TransformKind::WinogradOutput { shape: *s, src: m_all, dst: out_buf, nt_pad: nt },
     }));
     p.body = Stmt::seq(body);

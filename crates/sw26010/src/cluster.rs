@@ -51,6 +51,10 @@ pub struct CoreGroup {
     /// cost-only hot path stays allocation-free.
     pub counters: Counters,
     next_tag: u32,
+    /// One-shot chaining flag set by [`CoreGroup::dma_chain_next`]: the next
+    /// DMA batch is issued back-to-back with its predecessor and skips the
+    /// engine start-up latency.
+    chain_next: bool,
     /// Active fault stream, present iff `cfg.fault` is set. Rearmed per
     /// measurement run via [`CoreGroup::arm_faults`].
     faults: Option<FaultSession>,
@@ -81,6 +85,7 @@ impl CoreGroup {
             flops: 0,
             counters: Counters::default(),
             next_tag: 0,
+            chain_next: false,
             faults,
         }
     }
@@ -135,7 +140,18 @@ impl CoreGroup {
         self.flops = 0;
         self.counters = Counters::default();
         self.next_tag = 0;
+        self.chain_next = false;
         self.trace.clear();
+    }
+
+    /// Mark the next DMA batch as *chained*: it is issued back-to-back with
+    /// the immediately preceding batch (no intervening wait or compute), so
+    /// its descriptors ride the engine's open pipeline — the per-batch
+    /// start-up latency is waived and no new batch group is counted. The
+    /// flag is consumed by the next `dma*` call. Interpreters set it for
+    /// IR nodes carrying the optimizer's batch-fusion mark.
+    pub fn dma_chain_next(&mut self) {
+        self.chain_next = true;
     }
 
     /// Advance the compute stream by `c` cycles of work.
@@ -222,8 +238,9 @@ impl CoreGroup {
                 ));
             }
         }
+        let chained = std::mem::take(&mut self.chain_next);
         self.dma_issue()?;
-        let finish = self.dma.schedule(&self.cfg, self.now, requests)?;
+        let finish = self.dma.schedule_with(&self.cfg, self.now, requests, chained)?;
         // Functional data movement happens "at issue": the engine snapshots
         // the source. Generated programs must not overwrite a source before
         // waiting, which the wait discipline of the IR interpreter enforces.
@@ -239,7 +256,9 @@ impl CoreGroup {
             .sum();
         self.counters.dma_payload_bytes += payload as u64;
         self.counters.dma_bus_bytes += bus as u64;
-        self.counters.dma_batches += 1;
+        if !chained {
+            self.counters.dma_batches += 1;
+        }
         for r in requests {
             if r.direction == DmaDirection::MemToSpm {
                 self.counters.note_spm_use((r.spm_offset + r.total_elems()) as u64);
@@ -262,6 +281,109 @@ impl CoreGroup {
         Ok(())
     }
 
+    /// Issue a *broadcast* DMA batch: one leader CPE per mesh row (or
+    /// column) fetches the whole line's panels from DRAM and scatters them
+    /// to its 7 peers over the register-communication bus. The DRAM side of
+    /// the batch is `leader_requests` (8 wide fetches instead of 64 narrow
+    /// ones — fewer descriptors, full transactions); `requests` still
+    /// describes the per-CPE destination blocks and is what moves data in
+    /// functional mode, so delivered SPM bytes are identical to the
+    /// non-broadcast batch. The scatter (`scatter` cycles, see
+    /// [`crate::regcomm::dma_scatter_cycles`]) serialises after the
+    /// transfer and before the reply-word completion; the panel streams
+    /// through the leader's registers, so no extra SPM staging is modelled.
+    pub fn dma_bcast(
+        &mut self,
+        direction: DmaDirection,
+        leader_requests: &[DmaRequest],
+        requests: &[DmaRequest],
+        scatter: Cycles,
+        reply: ReplyId,
+    ) -> MachineResult<()> {
+        if leader_requests.is_empty() || requests.is_empty() {
+            return Err(MachineError::BadDmaRequest("empty broadcast batch".into()));
+        }
+        for r in leader_requests.iter().chain(requests) {
+            if r.direction != direction {
+                return Err(MachineError::BadDmaRequest(
+                    "mixed directions in one batch".into(),
+                ));
+            }
+        }
+        let chained = std::mem::take(&mut self.chain_next);
+        self.dma_issue()?;
+        let finish =
+            self.dma.schedule_with(&self.cfg, self.now, leader_requests, chained)? + scatter;
+        if self.mode == ExecMode::Functional {
+            for r in requests {
+                self.copy(r)?;
+            }
+        }
+        let payload: usize = leader_requests.iter().map(|r| r.total_bytes()).sum();
+        let bus: usize = leader_requests
+            .iter()
+            .map(|r| r.bus_bytes(self.cfg.dram_transaction_bytes))
+            .sum();
+        self.counters.dma_payload_bytes += payload as u64;
+        self.counters.dma_bus_bytes += bus as u64;
+        if !chained {
+            self.counters.dma_batches += 1;
+        }
+        self.counters.dma_bcast_batches += 1;
+        // 7 of every 8 panel bytes travel the mesh from a leader to a peer.
+        self.counters.regcomm_bytes += (payload as u64 / 8) * 7;
+        for r in requests {
+            if r.direction == DmaDirection::MemToSpm {
+                self.counters.note_spm_use((r.spm_offset + r.total_elems()) as u64);
+            }
+        }
+        if self.trace.is_enabled() {
+            let at = self.now;
+            let tag = self.next_tag;
+            self.trace.push(Event::DmaIssue {
+                at,
+                done: finish,
+                direction,
+                payload_bytes: payload,
+                bus_bytes: bus,
+                tag,
+            });
+        }
+        self.reply_mut(reply)?.push(finish);
+        self.next_tag += 1;
+        Ok(())
+    }
+
+    /// Cost-only fast path for [`CoreGroup::dma_bcast`], mirroring
+    /// [`CoreGroup::dma_totals`]: the caller aggregated the *leader*
+    /// requests' bus/block/payload totals; the scatter delay is appended to
+    /// the completion time and the broadcast counters are bumped.
+    pub fn dma_totals_bcast(
+        &mut self,
+        bus_bytes: usize,
+        blocks: usize,
+        payload_bytes: usize,
+        scatter: Cycles,
+        reply: ReplyId,
+    ) -> MachineResult<()> {
+        let chained = std::mem::take(&mut self.chain_next);
+        self.dma_issue()?;
+        let finish = self
+            .dma
+            .schedule_totals_with(&self.cfg, self.now, bus_bytes, blocks, payload_bytes, chained)
+            + scatter;
+        self.counters.dma_payload_bytes += payload_bytes as u64;
+        self.counters.dma_bus_bytes += bus_bytes as u64;
+        if !chained {
+            self.counters.dma_batches += 1;
+        }
+        self.counters.dma_bcast_batches += 1;
+        self.counters.regcomm_bytes += (payload_bytes as u64 / 8) * 7;
+        self.reply_mut(reply)?.push(finish);
+        self.next_tag += 1;
+        Ok(())
+    }
+
     /// Cost-only fast path for [`CoreGroup::dma`]: the caller aggregated
     /// the batch's bus-byte/block/payload totals itself (no request
     /// structures are built, no data moves). Clock semantics are identical
@@ -273,12 +395,21 @@ impl CoreGroup {
         payload_bytes: usize,
         reply: ReplyId,
     ) -> MachineResult<()> {
+        let chained = std::mem::take(&mut self.chain_next);
         self.dma_issue()?;
-        let finish =
-            self.dma.schedule_totals(&self.cfg, self.now, bus_bytes, blocks, payload_bytes);
+        let finish = self.dma.schedule_totals_with(
+            &self.cfg,
+            self.now,
+            bus_bytes,
+            blocks,
+            payload_bytes,
+            chained,
+        );
         self.counters.dma_payload_bytes += payload_bytes as u64;
         self.counters.dma_bus_bytes += bus_bytes as u64;
-        self.counters.dma_batches += 1;
+        if !chained {
+            self.counters.dma_batches += 1;
+        }
         self.reply_mut(reply)?.push(finish);
         self.next_tag += 1;
         Ok(())
@@ -611,6 +742,52 @@ mod tests {
         assert_eq!(a.counters.dma_payload_bytes, b.counters.dma_payload_bytes);
         assert_eq!(a.counters.dma_bus_bytes, b.counters.dma_bus_bytes);
         assert_eq!(a.counters.dma_batches, b.counters.dma_batches);
+    }
+
+    #[test]
+    fn bcast_delivers_same_bytes_with_leader_side_traffic() {
+        // 8×64 panel: row leaders fetch 64 contiguous elems each; the
+        // per-CPE view is 8 elems per CPE. Broadcast must deliver exactly
+        // what the plain batch delivers, while accounting DRAM traffic from
+        // the 8 leader requests only.
+        let src: Vec<f32> = (0..512).map(|i| i as f32).collect();
+        let mk = |bcast: bool| -> CoreGroup {
+            let mut cg = cg();
+            let a = cg.mem.alloc_from("a", &src);
+            let base = cg.mem.base(a);
+            let reply = cg.alloc_reply();
+            let per_cpe: Vec<DmaRequest> = (0..64)
+                .map(|cpe| DmaRequest::contiguous(cpe, MemToSpm, base + cpe * 8, 0, 8))
+                .collect();
+            if bcast {
+                let leaders: Vec<DmaRequest> = (0..8)
+                    .map(|r| DmaRequest::contiguous(r * 8, MemToSpm, base + r * 64, 0, 64))
+                    .collect();
+                cg.dma_bcast(MemToSpm, &leaders, &per_cpe, Cycles(100), reply).unwrap();
+            } else {
+                cg.dma(MemToSpm, &per_cpe, reply).unwrap();
+            }
+            cg.dma_wait(reply, 1).unwrap();
+            cg
+        };
+        let plain = mk(false);
+        let bc = mk(true);
+        for cpe in 0..64 {
+            for e in 0..8 {
+                assert_eq!(
+                    bc.spm(cpe).load(e).unwrap(),
+                    plain.spm(cpe).load(e).unwrap(),
+                    "cpe {cpe} elem {e}"
+                );
+            }
+        }
+        assert_eq!(bc.counters.dma_payload_bytes, plain.counters.dma_payload_bytes);
+        assert_eq!(bc.counters.dma_bcast_batches, 1);
+        assert_eq!(plain.counters.dma_bcast_batches, 0);
+        assert_eq!(bc.counters.regcomm_bytes, 512 * 4 / 8 * 7);
+        // Same payload in 8 descriptors instead of 64 finishes sooner even
+        // after paying the scatter.
+        assert!(bc.now() < plain.now(), "bcast {} !< plain {}", bc.now(), plain.now());
     }
 
     #[test]

@@ -59,6 +59,14 @@ pub struct MachineConfig {
     /// expensive on SW26010 (tens of microseconds), which is one reason
     /// fused generated code beats a sequence of library calls.
     pub kernel_launch: Cycles,
+    /// Cost of *signalling* an already-resident CPE kernel (warm wake of a
+    /// parked athread group: MPE writes the argument block and rings a
+    /// doorbell, the spin-waiting CPEs pick it up). Tuned operators keep the
+    /// athread group resident across invocations, so measured candidates pay
+    /// this per call instead of the cold [`MachineConfig::kernel_launch`];
+    /// library-call baselines respawn per call and still pay the full
+    /// launch.
+    pub kernel_signal: Cycles,
     /// Optional fault-injection plan simulating flaky hardware (transient
     /// DMA failures, SPM capacity pressure, cycle-measurement jitter).
     /// `None` — the default — keeps the machine perfect and deterministic in
@@ -86,6 +94,7 @@ impl Default for MachineConfig {
             regcomm_switch: Cycles(32),
             kernel_call_overhead: Cycles(140),
             kernel_launch: Cycles(120_000),
+            kernel_signal: Cycles(2_000),
             fault: None,
         }
     }

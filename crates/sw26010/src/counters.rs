@@ -54,6 +54,13 @@ pub struct Counters {
     /// Per-CPE register-communication broadcast loads (a subset of
     /// `issue_p1`): row/column broadcasts feeding the GEMM micro-kernel.
     pub regcomm_broadcasts: u64,
+    /// Broadcast DMA batches: batches where one leader CPE per mesh
+    /// row/column fetched the whole line's panels and scattered them over
+    /// the register-communication bus (a subset of `dma_batches`).
+    pub dma_bcast_batches: u64,
+    /// Bytes forwarded over the register-communication mesh by broadcast-DMA
+    /// scatters (leader → 7 peers; not DRAM bus traffic).
+    pub regcomm_bytes: u64,
     /// Largest SPM extent touched, in f32 elements (high-water mark; merged
     /// with `max`, not `+`).
     pub spm_high_water_elems: u64,
@@ -75,6 +82,8 @@ impl Counters {
         self.issue_p0 += o.issue_p0;
         self.issue_p1 += o.issue_p1;
         self.regcomm_broadcasts += o.regcomm_broadcasts;
+        self.dma_bcast_batches += o.dma_bcast_batches;
+        self.regcomm_bytes += o.regcomm_bytes;
         self.spm_high_water_elems = self.spm_high_water_elems.max(o.spm_high_water_elems);
     }
 
@@ -137,6 +146,8 @@ mod tests {
             issue_p0: 800,
             issue_p1: 600,
             regcomm_broadcasts: 500,
+            dma_bcast_batches: 2,
+            regcomm_bytes: 700,
             spm_high_water_elems: 4096,
         };
         let b = Counters { spm_high_water_elems: 2048, dma_batches: 3, ..a };
@@ -145,6 +156,8 @@ mod tests {
         assert_eq!(a.dma_batches, 4);
         assert_eq!(a.kernel_cycles, 2000);
         assert_eq!(a.flops, 8192);
+        assert_eq!(a.dma_bcast_batches, 4);
+        assert_eq!(a.regcomm_bytes, 1400);
         assert_eq!(a.spm_high_water_elems, 4096, "high water merges with max");
         let mut c = Counters::default();
         c.merge(&b);

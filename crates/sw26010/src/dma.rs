@@ -188,6 +188,20 @@ impl DmaEngine {
         now: Cycles,
         requests: &[DmaRequest],
     ) -> MachineResult<Cycles> {
+        self.schedule_with(cfg, now, requests, false)
+    }
+
+    /// [`DmaEngine::schedule`] with explicit batch chaining: a `chained`
+    /// batch is issued back-to-back with its predecessor, so its descriptors
+    /// ride the already-open engine pipeline and the per-batch start-up
+    /// latency is waived (only the descriptor and transfer terms remain).
+    pub fn schedule_with(
+        &mut self,
+        cfg: &MachineConfig,
+        now: Cycles,
+        requests: &[DmaRequest],
+        chained: bool,
+    ) -> MachineResult<Cycles> {
         let mut bus = 0usize;
         let mut blocks = 0usize;
         let mut payload = 0usize;
@@ -197,16 +211,7 @@ impl DmaEngine {
             blocks += r.n_blocks;
             payload += r.total_bytes();
         }
-        let transfer = (bus as f64 / cfg.mem_bytes_per_cycle).ceil() as u64;
-        let duration =
-            cfg.dma_startup + Cycles(cfg.dma_block_overhead.get() * blocks as u64) + Cycles(transfer);
-        let start = now.max(self.free_at);
-        let finish = start + duration;
-        self.free_at = finish;
-        self.payload_bytes += payload as u64;
-        self.bus_bytes += bus as u64;
-        self.batches += 1;
-        Ok(finish)
+        Ok(self.schedule_totals_with(cfg, now, bus, blocks, payload, chained))
     }
 
     /// Schedule a batch from pre-aggregated totals (the cost-only fast
@@ -221,16 +226,34 @@ impl DmaEngine {
         blocks: usize,
         payload_bytes: usize,
     ) -> Cycles {
+        self.schedule_totals_with(cfg, now, bus_bytes, blocks, payload_bytes, false)
+    }
+
+    /// [`DmaEngine::schedule_totals`] with explicit batch chaining (see
+    /// [`DmaEngine::schedule_with`]). Chained batches still queue behind the
+    /// engine's in-flight work — only the start-up term is dropped — and do
+    /// not open a new batch group in the statistics.
+    pub fn schedule_totals_with(
+        &mut self,
+        cfg: &MachineConfig,
+        now: Cycles,
+        bus_bytes: usize,
+        blocks: usize,
+        payload_bytes: usize,
+        chained: bool,
+    ) -> Cycles {
         let transfer = (bus_bytes as f64 / cfg.mem_bytes_per_cycle).ceil() as u64;
-        let duration = cfg.dma_startup
-            + Cycles(cfg.dma_block_overhead.get() * blocks as u64)
-            + Cycles(transfer);
+        let startup = if chained { Cycles::ZERO } else { cfg.dma_startup };
+        let duration =
+            startup + Cycles(cfg.dma_block_overhead.get() * blocks as u64) + Cycles(transfer);
         let start = now.max(self.free_at);
         let finish = start + duration;
         self.free_at = finish;
         self.payload_bytes += payload_bytes as u64;
         self.bus_bytes += bus_bytes as u64;
-        self.batches += 1;
+        if !chained {
+            self.batches += 1;
+        }
         finish
     }
 
@@ -369,6 +392,43 @@ mod tests {
                 "off={off} block={block} stride={stride} n={n}"
             );
         }
+    }
+
+    #[test]
+    fn chained_batch_waives_startup_and_batch_count() {
+        let cfg = cfg();
+        let r = DmaRequest::contiguous(0, DmaDirection::MemToSpm, 0, 0, 128);
+        let mut plain = DmaEngine::new();
+        let f_plain = plain.schedule_with(&cfg, Cycles::ZERO, std::slice::from_ref(&r), false).unwrap();
+        let mut chained = DmaEngine::new();
+        let f_chained = chained.schedule_with(&cfg, Cycles::ZERO, &[r], true).unwrap();
+        // A chained batch skips exactly the start-up term ...
+        assert_eq!(f_plain, f_chained + cfg.dma_startup);
+        // ... does not open a new batch group ...
+        assert_eq!((plain.batches, chained.batches), (1, 0));
+        // ... but still moves the same bytes.
+        assert_eq!(plain.bus_bytes, chained.bus_bytes);
+        assert_eq!(plain.payload_bytes, chained.payload_bytes);
+    }
+
+    #[test]
+    fn chained_batch_still_queues_behind_in_flight_work() {
+        let cfg = cfg();
+        let r = DmaRequest::contiguous(0, DmaDirection::MemToSpm, 0, 0, 128);
+        let mut e = DmaEngine::new();
+        let first = e.schedule_with(&cfg, Cycles::ZERO, std::slice::from_ref(&r), false).unwrap();
+        // Issued at t=0 while the first batch is in flight: starts at its
+        // completion, not at issue time.
+        let second = e.schedule_with(&cfg, Cycles::ZERO, &[r], true).unwrap();
+        assert!(second > first);
+        assert_eq!(second - first, f_duration(&cfg));
+    }
+
+    fn f_duration(cfg: &MachineConfig) -> Cycles {
+        // Duration of the chained 512 B contiguous batch above: block
+        // overhead + transfer, no start-up.
+        Cycles(cfg.dma_block_overhead.get())
+            + Cycles((512f64 / cfg.mem_bytes_per_cycle).ceil() as u64)
     }
 
     #[test]

@@ -47,6 +47,21 @@ pub fn bcast_min_cycles(cfg: &MachineConfig, vectors: u64) -> Cycles {
     Cycles(cfg.bcast_latency + (vectors - 1))
 }
 
+/// Cycles for one leader CPE to scatter a just-arrived DMA panel to the
+/// other `MESH - 1` CPEs on its row/column bus: one bus turnaround to claim
+/// the bus, the initial mesh-traversal latency, then fully pipelined 256-bit
+/// (4 × f32) register pushes — each recipient's `elems` elements stream past
+/// every hop, so the bus is busy for `ceil(elems / 4)` cycles per recipient.
+/// Used by broadcast-DMA tiling, where only the leader pays the DRAM cost
+/// and the mesh fans the panel out.
+pub fn dma_scatter_cycles(cfg: &MachineConfig, elems_per_cpe: usize) -> Cycles {
+    if elems_per_cpe == 0 {
+        return Cycles::ZERO;
+    }
+    let vectors = elems_per_cpe.div_ceil(4) as u64;
+    Cycles(cfg.regcomm_switch.get() + cfg.bcast_latency + vectors * (MESH as u64 - 1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +73,17 @@ mod tests {
             panel_rotation_overhead(&cfg).get(),
             cfg.regcomm_switch.get() * 8
         );
+    }
+
+    #[test]
+    fn scatter_scales_with_panel_and_is_free_when_empty() {
+        let cfg = MachineConfig::default();
+        assert_eq!(dma_scatter_cycles(&cfg, 0), Cycles::ZERO);
+        let small = dma_scatter_cycles(&cfg, 4);
+        let big = dma_scatter_cycles(&cfg, 400);
+        // 99 extra vectors per recipient, 7 recipients on the bus.
+        assert_eq!(big.get() - small.get(), 99 * 7);
+        assert!(small.get() > cfg.regcomm_switch.get());
     }
 
     #[test]

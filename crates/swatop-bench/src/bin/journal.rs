@@ -14,7 +14,9 @@
 use std::path::PathBuf;
 use std::process::exit;
 
-use swatop_bench::journal::{compare, CompareOpts, Journal, record_table, DEFAULT_PATH};
+use swatop_bench::journal::{
+    compare, transition_lines, CompareOpts, Journal, record_table, DEFAULT_PATH,
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -101,6 +103,9 @@ fn main() {
                 b.len(),
                 c.len()
             );
+            for line in transition_lines(&b, &c) {
+                println!("{line}");
+            }
             let regressions = compare(&b, &c, &opts);
             if regressions.is_empty() {
                 println!("OK: no regression");

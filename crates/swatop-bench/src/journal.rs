@@ -49,6 +49,9 @@ pub struct OpBench {
     pub pct_peak_dma_bw: f64,
     /// Roofline bottleneck class of the winning schedule.
     pub bottleneck: Bottleneck,
+    /// Schedule-point description (`knob=value` list) of the winning
+    /// candidate; empty on records written before the field existed.
+    pub schedule: String,
 }
 
 /// One journal entry: a full run of the canonical benchmark set.
@@ -96,13 +99,14 @@ impl Record {
             let _ = write!(
                 s,
                 "{{\"name\":\"{}\",\"cycles\":{},\"gflops\":{},\"pct_peak_gflops\":{},\
-                 \"pct_peak_dma_bw\":{},\"bottleneck\":\"{}\"}}",
+                 \"pct_peak_dma_bw\":{},\"bottleneck\":\"{}\",\"schedule\":\"{}\"}}",
                 escape_json(&op.name),
                 op.cycles,
                 fmt_f64(op.gflops),
                 fmt_f64(op.pct_peak_gflops),
                 fmt_f64(op.pct_peak_dma_bw),
-                op.bottleneck.name()
+                op.bottleneck.name(),
+                escape_json(&op.schedule)
             );
         }
         s.push(']');
@@ -130,6 +134,12 @@ impl Record {
         for (i, o) in v.field("ops")?.as_arr("ops")?.iter().enumerate() {
             let what = |f: &str| format!("ops[{i}].{f}");
             let bname = o.field("bottleneck")?.as_str(&what("bottleneck"))?;
+            // Tolerate pre-schedule records (field added in the DMA-wall
+            // work without a schema bump — append-only, like the metrics).
+            let schedule = match o.field("schedule") {
+                Ok(f) => f.as_str(&what("schedule"))?.to_string(),
+                Err(_) => String::new(),
+            };
             ops.push(OpBench {
                 name: o.field("name")?.as_str(&what("name"))?.to_string(),
                 cycles: o.field("cycles")?.as_u64(&what("cycles"))?,
@@ -138,6 +148,7 @@ impl Record {
                 pct_peak_dma_bw: o.field("pct_peak_dma_bw")?.as_f64(&what("pct_peak_dma_bw"))?,
                 bottleneck: Bottleneck::parse(bname)
                     .ok_or_else(|| format!("{}: unknown class {bname:?}", what("bottleneck")))?,
+                schedule,
             });
         }
         let mix = v.field("mix")?;
@@ -311,15 +322,15 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
 
     let (gemms, convs) = bench_ops(opts.smoke);
     let t0 = Instant::now();
-    let mut tuned: Vec<(String, swatop::tuner::TuneOutcome)> = Vec::new();
+    let mut tuned: Vec<(String, crate::runner::TunedOp)> = Vec::new();
     for (name, m, n, k) in &gemms {
         if let Some(t) = tune_gemm_opts(&cfg, *m, *n, *k, &tune_opts) {
-            tuned.push((name.clone(), t.outcome));
+            tuned.push((name.clone(), t));
         }
     }
     for (name, method, shape) in &convs {
         if let Some(t) = tune_conv_opts(&cfg, *method, shape, &tune_opts) {
-            tuned.push((name.clone(), t.outcome));
+            tuned.push((name.clone(), t));
         }
     }
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3 * opts.handicap as f64;
@@ -328,8 +339,8 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
     // order matches tuning order: one operator span per op).
     let rollups = tel.rollups();
     let mut ops = Vec::new();
-    for ((name, outcome), rollup) in tuned.iter().zip(&rollups) {
-        let best = rollup.candidates.iter().find(|c| c.index == outcome.best);
+    for ((name, t), rollup) in tuned.iter().zip(&rollups) {
+        let best = rollup.candidates.iter().find(|c| c.index == t.outcome.best);
         let (cycles, counters) = match best.and_then(|c| c.measured.map(|m| (m, c.counters))) {
             Some(x) => x,
             None => continue,
@@ -343,6 +354,7 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
             pct_peak_gflops: a.metrics.get("pct_peak_gflops").unwrap_or(0.0),
             pct_peak_dma_bw: a.metrics.get("pct_peak_dma_bw").unwrap_or(0.0),
             bottleneck: a.bottleneck,
+            schedule: t.schedule.clone(),
         });
     }
 
@@ -442,6 +454,38 @@ fn mad(xs: &[f64], m: f64) -> f64 {
     median(&mut devs).unwrap_or(0.0)
 }
 
+/// Per-op movement summary between the latest baseline and candidate
+/// records: cycles and GFLOPS deltas plus the bottleneck transition, one
+/// line per op present on both sides (e.g.
+/// `gemm_96: 160284 -> 42000 cycles (-73.8%), 16.0 -> 61.2 GFLOPS, dma -> compute`).
+/// An unchanged bottleneck prints as the single class name.
+pub fn transition_lines(base: &[&Record], cand: &[&Record]) -> Vec<String> {
+    let (Some(b), Some(c)) = (base.last(), cand.last()) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for ob in &b.ops {
+        let Some(oc) = c.ops.iter().find(|o| o.name == ob.name) else {
+            continue;
+        };
+        let pct = if ob.cycles > 0 {
+            100.0 * (oc.cycles as f64 - ob.cycles as f64) / ob.cycles as f64
+        } else {
+            0.0
+        };
+        let shift = if ob.bottleneck == oc.bottleneck {
+            ob.bottleneck.name().to_string()
+        } else {
+            format!("{} -> {}", ob.bottleneck, oc.bottleneck)
+        };
+        out.push(format!(
+            "{}: {} -> {} cycles ({pct:+.1}%), {:.1} -> {:.1} GFLOPS, {shift}",
+            ob.name, ob.cycles, oc.cycles, ob.gflops, oc.gflops
+        ));
+    }
+    out
+}
+
 /// Noise-aware comparison of candidate records against baseline records.
 ///
 /// Wall time: candidate median may exceed baseline median by
@@ -537,6 +581,7 @@ mod tests {
                 pct_peak_gflops: 41.8,
                 pct_peak_dma_bw: 12.0,
                 bottleneck: Bottleneck::Compute,
+                schedule: "t_m=64, dbuf=true, coal=false, bcast=false".to_string(),
             }],
             mape_pct: Some(7.25),
             rank_correlation: Some(0.93),

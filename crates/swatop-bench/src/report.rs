@@ -112,7 +112,10 @@ pub fn roofline_table(tel: &Telemetry, cfg: &MachineConfig) -> Table {
             peaks.dma_gbps,
             peaks.ridge_intensity()
         ),
-        &["operator", "cand", "cycles", "GFLOPS", "% peak", "% DMA bw", "flops/B", "bottleneck"],
+        &[
+            "operator", "cand", "cycles", "GFLOPS", "% peak", "% DMA bw", "flops/B", "overlap",
+            "bottleneck",
+        ],
     );
     for g in tel.rollups() {
         for cand in &g.candidates {
@@ -127,6 +130,7 @@ pub fn roofline_table(tel: &Telemetry, cfg: &MachineConfig) -> Table {
                 format!("{:.1}", m("pct_peak_gflops")),
                 format!("{:.1}", m("pct_peak_dma_bw")),
                 format!("{:.2}", m("arithmetic_intensity")),
+                format!("{:.2}", m("overlap_efficiency")),
                 a.bottleneck.name().to_string(),
             ]);
         }

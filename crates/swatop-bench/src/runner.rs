@@ -50,6 +50,8 @@ pub struct TunedOp {
     pub cycles: Cycles,
     pub flops: u64,
     pub candidates: usize,
+    /// Schedule-point description (`knob=value` list) of the winner.
+    pub schedule: String,
     pub outcome: TuneOutcome,
 }
 
@@ -83,7 +85,8 @@ fn tune(cfg: &MachineConfig, op: &dyn Operator, label: &str, opts: &TuneOptions)
         t.close(id);
     }
     let outcome = outcome?;
-    Some(TunedOp { cycles: outcome.cycles, flops: op.flops(), candidates: n, outcome })
+    let schedule = cands.get(outcome.best).map(|c| c.describe.clone()).unwrap_or_default();
+    Some(TunedOp { cycles: outcome.cycles, flops: op.flops(), candidates: n, schedule, outcome })
 }
 
 /// Model-tune a convolution with the given method. `None` if the method is

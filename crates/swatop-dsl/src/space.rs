@@ -90,6 +90,12 @@ impl ScheduleSpace {
         (0..self.size()).map(|i| self.point(i))
     }
 
+    /// Whether a knob with this name exists — lowering code shared between
+    /// operators probes optional knobs with this before reading them.
+    pub fn has_knob(&self, name: &str) -> bool {
+        self.knobs.iter().any(|k| k.name() == name)
+    }
+
     fn knob_index(&self, name: &str) -> usize {
         self.knobs
             .iter()

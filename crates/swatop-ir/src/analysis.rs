@@ -111,6 +111,8 @@ mod tests {
             direction: DmaDirection::MemToSpm,
             spm: SpmSlot::Single(SpmBufId(0)),
             reply: ReplyId(0),
+            bcast: None,
+            fused: false,
         })
     }
 

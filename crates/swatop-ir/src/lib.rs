@@ -34,7 +34,7 @@ pub mod stmt;
 pub mod transform;
 
 pub use expr::{AVar, AffineExpr, Cond, Env, VarId};
-pub use program::{MemBufDecl, MemRole, Program, SpmBufDecl};
+pub use program::{MemBufDecl, MemRole, Program, ScheduleHints, SpmBufDecl};
 pub use stmt::{
     DmaCg, DmaCpe, GemmOp, MatDesc, MemBufId, ReplyId, SpmBufId, SpmSlot, Stmt, TransformKind,
     TransformOp,

@@ -61,9 +61,13 @@ pub fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
             );
         }
         Stmt::DmaCpe(d) => {
+            let bc = match d.bcast {
+                None => String::new(),
+                Some(b) => format!(", bcast={b:?}"),
+            };
             let _ = writeln!(
                 out,
-                "{pad}DMA_CPE({:?}, m{}, @({}), block={}, stride={}, n={}) -> {} [r{}]",
+                "{pad}DMA_CPE({:?}, m{}, @({}), block={}, stride={}, n={}{bc}) -> {} [r{}]",
                 d.direction, d.buf.0, d.offset, d.block, d.stride, d.n_blocks,
                 slot_str(&d.spm), d.reply.0
             );
@@ -92,6 +96,7 @@ pub fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
                 TransformKind::PadSubmatrix { .. } => "pad",
                 TransformKind::UnpadSubmatrix { .. } => "unpad",
                 TransformKind::ZeroBuf { .. } => "zero",
+                TransformKind::PackTiles { .. } => "pack_tiles",
             };
             let _ = writeln!(out, "{pad}TRANSFORM({name})");
         }
@@ -125,6 +130,8 @@ mod tests {
             direction: DmaDirection::MemToSpm,
             spm: SpmSlot::Single(SpmBufId(0)),
             reply: r,
+            bcast: None,
+            fused: false,
         });
         p.body = Stmt::for_(
             v,

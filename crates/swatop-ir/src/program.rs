@@ -29,6 +29,22 @@ pub struct SpmBufDecl {
     pub len: usize,
 }
 
+/// Optimisation directives a schedule point attaches to its lowered
+/// program: which of the DMA-wall passes the optimizer pipeline should run
+/// on it. Each is an independent schedule dimension the tuner searches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleHints {
+    /// Double-buffer the steady-state loop gets (ping/pong SPM tiles) so
+    /// step k+1's DMA-in overlaps step k's compute.
+    pub dbuf: bool,
+    /// Coalesce strided tile gets into packed, transaction-aligned staging
+    /// buffers (one contiguous block per CPE per step).
+    pub coalesce: bool,
+    /// Broadcast-tile eligible gets: one leader CPE per mesh row/column
+    /// pays the DRAM cost, the register-communication bus fans out.
+    pub bcast: bool,
+}
+
 /// A lowered schedule strategy, ready for optimization / costing /
 /// execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +55,7 @@ pub struct Program {
     pub spm_bufs: Vec<SpmBufDecl>,
     pub n_replies: usize,
     pub var_names: Vec<String>,
+    pub hints: ScheduleHints,
 }
 
 impl Program {
@@ -50,6 +67,7 @@ impl Program {
             spm_bufs: Vec::new(),
             n_replies: 0,
             var_names: Vec::new(),
+            hints: ScheduleHints::default(),
         }
     }
 

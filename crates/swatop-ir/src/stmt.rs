@@ -1,5 +1,6 @@
 //! IR statement nodes.
 
+use sw26010::regcomm::BcastBus;
 use sw26010::DmaDirection;
 use swkernels::VecDim;
 use swtensor::{ConvShape, MatLayout};
@@ -52,6 +53,18 @@ pub struct MatDesc {
     pub slot: SpmSlot,
     pub layout: MatLayout,
     pub ld: usize,
+    /// Per-CPE element offset of the block's origin within the slot. Zero
+    /// for whole-buffer operands; nonzero when the operand is a sub-block of
+    /// a larger SPM-resident panel (resident-reuse schedules index the k-th
+    /// `t_k`-slice of a resident A/B panel this way).
+    pub offset: usize,
+}
+
+impl MatDesc {
+    /// Operand covering a whole slot (offset 0).
+    pub fn new(slot: SpmSlot, layout: MatLayout, ld: usize) -> Self {
+        MatDesc { slot, layout, ld, offset: 0 }
+    }
 }
 
 /// Core-group-level DMA node (`DMA_CG`): move a `rows × cols` sub-matrix
@@ -92,6 +105,19 @@ pub struct DmaCpe {
     pub direction: DmaDirection,
     pub spm: SpmSlot,
     pub reply: ReplyId,
+    /// Broadcast tiling: when set, only the leader CPE of each mesh row
+    /// (`BcastBus::Row`, leaders `(r, 0)`) or column (`BcastBus::Column`,
+    /// leaders `(0, c)`) fetches the whole line's blocks from DRAM and
+    /// scatters them over the register-communication bus. Valid only when
+    /// the 8 per-CPE fetches of a line are contiguous (the bcast-axis mesh
+    /// coefficient of `offset` equals `block`).
+    pub bcast: Option<BcastBus>,
+    /// Batch fusion: this transfer is issued back-to-back with the
+    /// immediately preceding DMA node (no wait or compute in between), so
+    /// its descriptors chain onto the engine's in-flight batch and the
+    /// per-batch start-up latency is amortised away. Set by the optimizer's
+    /// get-fusion pass; never set on the first node of a run.
+    pub fused: bool,
 }
 
 impl DmaCpe {
@@ -127,6 +153,12 @@ impl GemmOp {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransformOp {
     pub kind: TransformKind,
+    /// Chain fusion: this transform runs back-to-back with the immediately
+    /// preceding transform, so its block stream chains onto the engine's
+    /// open pipeline and the per-transform start-up latency is amortised
+    /// away. Set by the optimizer's transform-fusion pass; never set on the
+    /// first transform of a run.
+    pub fused: bool,
 }
 
 /// The transform vocabulary. Buffer dimensions are tracked in the program's
@@ -188,6 +220,25 @@ pub enum TransformKind {
     },
     /// Zero an entire buffer.
     ZeroBuf { buf: MemBufId },
+    /// Transaction coalescing: gather the strided per-CPE tiles of a
+    /// loop-nest's `DmaCg` get into a packed staging buffer, laid out
+    /// `[iteration][cpe][block]` so the replacement per-CPE DMA is a single
+    /// fully contiguous (transaction-aligned) block per CPE per step.
+    /// `base` is the constant term of the source tile-origin offset and
+    /// `iters` the `(extent, coefficient)` pairs of the loop variables it
+    /// depends on, outermost first — together they enumerate every tile the
+    /// nest will fetch. `rows`/`cols`/`row_stride`/`mesh_swap` mirror the
+    /// replaced `DmaCg`.
+    PackTiles {
+        src: MemBufId,
+        dst: MemBufId,
+        rows: usize,
+        cols: usize,
+        row_stride: usize,
+        mesh_swap: bool,
+        base: i64,
+        iters: Vec<(usize, i64)>,
+    },
 }
 
 impl TransformKind {
@@ -243,6 +294,11 @@ impl TransformKind {
                 (n, n, 0)
             }
             TransformKind::ZeroBuf { .. } => (0, 0, 0),
+            TransformKind::PackTiles { rows, cols, iters, .. } => {
+                let n_iters: u64 = iters.iter().map(|&(e, _)| e as u64).product();
+                let n = n_iters * (rows * cols) as u64;
+                (n, n, 0)
+            }
         }
     }
 }
@@ -399,12 +455,21 @@ mod tests {
     }
 
     #[test]
-    fn gemm_flops() {
-        let d = MatDesc {
-            slot: SpmSlot::single(SpmBufId(0)),
-            layout: MatLayout::RowMajor,
-            ld: 8,
+    fn pack_tiles_traffic_covers_every_iteration() {
+        let k = TransformKind::PackTiles {
+            src: MemBufId(0), dst: MemBufId(1),
+            rows: 64, cols: 32, row_stride: 96, mesh_swap: false,
+            base: 0, iters: vec![(3, 32), (2, 64 * 96)],
         };
+        let (r, w, f) = k.traffic();
+        assert_eq!(r, 6 * 64 * 32);
+        assert_eq!(w, 6 * 64 * 32);
+        assert_eq!(f, 0);
+    }
+
+    #[test]
+    fn gemm_flops() {
+        let d = MatDesc::new(SpmSlot::single(SpmBufId(0)), MatLayout::RowMajor, 8);
         let g = GemmOp {
             m: 64, n: 32, k: 16, alpha: 1.0, beta: 1.0,
             a: d.clone(), b: d.clone(), c: d, vd: swkernels::VecDim::M,

@@ -21,7 +21,7 @@ pub fn subst_var(stmt: &Stmt, var: VarId, by: &AffineExpr) -> Stmt {
             SpmSlot::Double { even: *even, odd: *odd, sel: sel.subst(var, by) }
         }
     };
-    let mat = |m: &MatDesc| MatDesc { slot: slot(&m.slot), layout: m.layout, ld: m.ld };
+    let mat = |m: &MatDesc| MatDesc { slot: slot(&m.slot), ..m.clone() };
     match stmt {
         Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(|s| subst_var(s, var, by)).collect()),
         Stmt::For { var: v, extent, body } => {
@@ -155,6 +155,8 @@ mod tests {
             direction: DmaDirection::MemToSpm,
             spm: SpmSlot::single(SpmBufId(0)),
             reply: ReplyId(0),
+            bcast: None,
+            fused: false,
         })
     }
 
@@ -249,6 +251,8 @@ mod tests {
                 sel: AffineExpr::loop_var(0),
             },
             reply: ReplyId(0),
+            bcast: None,
+            fused: false,
         });
         let r = subst_var(&s, 0, &AffineExpr::konst(7));
         if let Stmt::DmaCpe(d) = r {

@@ -72,6 +72,8 @@ proptest! {
             direction: sw26010::DmaDirection::MemToSpm,
             spm: SpmSlot::Single(SpmBufId(0)),
             reply: ReplyId(0),
+            bcast: None,
+            fused: false,
         });
         let orig = Stmt::for_(0, extent, body);
         let s = split(&orig, factor, 1, 2);
@@ -90,6 +92,8 @@ proptest! {
             direction: sw26010::DmaDirection::MemToSpm,
             spm: SpmSlot::Single(SpmBufId(0)),
             reply: ReplyId(0),
+            bcast: None,
+            fused: false,
         });
         let nest = Stmt::for_(0, e0, Stmt::for_(1, e1, body));
         let perm = if swapped { vec![1, 0] } else { vec![0, 1] };
@@ -116,6 +120,8 @@ proptest! {
             direction: sw26010::DmaDirection::MemToSpm,
             spm: SpmSlot::Single(SpmBufId(0)),
             reply: ReplyId(0),
+            bcast: None,
+            fused: false,
         });
         let s = Stmt::for_(0, extent, body);
         prop_assert_eq!(subst_var(&s, 3, &AffineExpr::konst(42)), s);

@@ -137,6 +137,15 @@ impl Interp<'_> {
                 "DMA_CG node reached the interpreter: run DMA inference first".into(),
             )),
             Stmt::DmaCpe(d) => {
+                // Batch fusion: this node was issued back-to-back with its
+                // predecessor, so its descriptors chain onto the engine's
+                // open batch and skip the start-up latency.
+                if d.fused {
+                    cg.dma_chain_next();
+                }
+                if d.bcast.is_some() {
+                    return self.dma_cpe_bcast(cg, d, env);
+                }
                 let spm_off = self.resolve_slot(&d.spm, env)?;
                 let machine_buf = self.buf(d.buf)?;
                 let base = cg.mem.base(machine_buf);
@@ -224,8 +233,120 @@ impl Interp<'_> {
                 let c = self.mat(&g.c, env)?;
                 swkernels::spm_gemm(cg, g.m, g.n, g.k, g.alpha, a, b, g.beta, c, g.vd)
             }
-            Stmt::Transform(t) => self.transform(cg, &t.kind),
+            Stmt::Transform(t) => self.transform(cg, t),
         }
+    }
+
+    /// Execute a broadcast-tagged `DMA_CPE`: the leader CPE of each mesh
+    /// row (`BcastBus::Row`, leaders `(r, 0)`) or column (`Column`, leaders
+    /// `(0, c)`) fetches its whole line's 8 contiguous blocks from DRAM and
+    /// scatters them over the register-communication bus. DRAM traffic and
+    /// engine time come from the 8 leader requests (8× fewer descriptors,
+    /// 8×-wider blocks); the bytes each CPE's SPM receives are identical to
+    /// the untagged node, which the functional path realises by copying the
+    /// original 64 per-CPE blocks.
+    fn dma_cpe_bcast(
+        &self,
+        cg: &mut CoreGroup,
+        d: &swatop_ir::DmaCpe,
+        env: &Env,
+    ) -> MachineResult<()> {
+        let bus_kind = d.bcast.expect("caller checked");
+        if d.direction != DmaDirection::MemToSpm {
+            return Err(MachineError::Invalid(
+                "broadcast DMA is only defined for mem→SPM gets".into(),
+            ));
+        }
+        let spm_off = self.resolve_slot(&d.spm, env)?;
+        let machine_buf = self.buf(d.buf)?;
+        let base = cg.mem.base(machine_buf);
+        let len = cg.mem.len_of(machine_buf);
+        let lblock = d.block * 8;
+        if d.n_blocks > 1 && d.stride < lblock {
+            return Err(MachineError::Invalid(format!(
+                "broadcast DMA leader blocks of {lblock} overlap stride {}",
+                d.stride
+            )));
+        }
+        let lspan = (d.n_blocks - 1) * d.stride + lblock;
+        let leaders: [(i64, i64); 8] = match bus_kind {
+            sw26010::regcomm::BcastBus::Row => std::array::from_fn(|r| (r as i64, 0)),
+            sw26010::regcomm::BcastBus::Column => std::array::from_fn(|c| (0, c as i64)),
+        };
+        let scatter = sw26010::regcomm::dma_scatter_cycles(&cg.cfg, d.spm_elems());
+        let spm_needed = spm_off + d.spm_elems();
+        if spm_needed > cg.spm_capacity_elems() {
+            return Err(MachineError::SpmOverflow {
+                cpe: 0,
+                offset: spm_off,
+                len: d.spm_elems(),
+                capacity: cg.spm_capacity_elems(),
+            });
+        }
+        cg.counters.note_spm_use(spm_needed as u64);
+        let txn = cg.cfg.dram_transaction_bytes;
+        let mut bus = 0usize;
+        let mut leader_offs = [0usize; 8];
+        for (i, &(r, c)) in leaders.iter().enumerate() {
+            let off = d.offset.eval(env, r, c);
+            if off < 0 {
+                return Err(MachineError::Invalid(format!(
+                    "negative DMA offset {off} on broadcast leader {i}"
+                )));
+            }
+            let off = off as usize;
+            if off + lspan > len {
+                return Err(MachineError::MainMemoryOutOfBounds {
+                    offset: base + off,
+                    len: lspan,
+                    size: base + len,
+                });
+            }
+            leader_offs[i] = off;
+            bus += sw26010::dma::bus_bytes(base + off, lblock, d.stride, d.n_blocks, txn);
+        }
+        let payload = lblock * d.n_blocks * 4 * 8;
+        if cg.mode() == ExecMode::CostOnly {
+            return cg.dma_totals_bcast(
+                bus,
+                d.n_blocks * 8,
+                payload,
+                scatter,
+                self.reply(d.reply)?,
+            );
+        }
+        let leader_reqs: Vec<DmaRequest> = leaders
+            .iter()
+            .zip(&leader_offs)
+            .map(|(&(r, c), &off)| DmaRequest {
+                cpe: (r * 8 + c) as usize,
+                direction: d.direction,
+                mem_offset: base + off,
+                spm_offset: spm_off,
+                block_elems: lblock,
+                stride_elems: d.stride.max(lblock),
+                n_blocks: d.n_blocks,
+            })
+            .collect();
+        let mut reqs = Vec::with_capacity(N_CPE);
+        for cpe in 0..N_CPE {
+            let off = d.offset.eval(env, rid(cpe) as i64, cid(cpe) as i64);
+            if off < 0 {
+                return Err(MachineError::Invalid(format!(
+                    "negative DMA offset {off} on CPE {cpe}"
+                )));
+            }
+            reqs.push(DmaRequest {
+                cpe,
+                direction: d.direction,
+                mem_offset: base + off as usize,
+                spm_offset: spm_off,
+                block_elems: d.block,
+                stride_elems: d.stride,
+                n_blocks: d.n_blocks,
+            });
+        }
+        cg.dma_bcast(d.direction, &leader_reqs, &reqs, scatter, self.reply(d.reply)?)
     }
 
     fn resolve_slot(&self, slot: &SpmSlot, env: &Env) -> MachineResult<usize> {
@@ -250,18 +371,22 @@ impl Interp<'_> {
     }
 
     fn mat(&self, m: &MatDesc, env: &Env) -> MachineResult<SpmMatrix> {
-        Ok(SpmMatrix::new(self.resolve_slot(&m.slot, env)?, m.layout, m.ld))
+        Ok(SpmMatrix::new(self.resolve_slot(&m.slot, env)? + m.offset, m.layout, m.ld))
     }
 
-    fn transform(&self, cg: &mut CoreGroup, kind: &TransformKind) -> MachineResult<()> {
+    fn transform(&self, cg: &mut CoreGroup, t: &swatop_ir::TransformOp) -> MachineResult<()> {
+        let kind = &t.kind;
         // Cost: transforms are tiled CPE loops streaming through the DMA
         // engine — bandwidth-bound unless heavy per-element arithmetic.
+        // A fused transform chains onto the still-streaming engine pipeline
+        // of its predecessor and skips the start-up latency.
         let (reads, writes, flops_per_write) = kind.traffic();
         let bytes = 4 * (reads + writes);
         let transfer = (bytes as f64 / cg.cfg.mem_bytes_per_cycle).ceil() as u64;
         // 64 CPEs × 4-wide ops; 1 + flops_per_write operations per element.
         let compute = writes * (1 + flops_per_write) / (N_CPE as u64 * 4);
-        let cycles = cg.cfg.dma_startup + Cycles(transfer.max(compute));
+        let startup = if t.fused { Cycles::ZERO } else { cg.cfg.dma_startup };
+        let cycles = startup + Cycles(transfer.max(compute));
         cg.compute(cycles, transform_label(kind));
 
         if cg.mode() != ExecMode::Functional {
@@ -488,6 +613,56 @@ impl Interp<'_> {
                 cg.mem.buffer_mut(machine_buf).fill(0.0);
                 Ok(())
             }
+            TransformKind::PackTiles { src, dst, rows, cols, row_stride, mesh_swap, base, iters } => {
+                // Mirrors DMA inference's per-CPE block addressing exactly:
+                // the packed buffer must hand every CPE the same bytes the
+                // strided fetch would have delivered.
+                let s = self.buf_data(cg, *src)?;
+                let n_iters: usize = iters.iter().map(|&(e, _)| e).product();
+                let (block_rows, block_cols) = (rows / 8, cols / 8);
+                let e_per_cpe = block_rows * block_cols;
+                let mut out = vec![0.0f32; n_iters * rows * cols];
+                let mut idx = vec![0usize; iters.len()];
+                for lin in 0..n_iters {
+                    let mut rem = lin;
+                    for (i, &(ext, _)) in iters.iter().enumerate().rev() {
+                        idx[i] = rem % ext;
+                        rem /= ext;
+                    }
+                    let src_off = *base
+                        + iters
+                            .iter()
+                            .zip(&idx)
+                            .map(|(&(_, coef), &i)| coef * i as i64)
+                            .sum::<i64>();
+                    if src_off < 0 {
+                        return Err(MachineError::Invalid(format!(
+                            "pack_tiles: negative source offset {src_off}"
+                        )));
+                    }
+                    let src_off = src_off as usize;
+                    for cpe in 0..N_CPE {
+                        let (r, c) = (rid(cpe), cid(cpe));
+                        let (br_sel, bc_sel) = if *mesh_swap { (c, r) } else { (r, c) };
+                        let cpe_base =
+                            src_off + br_sel * block_rows * row_stride + bc_sel * block_cols;
+                        let dst_base = (lin * N_CPE + cpe) * e_per_cpe;
+                        for br in 0..block_rows {
+                            let so = cpe_base + br * row_stride;
+                            if so + block_cols > s.len() {
+                                return Err(MachineError::Invalid(format!(
+                                    "pack_tiles: source read [{so}, {}) exceeds buffer of {}",
+                                    so + block_cols,
+                                    s.len()
+                                )));
+                            }
+                            let d_o = dst_base + br * block_cols;
+                            out[d_o..d_o + block_cols].copy_from_slice(&s[so..so + block_cols]);
+                        }
+                    }
+                }
+                self.write_buf(cg, *dst, &out)
+            }
         }
     }
 }
@@ -504,6 +679,7 @@ fn transform_label(kind: &TransformKind) -> &'static str {
         TransformKind::PadSubmatrix { .. } => "pad",
         TransformKind::UnpadSubmatrix { .. } => "unpad",
         TransformKind::ZeroBuf { .. } => "zero",
+        TransformKind::PackTiles { .. } => "pack_tiles",
     }
 }
 
@@ -551,6 +727,8 @@ mod tests {
                 direction: MemToSpm,
                 spm: SpmSlot::Single(spm),
                 reply: r,
+                bcast: None,
+                fused: false,
             })
         };
         let dma_out = Stmt::DmaCpe(DmaCpe {
@@ -564,6 +742,8 @@ mod tests {
             direction: SpmToMem,
             spm: SpmSlot::Single(sc),
             reply: r,
+            bcast: None,
+            fused: false,
         });
         let gemm = Stmt::Gemm(swatop_ir::GemmOp {
             m,
@@ -571,9 +751,9 @@ mod tests {
             k,
             alpha: 1.0,
             beta: 1.0,
-            a: MatDesc { slot: SpmSlot::Single(sa), layout: MatLayout::RowMajor, ld: kb },
-            b: MatDesc { slot: SpmSlot::Single(sb), layout: MatLayout::RowMajor, ld: nb },
-            c: MatDesc { slot: SpmSlot::Single(sc), layout: MatLayout::RowMajor, ld: nb },
+            a: MatDesc::new(SpmSlot::Single(sa), MatLayout::RowMajor, kb),
+            b: MatDesc::new(SpmSlot::Single(sb), MatLayout::RowMajor, nb),
+            c: MatDesc::new(SpmSlot::Single(sc), MatLayout::RowMajor, nb),
             vd: VecDim::M,
         });
         p.body = Stmt::seq(vec![
@@ -648,6 +828,8 @@ mod tests {
             direction: MemToSpm,
             spm: SpmSlot::Double { even, odd, sel: AffineExpr::loop_var(v) },
             reply: r,
+            bcast: None,
+            fused: false,
         });
         p.body = Stmt::for_(
             v,
@@ -685,6 +867,8 @@ mod tests {
                 direction: MemToSpm,
                 spm: SpmSlot::Single(s),
                 reply: r,
+                bcast: None,
+                fused: false,
             })
         };
         // for i in 0..5 { if i < 4 { dma@0 } else { dma@100 } ; wait }
@@ -726,6 +910,8 @@ mod tests {
             direction: MemToSpm,
             spm: SpmSlot::Single(s),
             reply: r,
+            bcast: None,
+            fused: false,
         });
         let exe = plan(p, &MachineConfig::default()).unwrap();
         let mut cg = functional_cg();
@@ -741,7 +927,7 @@ mod tests {
         let mut p = Program::new("pack");
         let src = p.mem_buf("src", 6, MemRole::Input);
         let dst = p.mem_buf("dst", 6, MemRole::Temp);
-        p.body = Stmt::Transform(TransformOp {
+        p.body = Stmt::Transform(TransformOp { fused: false,
             kind: TransformKind::PackTensor {
                 src,
                 dst,
@@ -765,7 +951,7 @@ mod tests {
         let padded = p.mem_buf("padded", 4 * 8, MemRole::Temp);
         let out = p.mem_buf("out", 3 * 5, MemRole::Output);
         p.body = Stmt::seq(vec![
-            Stmt::Transform(TransformOp {
+            Stmt::Transform(TransformOp { fused: false,
                 kind: TransformKind::PadSubmatrix {
                     src,
                     src_rows: 3,
@@ -780,7 +966,7 @@ mod tests {
                     zero_first: true,
                 },
             }),
-            Stmt::Transform(TransformOp {
+            Stmt::Transform(TransformOp { fused: false,
                 kind: TransformKind::UnpadSubmatrix {
                     src: padded,
                     src_rows: 4,
@@ -828,6 +1014,8 @@ mod tests {
                     direction: MemToSpm,
                     spm: SpmSlot::Single(s),
                     reply: r,
+                    bcast: None,
+                    fused: false,
                 }),
                 Stmt::DmaWait { reply: r, times: 1 },
             ]);

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use sw26010::{Cycles, MachineConfig, N_CPE};
+use sw26010::{Cycles, MachineConfig, MESH, N_CPE};
 use swatop_ir::{Env, Program, Stmt, TransformKind};
 use swkernels::{gemm_cycles, GemmVariant, VecDim, ALL_VARIANTS};
 
@@ -31,6 +31,19 @@ pub fn dma_eq1_cycles(
     block_elems: usize,
     n_blocks: usize,
     stride_elems: usize,
+) -> f64 {
+    dma_eq1_cycles_n(cfg, block_elems, n_blocks, stride_elems, N_CPE)
+}
+
+/// Eq. (1) generalised to `n_requests` symmetric per-CPE requests —
+/// broadcast-tiled transfers issue only the 8 leader requests (one per mesh
+/// row or column) instead of 64.
+pub fn dma_eq1_cycles_n(
+    cfg: &MachineConfig,
+    block_elems: usize,
+    n_blocks: usize,
+    stride_elems: usize,
+    n_requests: usize,
 ) -> f64 {
     let txn = cfg.dram_transaction_bytes;
     let block_bytes = block_elems * 4;
@@ -44,12 +57,12 @@ pub fn dma_eq1_cycles(
         // extra transaction of waste per block.
         block_bytes.div_ceil(txn) * txn + txn
     };
-    let total_bytes = (bus_block * n_blocks * N_CPE) as f64;
+    let total_bytes = (bus_block * n_blocks * n_requests) as f64;
     // The start-up and per-block descriptor constants are calibrated from
     // DMA micro-benchmarks (as the paper does, following Xu et al. [24]):
     // strided transfers with many small blocks pay a per-descriptor cost on
     // top of the bandwidth term.
-    let descriptor = (cfg.dma_block_overhead.get() * (n_blocks * N_CPE) as u64) as f64;
+    let descriptor = (cfg.dma_block_overhead.get() * (n_blocks * n_requests) as u64) as f64;
     cfg.dma_startup.get() as f64 + descriptor + total_bytes / cfg.mem_bytes_per_cycle
 }
 
@@ -229,7 +242,22 @@ fn estimate_stmt(
             est.t_dma += mult * dma_eq1_cycles(cfg, node.block, node.n_blocks, node.stride);
         }
         Stmt::DmaCpe(d) => {
-            est.t_dma += mult * dma_eq1_cycles(cfg, d.block, d.n_blocks, d.stride);
+            let mut t = match d.bcast {
+                None => dma_eq1_cycles(cfg, d.block, d.n_blocks, d.stride),
+                // Broadcast tiling: 8 leader requests of 8·block
+                // elements, plus the register-bus scatter that extends
+                // the transfer's completion.
+                Some(_) => {
+                    dma_eq1_cycles_n(cfg, 8 * d.block, d.n_blocks, d.stride, MESH)
+                        + sw26010::regcomm::dma_scatter_cycles(cfg, d.spm_elems()).get() as f64
+                }
+            };
+            // Fused nodes chain onto the preceding batch: Eq. (1)'s
+            // start-up term is paid once per batch group, not per node.
+            if d.fused {
+                t -= cfg.dma_startup.get() as f64;
+            }
+            est.t_dma += mult * t;
         }
         Stmt::DmaWait { .. } => {
             est.t_compute += mult * cfg.dma_wait_poll.get() as f64;
@@ -242,8 +270,13 @@ fn estimate_stmt(
         Stmt::Transform(t) => {
             // Transforms stream through memory: they occupy both the DMA
             // engine and the CPEs; charge the same cost to both clocks
-            // (they cannot be overlapped with the main loop).
-            let c = transform_cost(cfg, &t.kind).get() as f64;
+            // (they cannot be overlapped with the main loop). Fused
+            // transforms chain onto their predecessor's pipeline and skip
+            // the start-up latency, mirroring the interpreter.
+            let mut c = transform_cost(cfg, &t.kind).get() as f64;
+            if t.fused {
+                c -= cfg.dma_startup.get() as f64;
+            }
             est.t_compute += mult * c;
             est.t_dma += mult * c;
         }

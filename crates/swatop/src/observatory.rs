@@ -185,6 +185,10 @@ pub const SCHEMA: &[MetricDef] = &[
     MetricDef { name: "issue_slot_util", help: "Combined dual-issue slot utilisation" },
     MetricDef { name: "spm_high_water_bytes", help: "Largest SPM extent touched, in bytes" },
     MetricDef { name: "spm_occupancy", help: "SPM high water as a fraction of capacity" },
+    MetricDef {
+        name: "overlap_efficiency",
+        help: "Fraction of hideable DMA bus time actually hidden behind compute",
+    },
 ];
 
 /// Index of `name` in [`SCHEMA`].
@@ -307,6 +311,14 @@ pub fn derive(peaks: &Peaks, cycles: u64, c: &Counters) -> MetricSet {
     set("issue_slot_util", c.issue_slot_utilization());
     set("spm_high_water_bytes", (c.spm_high_water_elems * 4) as f64);
     set("spm_occupancy", frac((c.spm_high_water_elems * 4) as f64, peaks.spm_bytes));
+    // Overlap efficiency: of the DMA bus time that *could* hide behind
+    // compute (bounded by whichever of the two is shorter), how much did?
+    // Bus time not spent stalling the compute stream counts as hidden.
+    let dma_busy = c.dma_bus_bytes as f64 / peaks.dma_bytes_per_cycle();
+    let compute_total = kernel_cyc + c.compute_cycles as f64;
+    let max_overlap = dma_busy.min(compute_total);
+    let achieved = (dma_busy - c.dma_stall_cycles as f64).clamp(0.0, max_overlap);
+    set("overlap_efficiency", if max_overlap > 0.0 { achieved / max_overlap } else { 1.0 });
     MetricSet { values }
 }
 

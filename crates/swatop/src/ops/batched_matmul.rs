@@ -79,7 +79,7 @@ impl Operator for BatchedMatmulOp {
             // is a dimension permutation.
             let bt = p.mem_buf("B_fused", self.batch * self.k * self.n, MemRole::Temp);
             let ct = p.mem_buf("C_fused", self.batch * self.m * self.n, MemRole::Temp);
-            let pack = Stmt::Transform(swatop_ir::TransformOp {
+            let pack = Stmt::Transform(swatop_ir::TransformOp { fused: false,
                 kind: swatop_ir::TransformKind::PackTensor {
                     src: b,
                     dst: bt,
@@ -100,7 +100,7 @@ impl Operator for BatchedMatmulOp {
                 None,
             )?;
             // C_fused is [m][batch][n]; the interface layout is [batch][m][n].
-            let unpack = Stmt::Transform(swatop_ir::TransformOp {
+            let unpack = Stmt::Transform(swatop_ir::TransformOp { fused: false,
                 kind: swatop_ir::TransformKind::PackTensor {
                     src: ct,
                     dst: c,
@@ -136,7 +136,7 @@ impl Operator for BatchedMatmulOp {
             stmts.push(copy_in(b, self.batch, i, self.k * self.n, b_el));
             // The per-element C workspace accumulates (beta = 1): clear it
             // between batch elements.
-            stmts.push(Stmt::Transform(swatop_ir::TransformOp {
+            stmts.push(Stmt::Transform(swatop_ir::TransformOp { fused: false,
                 kind: swatop_ir::TransformKind::ZeroBuf { buf: c_el },
             }));
             let body = lower_matmul_body_with_spm(
@@ -195,7 +195,7 @@ fn copy_in(
     len: usize,
     dst: swatop_ir::MemBufId,
 ) -> Stmt {
-    Stmt::Transform(swatop_ir::TransformOp {
+    Stmt::Transform(swatop_ir::TransformOp { fused: false,
         kind: swatop_ir::TransformKind::PadSubmatrix {
             src,
             src_rows,
@@ -221,7 +221,7 @@ fn copy_out(
     dst_rows: usize,
     row: usize,
 ) -> Stmt {
-    Stmt::Transform(swatop_ir::TransformOp {
+    Stmt::Transform(swatop_ir::TransformOp { fused: false,
         kind: swatop_ir::TransformKind::UnpadSubmatrix {
             src,
             src_rows: 1,

@@ -86,7 +86,7 @@ impl Operator for ConvBackwardDataOp {
         let w = p.mem_buf("weight", s.weight_shape().numel(), MemRole::Input);
         let dx = p.mem_buf("d_in", s.input_shape().numel(), MemRole::Output);
         let w_rot = p.mem_buf("w_rot", s.weight_shape().numel(), MemRole::Temp);
-        let rotate = Stmt::Transform(TransformOp {
+        let rotate = Stmt::Transform(TransformOp { fused: false,
             kind: TransformKind::RotateFilter { shape: *s, src: w, dst: w_rot },
         });
         let body = lower_explicit_body(&mut p, &g, dy, w_rot, dx, &knobs, PadMode::Lightweight)?;
@@ -168,11 +168,11 @@ impl Operator for ConvBackwardFilterOp {
         let cols_t = p.mem_buf("cols_t", n * k, MemRole::Temp);
         let dy_mat = p.mem_buf("dy_mat", m * k, MemRole::Temp);
 
-        let im2col = Stmt::Transform(TransformOp {
+        let im2col = Stmt::Transform(TransformOp { fused: false,
             kind: TransformKind::Im2col { shape: *s, src: x, dst: cols },
         });
         // cols is (Ni·Kr·Kc) × (B·Ro·Co) = N × K; the GEMM needs K × N.
-        let transpose = Stmt::Transform(TransformOp {
+        let transpose = Stmt::Transform(TransformOp { fused: false,
             kind: TransformKind::PackTensor {
                 src: cols,
                 dst: cols_t,
@@ -181,7 +181,7 @@ impl Operator for ConvBackwardFilterOp {
             },
         });
         // dY is [B][No][Ro][Co]; the GEMM A operand is No × (B·Ro·Co).
-        let pack_dy = Stmt::Transform(TransformOp {
+        let pack_dy = Stmt::Transform(TransformOp { fused: false,
             kind: TransformKind::PackTensor {
                 src: dy,
                 dst: dy_mat,

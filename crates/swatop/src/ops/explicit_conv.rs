@@ -109,13 +109,13 @@ pub fn lower_explicit_body(
     let (m, n, k) = (s.no, s.b * s.ro * s.co, s.ni * s.kr * s.kc);
     let cols = p.mem_buf("cols", k * n, MemRole::Temp);
     let prod = p.mem_buf("prod", m * n, MemRole::Temp);
-    let im2col = Stmt::Transform(TransformOp {
+    let im2col = Stmt::Transform(TransformOp { fused: false,
         kind: TransformKind::Im2col { shape: *s, src: in_buf, dst: cols },
     });
     // The weight tensor [No][Ni][Kr][Kc] *is* the No × K filter matrix.
     let gemm_body = lower_matmul_body(p, knobs, w_buf, cols, prod, m, n, k, pad_mode)?;
     // prod is No × (B·Ro·Co) = [No][B][Ro][Co]; output is NCHW.
-    let reorder = Stmt::Transform(TransformOp {
+    let reorder = Stmt::Transform(TransformOp { fused: false,
         kind: TransformKind::PackTensor {
             src: prod,
             dst: out_buf,

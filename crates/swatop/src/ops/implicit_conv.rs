@@ -22,8 +22,8 @@
 use sw26010::DmaDirection::{MemToSpm, SpmToMem};
 use swatop_dsl::{factors_of, SchedulePoint, ScheduleSpace, Seed};
 use swatop_ir::{
-    AVar, AffineExpr, DmaCg, GemmOp, MatDesc, MemRole, Program, SpmSlot, Stmt, TransformKind,
-    TransformOp,
+    AVar, AffineExpr, Cond, DmaCg, GemmOp, MatDesc, MemRole, Program, SpmSlot, Stmt,
+    TransformKind, TransformOp,
 };
 use swkernels::VecDim;
 use swtensor::{ConvShape, MatLayout};
@@ -51,6 +51,11 @@ impl ImplicitConvOp {
         ConvShape { pad: 0, ..self.shape }
     }
 }
+
+/// Cap on unrolled reduction steps for the SPM-resident schedule: beyond
+/// this the per-step slots bloat both the SPM footprint and the program
+/// (2 gets + 1 GEMM per step), so larger reductions must use `red=loop`.
+const MAX_RESIDENT_STEPS: usize = 16;
 
 /// Divisor candidates of `n` that are multiples of `mult`, capped in count.
 fn divisor_menu(n: usize, mult: usize, cap: usize) -> Vec<usize> {
@@ -90,6 +95,13 @@ impl Operator for ImplicitConvOp {
         sp.choice("d_layout", vec!["row".into(), "col".into()]);
         sp.toggle("vec_m");
         sp.choice("order", vec!["kr_kc_ni".into(), "ni_kr_kc".into()]);
+        crate::ops::DmaKnobs::add_compact(&mut sp);
+        // Reduction schedule: `loop` iterates the (kr, kc, ni_t) nest and
+        // re-waits per step; `resident` unrolls it — every step's weight and
+        // input tile gets its own SPM slot, all fetched up front as one run
+        // of back-to-back gets (one engine batch group under fusion, one
+        // latency instead of kr·kc·ni_t of them).
+        sp.choice("red", vec!["loop".into(), "resident".into()]);
         sp
     }
 
@@ -105,6 +117,8 @@ impl Operator for ImplicitConvOp {
         let d_col = point.choice(space, "d_layout") == "col";
         let vec_m = point.toggle(space, "vec_m");
         let ni_outer = point.choice(space, "order") == "ni_kr_kc";
+        let dma = crate::ops::DmaKnobs::from_point(space, point);
+        let resident = space.has_knob("red") && point.choice(space, "red") == "resident";
 
         let n_dim = t_co * s.b;
         // Kernel contract: mesh divisibility + vector alignment.
@@ -144,6 +158,7 @@ impl Operator for ImplicitConvOp {
         let (ri, ci) = (s.ri(), s.ci());
 
         let mut p = Program::new(self.name());
+        p.hints = dma.hints();
         let in_buf = p.mem_buf("in", self.shape.input_shape().numel(), MemRole::Input);
         let w_buf = p.mem_buf("weight", s.weight_shape().numel(), MemRole::Input);
         let out_buf = p.mem_buf("out", s.output_shape().numel(), MemRole::Output);
@@ -153,7 +168,7 @@ impl Operator for ImplicitConvOp {
         // Materialise spatial zero padding, if any, as a padded NCHW copy.
         let nchw_buf = if self.shape.pad > 0 {
             let padded = p.mem_buf("in_padded", b * ni * ri * ci, MemRole::Temp);
-            setup.push(Stmt::Transform(TransformOp {
+            setup.push(Stmt::Transform(TransformOp { fused: false,
                 kind: TransformKind::PadImageNchw {
                     shape: self.shape,
                     src: in_buf,
@@ -167,7 +182,7 @@ impl Operator for ImplicitConvOp {
 
         // Layout packing.
         let d_buf = p.mem_buf("d_packed", b * ni * ri * ci, MemRole::Temp);
-        setup.push(Stmt::Transform(TransformOp {
+        setup.push(Stmt::Transform(TransformOp { fused: false,
             kind: TransformKind::PackTensor {
                 src: nchw_buf,
                 dst: d_buf,
@@ -177,7 +192,7 @@ impl Operator for ImplicitConvOp {
             },
         }));
         let w_packed = p.mem_buf("w_packed", no * ni * kr * kc, MemRole::Temp);
-        setup.push(Stmt::Transform(TransformOp {
+        setup.push(Stmt::Transform(TransformOp { fused: false,
             kind: TransformKind::PackTensor {
                 src: w_buf,
                 dst: w_packed,
@@ -188,9 +203,15 @@ impl Operator for ImplicitConvOp {
         }));
         let o_buf = p.mem_buf("o_acc", ro * no * co * b, MemRole::Temp);
 
-        // SPM buffers.
-        let spm_w = p.spm_buf("spm_w", (t_no / 8) * (t_ni / 8));
-        let spm_d = p.spm_buf("spm_d", (t_ni / 8) * (n_dim / 8));
+        // Unrolled reduction steps of the SPM-resident schedule: every
+        // (kr, kc, ni_t) tap keeps its own weight/input slot, so all the
+        // fetches of a tile issue as one back-to-back run.
+        let k_steps = kr * kc * (ni / t_ni);
+        if resident && k_steps > MAX_RESIDENT_STEPS {
+            return None;
+        }
+
+        // SPM buffers (the resident per-step slots are created below).
         let spm_o = p.spm_buf("spm_o", (t_no / 8) * (n_dim / 8));
         let r_in = p.fresh_reply();
         let r_oget = p.fresh_reply();
@@ -206,76 +227,81 @@ impl Operator for ImplicitConvOp {
 
         let lv = AffineExpr::loop_var;
 
-        // Weight tile DMA.
-        let w_get = {
-            let slab = lv(v_kr).scale((kc * no * ni) as i64).add(&lv(v_kc).scale((no * ni) as i64));
-            let (rows, cols, row_stride, offset) = if w_col {
-                (
-                    t_ni,
-                    t_no,
-                    no,
-                    slab.add(&lv(v_nit).scale((t_ni * no) as i64))
-                        .add(&lv(v_not).scale(t_no as i64)),
-                )
-            } else {
-                (
-                    t_no,
-                    t_ni,
-                    ni,
-                    slab.add(&lv(v_not).scale((t_no * ni) as i64))
-                        .add(&lv(v_nit).scale(t_ni as i64)),
-                )
-            };
+        // Weight tile DMA (target slot and offset are supplied per use: the
+        // resident schedule substitutes the reduction variables away and
+        // lands each step in its own slot).
+        let w_slab =
+            lv(v_kr).scale((kc * no * ni) as i64).add(&lv(v_kc).scale((no * ni) as i64));
+        let (w_rows, w_cols, w_row_stride, w_offset) = if w_col {
+            (
+                t_ni,
+                t_no,
+                no,
+                w_slab
+                    .add(&lv(v_nit).scale((t_ni * no) as i64))
+                    .add(&lv(v_not).scale(t_no as i64)),
+            )
+        } else {
+            (
+                t_no,
+                t_ni,
+                ni,
+                w_slab
+                    .add(&lv(v_not).scale((t_no * ni) as i64))
+                    .add(&lv(v_nit).scale(t_ni as i64)),
+            )
+        };
+        let w_get_to = |spm: swatop_ir::SpmBufId, offset: AffineExpr| {
             Stmt::DmaCg(DmaCg {
                 buf: w_packed,
                 offset,
-                rows,
-                cols,
-                row_stride,
+                rows: w_rows,
+                cols: w_cols,
+                row_stride: w_row_stride,
                 mesh_swap: w_col,
                 direction: MemToSpm,
-                spm: SpmSlot::Single(spm_w),
+                spm: SpmSlot::Single(spm),
                 reply: r_in,
             })
         };
 
         // Input tile DMA: ri = ro + kr, ci window = (co_t·t_co + kc)·B.
-        let d_get = {
-            let ri_expr = lv(v_ro).add(&lv(v_kr));
-            let (rows, cols, row_stride, offset) = if d_col {
-                // [Ri][Ci][B][Ni]
-                (
-                    n_dim,
-                    t_ni,
-                    ni,
-                    ri_expr
-                        .scale((ci * b * ni) as i64)
-                        .add(&lv(v_cot).scale((t_co * b * ni) as i64))
-                        .add(&lv(v_kc).scale((b * ni) as i64))
-                        .add(&lv(v_nit).scale(t_ni as i64)),
-                )
-            } else {
-                // [Ri][Ni][Ci][B]
-                (
-                    t_ni,
-                    n_dim,
-                    ci * b,
-                    ri_expr
-                        .scale((ni * ci * b) as i64)
-                        .add(&lv(v_nit).scale((t_ni * ci * b) as i64))
-                        .add(&lv(v_cot).scale((t_co * b) as i64))
-                        .add(&lv(v_kc).scale(b as i64)),
-                )
-            };
+        let ri_expr = lv(v_ro).add(&lv(v_kr));
+        let (d_rows, d_cols, d_row_stride, d_offset) = if d_col {
+            // [Ri][Ci][B][Ni]
+            (
+                n_dim,
+                t_ni,
+                ni,
+                ri_expr
+                    .scale((ci * b * ni) as i64)
+                    .add(&lv(v_cot).scale((t_co * b * ni) as i64))
+                    .add(&lv(v_kc).scale((b * ni) as i64))
+                    .add(&lv(v_nit).scale(t_ni as i64)),
+            )
+        } else {
+            // [Ri][Ni][Ci][B]
+            (
+                t_ni,
+                n_dim,
+                ci * b,
+                ri_expr
+                    .scale((ni * ci * b) as i64)
+                    .add(&lv(v_nit).scale((t_ni * ci * b) as i64))
+                    .add(&lv(v_cot).scale((t_co * b) as i64))
+                    .add(&lv(v_kc).scale(b as i64)),
+            )
+        };
+        let d_get_to = |spm: swatop_ir::SpmBufId, offset: AffineExpr| {
             Stmt::DmaCg(DmaCg {
                 buf: d_buf,
                 offset,
-                rows,
-                cols,
-                row_stride,
+                rows: d_rows,
+                cols: d_cols,
+                row_stride: d_row_stride,
                 mesh_swap: d_col,
                 direction: MemToSpm,
-                spm: SpmSlot::Single(spm_d),
+                spm: SpmSlot::Single(spm),
                 reply: r_in,
             })
         };
@@ -285,7 +311,7 @@ impl Operator for ImplicitConvOp {
             .scale((no * co * b) as i64)
             .add(&lv(v_not).scale((t_no * co * b) as i64))
             .add(&lv(v_cot).scale((t_co * b) as i64));
-        let o_dma = |direction, reply| {
+        let o_dma = |direction, reply, slot: SpmSlot| {
             Stmt::DmaCg(DmaCg {
                 buf: o_buf,
                 offset: o_offset.clone(),
@@ -294,64 +320,162 @@ impl Operator for ImplicitConvOp {
                 row_stride: co * b,
                 mesh_swap: false,
                 direction,
-                spm: SpmSlot::Single(spm_o),
+                spm: slot,
                 reply,
             })
         };
 
-        let gemm = Stmt::Gemm(GemmOp {
-            m: t_no,
-            n: n_dim,
-            k: t_ni,
-            alpha: 1.0,
-            beta: 1.0,
-            a: MatDesc {
-                slot: SpmSlot::Single(spm_w),
-                layout: if w_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
-                ld: if w_col { t_no / 8 } else { t_ni / 8 },
-            },
-            b: MatDesc {
-                slot: SpmSlot::Single(spm_d),
-                layout: if d_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
-                ld: if d_col { t_ni / 8 } else { n_dim / 8 },
-            },
-            c: MatDesc {
-                slot: SpmSlot::Single(spm_o),
-                layout: MatLayout::RowMajor,
-                ld: n_dim / 8,
-            },
-            vd: if vec_m { VecDim::M } else { VecDim::N },
-        });
-
-        // Reduction nest over (kr, kc, ni_t) — order is a schedule choice.
-        let inner_body = Stmt::seq(vec![
-            w_get,
-            d_get,
-            Stmt::DmaWait { reply: r_in, times: 2 },
-            gemm,
-        ]);
-        let red_nest = if ni_outer {
-            Stmt::for_(v_nit, ni / t_ni, Stmt::for_(v_kr, kr, Stmt::for_(v_kc, kc, inner_body)))
-        } else {
-            Stmt::for_(v_kr, kr, Stmt::for_(v_kc, kc, Stmt::for_(v_nit, ni / t_ni, inner_body)))
+        let gemm_with = |wa: swatop_ir::SpmBufId, db: swatop_ir::SpmBufId, c_slot: SpmSlot, beta: f32| {
+            Stmt::Gemm(GemmOp {
+                m: t_no,
+                n: n_dim,
+                k: t_ni,
+                alpha: 1.0,
+                beta,
+                a: MatDesc::new(
+                    SpmSlot::Single(wa),
+                    if w_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
+                    if w_col { t_no / 8 } else { t_ni / 8 },
+                ),
+                b: MatDesc::new(
+                    SpmSlot::Single(db),
+                    if d_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
+                    if d_col { t_ni / 8 } else { n_dim / 8 },
+                ),
+                c: MatDesc::new(c_slot, MatLayout::RowMajor, n_dim / 8),
+                vd: if vec_m { VecDim::M } else { VecDim::N },
+            })
         };
 
-        let tile_body = Stmt::seq(vec![
-            o_dma(MemToSpm, r_oget),
-            Stmt::DmaWait { reply: r_oget, times: 1 },
-            red_nest,
-            o_dma(SpmToMem, r_oput),
-            Stmt::DmaWait { reply: r_oput, times: 1 },
-        ]);
+        let w_words = (t_no / 8) * (t_ni / 8);
+        let d_words = (t_ni / 8) * (n_dim / 8);
 
-        let nest = Stmt::for_(
+        let tile_body = if resident {
+            // SPM-resident reduction: unroll the (kr, kc, ni_t) nest, give
+            // every step its own weight/input slot, and issue all 2·k_steps
+            // gets as one leading run followed by a single wait. Under
+            // get-batch fusion the run chains into one engine batch (one
+            // start-up latency per tile); the GEMMs execute in the same step
+            // order as the loop schedule, so accumulation is bit-identical.
+            let ni_t = ni / t_ni;
+            let mut steps = Vec::with_capacity(k_steps);
+            if ni_outer {
+                for init in 0..ni_t {
+                    for ikr in 0..kr {
+                        for ikc in 0..kc {
+                            steps.push((ikr, ikc, init));
+                        }
+                    }
+                }
+            } else {
+                for ikr in 0..kr {
+                    for ikc in 0..kc {
+                        for init in 0..ni_t {
+                            steps.push((ikr, ikc, init));
+                        }
+                    }
+                }
+            }
+            // Double-buffer the output tile by tile parity and defer each
+            // put's wait by two tiles: the put streams out behind the next
+            // tile's compute instead of stalling the issue slot, and the
+            // parity twin guarantees the tile being written out is never the
+            // one the current GEMMs accumulate into.
+            let o_words = (t_no / 8) * (n_dim / 8);
+            let spm_o_dbl = p.spm_buf("spm_o_dbl", o_words);
+            let tiles = ro * (no / t_no) * (co / t_co);
+            let lin = crate::optimizer::prefetch::linear_index(&[
+                (v_ro, ro),
+                (v_not, no / t_no),
+                (v_cot, co / t_co),
+            ]);
+            let o_slot = SpmSlot::Double { even: spm_o, odd: spm_o_dbl, sel: lin.clone() };
+            let mut gets = Vec::with_capacity(2 * k_steps);
+            let mut gemms = Vec::with_capacity(k_steps);
+            for (i, &(ikr, ikc, init)) in steps.iter().enumerate() {
+                let spm_w_s = p.spm_buf(format!("spm_w_s{i}"), w_words);
+                let spm_d_s = p.spm_buf(format!("spm_d_s{i}"), d_words);
+                let sub = |e: &AffineExpr| {
+                    e.subst(v_kr, &AffineExpr::konst(ikr as i64))
+                        .subst(v_kc, &AffineExpr::konst(ikc as i64))
+                        .subst(v_nit, &AffineExpr::konst(init as i64))
+                };
+                gets.push(w_get_to(spm_w_s, sub(&w_offset)));
+                gets.push(d_get_to(spm_d_s, sub(&d_offset)));
+                // The output tile is visited exactly once, so the first
+                // step initialises it (β = 0) instead of accumulating onto
+                // a preloaded tile — the accumulator get (and its wait,
+                // which would queue behind the next tile's prefetched run
+                // on the FIFO engine) disappears entirely.
+                gemms.push(gemm_with(
+                    spm_w_s,
+                    spm_d_s,
+                    o_slot.clone(),
+                    if i == 0 { 0.0 } else { 1.0 },
+                ));
+            }
+            let mut body = gets;
+            body.push(Stmt::DmaWait { reply: r_in, times: 2 * k_steps });
+            if tiles >= 3 {
+                // Reclaim the parity slot we are about to accumulate into:
+                // the put issued two tiles ago targeted the same twin.
+                body.push(Stmt::if_(
+                    Cond::Ge(lin.clone(), AffineExpr::konst(2)),
+                    Stmt::DmaWait { reply: r_oput, times: 1 },
+                ));
+            }
+            body.extend(gemms);
+            body.push(o_dma(SpmToMem, r_oput, o_slot));
+            Stmt::seq(body)
+        } else {
+            // Looped reduction nest over (kr, kc, ni_t) — order is a
+            // schedule choice; one shared slot pair, re-waited per step.
+            let spm_w = p.spm_buf("spm_w", w_words);
+            let spm_d = p.spm_buf("spm_d", d_words);
+            let inner_body = Stmt::seq(vec![
+                w_get_to(spm_w, w_offset.clone()),
+                d_get_to(spm_d, d_offset.clone()),
+                Stmt::DmaWait { reply: r_in, times: 2 },
+                gemm_with(spm_w, spm_d, SpmSlot::Single(spm_o), 1.0),
+            ]);
+            let red_nest = if ni_outer {
+                Stmt::for_(
+                    v_nit,
+                    ni / t_ni,
+                    Stmt::for_(v_kr, kr, Stmt::for_(v_kc, kc, inner_body)),
+                )
+            } else {
+                Stmt::for_(
+                    v_kr,
+                    kr,
+                    Stmt::for_(v_kc, kc, Stmt::for_(v_nit, ni / t_ni, inner_body)),
+                )
+            };
+            Stmt::seq(vec![
+                o_dma(MemToSpm, r_oget, SpmSlot::Single(spm_o)),
+                Stmt::DmaWait { reply: r_oget, times: 1 },
+                red_nest,
+                o_dma(SpmToMem, r_oput, SpmSlot::Single(spm_o)),
+                Stmt::DmaWait { reply: r_oput, times: 1 },
+            ])
+        };
+
+        let mut nest = Stmt::for_(
             v_ro,
             ro,
             Stmt::for_(v_not, no / t_no, Stmt::for_(v_cot, co / t_co, tile_body)),
         );
+        if resident {
+            // Drain the (up to two) in-flight deferred puts before unpacking.
+            let tiles = ro * (no / t_no) * (co / t_co);
+            nest = Stmt::seq(vec![
+                nest,
+                Stmt::DmaWait { reply: r_oput, times: tiles.min(2) },
+            ]);
+        }
 
         // Unpack [Ro][No][Co][B] → NCHW.
-        let unpack = Stmt::Transform(TransformOp {
+        let unpack = Stmt::Transform(TransformOp { fused: false,
             kind: TransformKind::PackTensor {
                 src: o_buf,
                 dst: out_buf,

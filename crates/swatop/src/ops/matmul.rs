@@ -19,13 +19,29 @@
 use sw26010::DmaDirection::{MemToSpm, SpmToMem};
 use swatop_dsl::{SchedulePoint, ScheduleSpace, Seed};
 use swatop_ir::{
-    GemmOp, MatDesc, MemRole, Program, SpmSlot, Stmt, TransformKind, TransformOp,
+    AffineExpr, GemmOp, MatDesc, MemRole, Program, SpmSlot, Stmt, TransformKind, TransformOp,
 };
 use swkernels::VecDim;
 use swtensor::MatLayout;
 
 use crate::ops::tiling::{DimTiles, PadMode, SrcFamily};
+use crate::ops::DmaKnobs;
 use crate::scheduler::Operator;
+
+/// SPM-resident operand reuse: keep one operand's whole-K panel resident
+/// across inner tile steps, so it is fetched once per outer tile instead of
+/// once per (m, n, k) step. `A` pairs with `mn` order (the A panel is
+/// invariant over the inner n loop), `B` with `nm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resident {
+    None,
+    A,
+    B,
+}
+
+/// Unroll bound for the k loop under resident reuse (each k step becomes
+/// its own GEMM call reading its own resident SPM slot).
+const MAX_RESIDENT_UNROLL: usize = 16;
 
 /// Matrix-multiplication operator instance.
 #[derive(Debug, Clone)]
@@ -96,6 +112,8 @@ impl Operator for MatmulOp {
         );
         s.toggle("vec_m");
         s.choice("order", vec!["mn".into(), "nm".into()]);
+        DmaKnobs::add_toggles(&mut s);
+        s.choice("resident", vec!["none".into(), "a".into(), "b".into()]);
         s
     }
 
@@ -141,11 +159,24 @@ pub struct MatmulKnobs {
     pub b_col: bool,
     pub vec_m: bool,
     pub n_outer: bool,
+    /// The DMA-wall dimensions (double buffering, coalescing, broadcast).
+    pub dma: DmaKnobs,
+    /// SPM-resident operand reuse.
+    pub resident: Resident,
 }
 
 impl MatmulKnobs {
     pub fn from_point(space: &ScheduleSpace, point: &SchedulePoint) -> Self {
         let layout = point.choice(space, "layout");
+        let resident = if space.has_knob("resident") {
+            match point.choice(space, "resident") {
+                "a" => Resident::A,
+                "b" => Resident::B,
+                _ => Resident::None,
+            }
+        } else {
+            Resident::None
+        };
         MatmulKnobs {
             t_m: point.factor(space, "t_m"),
             t_n: point.factor(space, "t_n"),
@@ -154,10 +185,14 @@ impl MatmulKnobs {
             b_col: layout.as_bytes()[1] == b'c',
             vec_m: point.toggle(space, "vec_m"),
             n_outer: point.choice(space, "order") == "nm",
+            dma: DmaKnobs::from_point(space, point),
+            resident,
         }
     }
 
-    /// The standard matmul schedule space over the given dimensions.
+    /// The standard matmul schedule space over the given dimensions (the
+    /// compact `dma` ladder; used by the convolution operators that tune
+    /// the same GEMM space over their materialised matrices).
     pub fn space(m: usize, n: usize, k: usize) -> ScheduleSpace {
         let mut s = ScheduleSpace::new();
         s.factor("t_m", tile_menu(m, 32, M_MENU, MAX_TILES_PER_DIM));
@@ -166,6 +201,7 @@ impl MatmulKnobs {
         s.choice("layout", vec!["rr".into(), "cr".into(), "rc".into(), "cc".into()]);
         s.toggle("vec_m");
         s.choice("order", vec!["mn".into(), "nm".into()]);
+        DmaKnobs::add_compact(&mut s);
         s
     }
 }
@@ -204,7 +240,8 @@ pub fn lower_matmul_body_with_spm(
     pad_mode: PadMode,
     spm_reuse: Option<[swatop_ir::SpmBufId; 3]>,
 ) -> Option<Vec<Stmt>> {
-    let &MatmulKnobs { t_m, t_n, t_k, a_col, b_col, vec_m, n_outer } = knobs;
+    let &MatmulKnobs { t_m, t_n, t_k, a_col, b_col, vec_m, n_outer, dma, resident } = knobs;
+    p.hints = dma.hints();
 
     // Alignment of the vectorised dimension is 32 (mesh × vector width);
     // the other GEMM dims need mesh alignment only.
@@ -213,6 +250,25 @@ pub fn lower_matmul_body_with_spm(
     let m_tiles = DimTiles::new(m, t_m, align_m);
     let n_tiles = DimTiles::new(n, t_n, align_n);
     let k_tiles = DimTiles::new(k, t_k, 8);
+
+    // Resident reuse keeps one operand's whole-K run of tiles in SPM: the k
+    // dimension must be a single unrollable segment, the resident operand
+    // row-major (no mesh swap), and the loop order must make the panel
+    // invariant over the inner tile loop.
+    if resident != Resident::None {
+        let eligible = k_tiles.segs().len() == 1
+            && !k_tiles.segs()[0].aux
+            && k_tiles.segs()[0].count <= MAX_RESIDENT_UNROLL
+            && spm_reuse.is_none()
+            && match resident {
+                Resident::A => !a_col && !n_outer,
+                Resident::B => !b_col && n_outer,
+                Resident::None => unreachable!(),
+            };
+        if !eligible {
+            return None;
+        }
+    }
 
     // Prune pathological candidates: too many tile iterations.
     let iters = m_tiles.count() * n_tiles.count() * k_tiles.count();
@@ -226,7 +282,7 @@ pub fn lower_matmul_body_with_spm(
         // Layout transformation: pack transposes once in main memory.
         let (a_src, a_r, a_c, a_swap) = if a_col {
             let at = p.mem_buf("A_t", m * k, MemRole::Temp);
-            setup.push(Stmt::Transform(TransformOp {
+            setup.push(Stmt::Transform(TransformOp { fused: false,
                 kind: TransformKind::PackTensor {
                     src: a_buf,
                     dst: at,
@@ -240,7 +296,7 @@ pub fn lower_matmul_body_with_spm(
         };
         let (b_src, b_r, b_c, b_swap) = if b_col {
             let bt = p.mem_buf("B_t", k * n, MemRole::Temp);
-            setup.push(Stmt::Transform(TransformOp {
+            setup.push(Stmt::Transform(TransformOp { fused: false,
                 kind: TransformKind::PackTensor {
                     src: b_buf,
                     dst: bt,
@@ -286,6 +342,27 @@ pub fn lower_matmul_body_with_spm(
         let n_segs = c_fam.c.segs();
         let k_segs = if a_swap { a_fam.r.segs() } else { a_fam.c.segs() };
 
+        // Resident reuse: one SPM slot per k step of the resident operand,
+        // all filled once per outer tile. Every slot carries a *normal*
+        // streamed tile (same mesh distribution the GEMM primitive expects),
+        // so residency changes only when tiles are fetched, never how they
+        // are laid out.
+        let panel_slots: Vec<swatop_ir::SpmBufId> = if resident == Resident::None {
+            Vec::new()
+        } else {
+            // Re-check unrollability against the *materialised* k tiling
+            // (traditional padding can change the segment list).
+            if k_segs.len() != 1 || k_segs[0].aux || k_segs[0].count > MAX_RESIDENT_UNROLL {
+                return None;
+            }
+            let per = match resident {
+                Resident::A => (t_m / 8) * (t_k / 8),
+                Resident::B => (t_k / 8) * (t_n / 8),
+                Resident::None => unreachable!(),
+            };
+            (0..k_segs[0].count).map(|ki| p.spm_buf(format!("spm_panel{ki}"), per)).collect()
+        };
+
         for sm in &m_segs {
             for sn in &n_segs {
                 for sk in &k_segs {
@@ -319,21 +396,17 @@ pub fn lower_matmul_body_with_spm(
                         k: k_cur,
                         alpha: 1.0,
                         beta: 1.0,
-                        a: MatDesc {
-                            slot: SpmSlot::Single(spm_a),
-                            layout: if a_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
-                            ld: if a_col { m_cur / 8 } else { k_cur / 8 },
-                        },
-                        b: MatDesc {
-                            slot: SpmSlot::Single(spm_b),
-                            layout: if b_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
-                            ld: if b_col { k_cur / 8 } else { n_cur / 8 },
-                        },
-                        c: MatDesc {
-                            slot: SpmSlot::Single(spm_c),
-                            layout: MatLayout::RowMajor,
-                            ld: n_cur / 8,
-                        },
+                        a: MatDesc::new(
+                            SpmSlot::Single(spm_a),
+                            if a_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
+                            if a_col { m_cur / 8 } else { k_cur / 8 },
+                        ),
+                        b: MatDesc::new(
+                            SpmSlot::Single(spm_b),
+                            if b_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
+                            if b_col { k_cur / 8 } else { n_cur / 8 },
+                        ),
+                        c: MatDesc::new(SpmSlot::Single(spm_c), MatLayout::RowMajor, n_cur / 8),
                         vd,
                     });
 
@@ -346,27 +419,130 @@ pub fn lower_matmul_body_with_spm(
                         SpmToMem, SpmSlot::Single(spm_c), r_cput,
                     ));
 
-                    let k_loop = Stmt::for_(
-                        vk,
-                        sk.count,
-                        Stmt::seq(vec![
-                            a_get,
-                            b_get,
-                            Stmt::DmaWait { reply: r_in, times: 2 },
-                            gemm,
-                        ]),
-                    );
-                    let tile_body = Stmt::seq(vec![
-                        c_get,
-                        Stmt::DmaWait { reply: r_cget, times: 1 },
-                        k_loop,
-                        c_put,
-                        Stmt::DmaWait { reply: r_cput, times: 1 },
-                    ]);
-                    let nest = if n_outer {
-                        Stmt::for_(vn, sn.count, Stmt::for_(vm, sm.count, tile_body))
+                    let nest = if resident == Resident::None {
+                        let k_loop = Stmt::for_(
+                            vk,
+                            sk.count,
+                            Stmt::seq(vec![
+                                a_get,
+                                b_get,
+                                Stmt::DmaWait { reply: r_in, times: 2 },
+                                gemm,
+                            ]),
+                        );
+                        let tile_body = Stmt::seq(vec![
+                            c_get,
+                            Stmt::DmaWait { reply: r_cget, times: 1 },
+                            k_loop,
+                            c_put,
+                            Stmt::DmaWait { reply: r_cput, times: 1 },
+                        ]);
+                        if n_outer {
+                            Stmt::for_(vn, sn.count, Stmt::for_(vm, sm.count, tile_body))
+                        } else {
+                            Stmt::for_(vm, sm.count, Stmt::for_(vn, sn.count, tile_body))
+                        }
                     } else {
-                        Stmt::for_(vm, sm.count, Stmt::for_(vn, sn.count, tile_body))
+                        // Resident reuse: fetch every k-step tile of the
+                        // resident operand once per outer tile, each into its
+                        // own SPM slot; the unrolled k steps stream only the
+                        // other operand and point their GEMM at the step's
+                        // resident slot.
+                        let k_at = |ki: usize| AffineExpr::konst(ki as i64);
+                        let mut outer_steps: Vec<Stmt> = Vec::new();
+                        for (ki, &slot) in panel_slots.iter().enumerate().take(sk.count) {
+                            let mut g = match resident {
+                                Resident::A => a_fam.tile_dma(
+                                    a_sr, a_sc, Some(a_vr), Some(a_vc),
+                                    MemToSpm, SpmSlot::Single(slot), r_in,
+                                ),
+                                Resident::B => b_fam.tile_dma(
+                                    b_sr, b_sc, Some(b_vr), Some(b_vc),
+                                    MemToSpm, SpmSlot::Single(slot), r_in,
+                                ),
+                                Resident::None => unreachable!(),
+                            };
+                            g.offset = g.offset.subst(vk, &k_at(ki));
+                            outer_steps.push(Stmt::DmaCg(g));
+                        }
+                        outer_steps.push(Stmt::DmaWait { reply: r_in, times: sk.count });
+                        let mut steps: Vec<Stmt> =
+                            vec![c_get, Stmt::DmaWait { reply: r_cget, times: 1 }];
+                        for (ki, &slot) in panel_slots.iter().enumerate().take(sk.count) {
+                            let (stream_get, a_desc, b_desc) = match resident {
+                                Resident::A => {
+                                    let mut bg = b_fam.tile_dma(
+                                        b_sr, b_sc, Some(b_vr), Some(b_vc),
+                                        MemToSpm, SpmSlot::Single(spm_b), r_in,
+                                    );
+                                    bg.offset = bg.offset.subst(vk, &k_at(ki));
+                                    let a_desc = MatDesc::new(
+                                        SpmSlot::Single(slot),
+                                        MatLayout::RowMajor,
+                                        k_cur / 8,
+                                    );
+                                    let b_desc = MatDesc::new(
+                                        SpmSlot::Single(spm_b),
+                                        if b_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
+                                        if b_col { k_cur / 8 } else { n_cur / 8 },
+                                    );
+                                    (bg, a_desc, b_desc)
+                                }
+                                Resident::B => {
+                                    let mut ag = a_fam.tile_dma(
+                                        a_sr, a_sc, Some(a_vr), Some(a_vc),
+                                        MemToSpm, SpmSlot::Single(spm_a), r_in,
+                                    );
+                                    ag.offset = ag.offset.subst(vk, &k_at(ki));
+                                    let a_desc = MatDesc::new(
+                                        SpmSlot::Single(spm_a),
+                                        if a_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
+                                        if a_col { m_cur / 8 } else { k_cur / 8 },
+                                    );
+                                    let b_desc = MatDesc::new(
+                                        SpmSlot::Single(slot),
+                                        MatLayout::RowMajor,
+                                        n_cur / 8,
+                                    );
+                                    (ag, a_desc, b_desc)
+                                }
+                                Resident::None => unreachable!(),
+                            };
+                            steps.push(Stmt::DmaCg(stream_get));
+                            steps.push(Stmt::DmaWait { reply: r_in, times: 1 });
+                            steps.push(Stmt::Gemm(GemmOp {
+                                m: m_cur,
+                                n: n_cur,
+                                k: k_cur,
+                                alpha: 1.0,
+                                beta: 1.0,
+                                a: a_desc,
+                                b: b_desc,
+                                c: MatDesc::new(
+                                    SpmSlot::Single(spm_c),
+                                    MatLayout::RowMajor,
+                                    n_cur / 8,
+                                ),
+                                vd,
+                            }));
+                        }
+                        steps.push(c_put);
+                        steps.push(Stmt::DmaWait { reply: r_cput, times: 1 });
+                        match resident {
+                            Resident::A => {
+                                // Panel A(sm, all k tiles), invariant over vn.
+                                outer_steps
+                                    .push(Stmt::for_(vn, sn.count, Stmt::seq(steps)));
+                                Stmt::for_(vm, sm.count, Stmt::seq(outer_steps))
+                            }
+                            Resident::B => {
+                                // Panel B(all k tiles, sn), invariant over vm.
+                                outer_steps
+                                    .push(Stmt::for_(vm, sm.count, Stmt::seq(steps)));
+                                Stmt::for_(vn, sn.count, Stmt::seq(outer_steps))
+                            }
+                            Resident::None => unreachable!(),
+                        }
                     };
                     nests.push(nest);
                 }

@@ -25,10 +25,67 @@ pub use matmul::MatmulOp;
 pub use winograd_conv::WinogradConvOp;
 
 use sw26010::{CoreGroup, ExecMode, MachineConfig, MachineResult};
-use swatop_ir::MemRole;
+use swatop_dsl::{SchedulePoint, ScheduleSpace};
+use swatop_ir::{MemRole, ScheduleHints};
 
 use crate::interp::{execute, instantiate};
 use crate::scheduler::{Candidate, Operator};
+
+/// The DMA-wall schedule dimensions every operator can expose: double
+/// buffering, transaction coalescing, and register-broadcast tiling.
+///
+/// Matmul exposes the three as independent toggles; the convolution spaces
+/// use one compact 4-value `dma` choice (a nested ladder — each level adds
+/// one pass) to bound the black-box search blowup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DmaKnobs {
+    pub dbuf: bool,
+    pub coalesce: bool,
+    pub bcast: bool,
+}
+
+impl DmaKnobs {
+    /// Append the compact `dma` ladder knob to a space.
+    pub fn add_compact(space: &mut ScheduleSpace) {
+        space.choice(
+            "dma",
+            vec!["none".into(), "dbuf".into(), "dbuf+coal".into(), "all".into()],
+        );
+    }
+
+    /// Append the three independent toggles to a space.
+    pub fn add_toggles(space: &mut ScheduleSpace) {
+        space.toggle("dbuf");
+        space.toggle("coal");
+        space.toggle("bcast");
+    }
+
+    /// Parse from a point, tolerating spaces that expose neither form
+    /// (everything off — the pre-DMA-wall behaviour).
+    pub fn from_point(space: &ScheduleSpace, point: &SchedulePoint) -> DmaKnobs {
+        if space.has_knob("dma") {
+            match point.choice(space, "dma") {
+                "none" => DmaKnobs::default(),
+                "dbuf" => DmaKnobs { dbuf: true, ..Default::default() },
+                "dbuf+coal" => DmaKnobs { dbuf: true, coalesce: true, bcast: false },
+                _ => DmaKnobs { dbuf: true, coalesce: true, bcast: true },
+            }
+        } else if space.has_knob("dbuf") {
+            DmaKnobs {
+                dbuf: point.toggle(space, "dbuf"),
+                coalesce: point.toggle(space, "coal"),
+                bcast: point.toggle(space, "bcast"),
+            }
+        } else {
+            DmaKnobs::default()
+        }
+    }
+
+    /// The optimizer directives these knobs select.
+    pub fn hints(self) -> ScheduleHints {
+        ScheduleHints { dbuf: self.dbuf, coalesce: self.coalesce, bcast: self.bcast }
+    }
+}
 
 /// Functionally execute a candidate and compare its output against the
 /// operator's golden reference. Returns the maximum absolute error.

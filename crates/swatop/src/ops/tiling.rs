@@ -149,7 +149,7 @@ impl SrcFamily {
         if (r.tail_aux || c.tail_aux) && mode == PadMode::Traditional {
             let padded =
                 p.mem_buf(format!("{name}_padded"), r.padded_len() * c.padded_len(), MemRole::Temp);
-            setup.push(Stmt::Transform(TransformOp {
+            setup.push(Stmt::Transform(TransformOp { fused: false,
                 kind: TransformKind::PadSubmatrix {
                     src,
                     src_rows: r.len,
@@ -179,7 +179,7 @@ impl SrcFamily {
         if r.tail_aux {
             let strip =
                 p.mem_buf(format!("{name}_bottom"), r.tail_size * c.padded_len(), MemRole::Temp);
-            setup.push(Stmt::Transform(TransformOp {
+            setup.push(Stmt::Transform(TransformOp { fused: false,
                 kind: TransformKind::PadSubmatrix {
                     src,
                     src_rows: r.len,
@@ -202,7 +202,7 @@ impl SrcFamily {
             if direct_rows > 0 {
                 let strip =
                     p.mem_buf(format!("{name}_right"), direct_rows * c.tail_size, MemRole::Temp);
-                setup.push(Stmt::Transform(TransformOp {
+                setup.push(Stmt::Transform(TransformOp { fused: false,
                     kind: TransformKind::PadSubmatrix {
                         src,
                         src_rows: r.len,
@@ -238,7 +238,7 @@ impl SrcFamily {
         if (r.tail_aux || c.tail_aux) && mode == PadMode::Traditional {
             let padded =
                 p.mem_buf(format!("{name}_padded"), r.padded_len() * c.padded_len(), MemRole::Temp);
-            teardown.push(Stmt::Transform(TransformOp {
+            teardown.push(Stmt::Transform(TransformOp { fused: false,
                 kind: TransformKind::UnpadSubmatrix {
                     src: padded,
                     src_rows: r.padded_len(),
@@ -267,7 +267,7 @@ impl SrcFamily {
         if r.tail_aux {
             let strip =
                 p.mem_buf(format!("{name}_bottom"), r.tail_size * c.padded_len(), MemRole::Temp);
-            teardown.push(Stmt::Transform(TransformOp {
+            teardown.push(Stmt::Transform(TransformOp { fused: false,
                 kind: TransformKind::UnpadSubmatrix {
                     src: strip,
                     src_rows: r.tail_size,
@@ -289,7 +289,7 @@ impl SrcFamily {
             if direct_rows > 0 {
                 let strip =
                     p.mem_buf(format!("{name}_right"), direct_rows * c.tail_size, MemRole::Temp);
-                teardown.push(Stmt::Transform(TransformOp {
+                teardown.push(Stmt::Transform(TransformOp { fused: false,
                     kind: TransformKind::UnpadSubmatrix {
                         src: strip,
                         src_rows: direct_rows,

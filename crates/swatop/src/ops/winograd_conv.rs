@@ -91,6 +91,7 @@ impl Operator for WinogradConvOp {
         sp.factor("t_nt", crate::ops::matmul::tile_menu(self.nt_pad(), 32, NT_MENU, 64));
         sp.choice("u_layout", vec!["row".into(), "col".into()]);
         sp.toggle("vec_m");
+        crate::ops::DmaKnobs::add_compact(&mut sp);
         sp
     }
 
@@ -104,6 +105,7 @@ impl Operator for WinogradConvOp {
         let t_nt = point.factor(space, "t_nt");
         let u_col = point.choice(space, "u_layout") == "col";
         let vec_m = point.toggle(space, "vec_m");
+        let dma = crate::ops::DmaKnobs::from_point(space, point);
 
         if !t_no.is_multiple_of(8) || !t_ni.is_multiple_of(8) || !t_nt.is_multiple_of(32) {
             return None;
@@ -130,6 +132,7 @@ impl Operator for WinogradConvOp {
         debug_assert!(!nt_tiles.tail_aux, "nt_pad and t_nt are 32-aligned");
 
         let mut p = Program::new(self.name());
+        p.hints = dma.hints();
         let in_buf = p.mem_buf("in", s.input_shape().numel(), MemRole::Input);
         let w_buf = p.mem_buf("weight", s.weight_shape().numel(), MemRole::Input);
         let out_buf = p.mem_buf("out", s.output_shape().numel(), MemRole::Output);
@@ -138,7 +141,7 @@ impl Operator for WinogradConvOp {
         let m_buf = p.mem_buf("M", 16 * no * nt_pad, MemRole::Temp);
 
         let setup = vec![
-            Stmt::Transform(TransformOp {
+            Stmt::Transform(TransformOp { fused: false,
                 kind: TransformKind::WinogradFilter {
                     shape: *s,
                     src: w_buf,
@@ -146,7 +149,7 @@ impl Operator for WinogradConvOp {
                     transposed: u_col,
                 },
             }),
-            Stmt::Transform(TransformOp {
+            Stmt::Transform(TransformOp { fused: false,
                 kind: TransformKind::WinogradInput {
                     shape: *s,
                     src: in_buf,
@@ -244,21 +247,13 @@ impl Operator for WinogradConvOp {
                 k: t_ni,
                 alpha: 1.0,
                 beta: 1.0,
-                a: MatDesc {
-                    slot: SpmSlot::Single(spm_u),
-                    layout: if u_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
-                    ld: if u_col { t_no / 8 } else { t_ni / 8 },
-                },
-                b: MatDesc {
-                    slot: SpmSlot::Single(spm_v),
-                    layout: MatLayout::RowMajor,
-                    ld: seg.size / 8,
-                },
-                c: MatDesc {
-                    slot: SpmSlot::Single(spm_m),
-                    layout: MatLayout::RowMajor,
-                    ld: seg.size / 8,
-                },
+                a: MatDesc::new(
+                    SpmSlot::Single(spm_u),
+                    if u_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
+                    if u_col { t_no / 8 } else { t_ni / 8 },
+                ),
+                b: MatDesc::new(SpmSlot::Single(spm_v), MatLayout::RowMajor, seg.size / 8),
+                c: MatDesc::new(SpmSlot::Single(spm_m), MatLayout::RowMajor, seg.size / 8),
                 vd: if vec_m { VecDim::M } else { VecDim::N },
             });
 
@@ -281,7 +276,7 @@ impl Operator for WinogradConvOp {
             ));
         }
 
-        let output = Stmt::Transform(TransformOp {
+        let output = Stmt::Transform(TransformOp { fused: false,
             kind: TransformKind::WinogradOutput { shape: *s, src: m_buf, dst: out_buf, nt_pad },
         });
 

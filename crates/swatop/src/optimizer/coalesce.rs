@@ -1,0 +1,628 @@
+//! DMA-wall passes: strided-transaction coalescing and register-broadcast
+//! tiling.
+//!
+//! **Coalescing** (`coalesce_gets`): a strided tile get costs the DMA engine
+//! one DRAM transaction per short row — a `rows × cols` tile with a large
+//! `row_stride` streams at a fraction of peak. When the source buffer is
+//! read-only within its top-level statement, the whole sequence of tiles the
+//! enclosing loop nest will fetch can be gathered *once* into a packed
+//! staging buffer laid out `[iteration][cpe][block]`, so the steady-state
+//! get becomes a single fully-contiguous (transaction-aligned) block per CPE
+//! per step. The gather itself is a bandwidth-costed [`TransformKind::PackTiles`]
+//! executed before the nest; the cost model weighs it against the saved
+//! per-step transaction overhead.
+//!
+//! **Broadcast tiling** (`tag_broadcast`): when the 8 per-CPE gets of a mesh
+//! row (or column) are contiguous in memory — the `Cid` (resp. `Rid`)
+//! coefficient of the offset equals the block length — one leader CPE per
+//! row/column can fetch the whole line and scatter it over the
+//! register-communication bus, so only 8 of 64 CPEs touch DRAM. The pass
+//! tags eligible `DMA_CPE` nodes with a [`BcastBus`] direction; the machine
+//! prices the leader transfer plus the regcomm scatter.
+
+use std::collections::HashSet;
+
+use sw26010::regcomm::BcastBus;
+use sw26010::DmaDirection;
+use swatop_ir::{
+    AVar, AffineExpr, DmaCg, DmaCpe, MemRole, Program, Stmt, TransformKind, TransformOp,
+};
+
+/// Upper bound on a packed staging buffer, in elements (16 MiB of f32):
+/// nests larger than this keep their strided gets.
+const MAX_PACKED_ELEMS: usize = 1 << 22;
+
+/// Rewrite eligible strided `DmaCg` gets into packed contiguous `DmaCpe`
+/// gets fed by a `PackTiles` staging transform.
+pub fn coalesce_gets(mut program: Program) -> Program {
+    let body = std::mem::replace(&mut program.body, Stmt::Nop);
+    let tops: Vec<Stmt> = match body {
+        Stmt::Seq(ss) => ss,
+        Stmt::Nop => Vec::new(),
+        other => vec![other],
+    };
+    let mut out = Vec::new();
+    for top in tops {
+        let written = written_bufs(&top);
+        let mut packs: Vec<Stmt> = Vec::new();
+        let mut loops: Vec<(usize, usize)> = Vec::new();
+        let new_top =
+            rewrite(&top, &mut loops, false, &written, &mut program, &mut packs);
+        // Staging gathers run before the nest that consumes them; the
+        // source is read-only within this top-level statement, so the
+        // ordering with respect to earlier producers is preserved.
+        out.extend(packs);
+        out.push(new_top);
+    }
+    program.body = Stmt::seq(out);
+    program
+}
+
+fn rewrite(
+    s: &Stmt,
+    loops: &mut Vec<(usize, usize)>,
+    in_if: bool,
+    written: &HashSet<usize>,
+    program: &mut Program,
+    packs: &mut Vec<Stmt>,
+) -> Stmt {
+    match s {
+        Stmt::Seq(ss) => Stmt::Seq(
+            ss.iter().map(|x| rewrite(x, loops, in_if, written, program, packs)).collect(),
+        ),
+        Stmt::For { var, extent, body } => {
+            loops.push((*var, *extent));
+            let body = rewrite(body, loops, in_if, written, program, packs);
+            loops.pop();
+            Stmt::For { var: *var, extent: *extent, body: Box::new(body) }
+        }
+        // Guarded gets are skipped: a boundary guard may suppress fetches
+        // whose source addresses the gather would still enumerate.
+        Stmt::If { cond, then_, else_ } => Stmt::If {
+            cond: cond.clone(),
+            then_: Box::new(rewrite(then_, loops, true, written, program, packs)),
+            else_: else_
+                .as_ref()
+                .map(|e| Box::new(rewrite(e, loops, true, written, program, packs))),
+        },
+        Stmt::DmaCg(d) => match try_coalesce(d, loops, in_if, written, program) {
+            Some((pack, cpe)) => {
+                packs.push(pack);
+                Stmt::DmaCpe(cpe)
+            }
+            None => s.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+fn try_coalesce(
+    d: &DmaCg,
+    loops: &[(usize, usize)],
+    in_if: bool,
+    written: &HashSet<usize>,
+    program: &mut Program,
+) -> Option<(Stmt, DmaCpe)> {
+    if in_if
+        || d.direction != DmaDirection::MemToSpm
+        || written.contains(&d.buf.0)
+        || !d.rows.is_multiple_of(8)
+        || !d.cols.is_multiple_of(8)
+        // Already contiguous per CPE: nothing to coalesce.
+        || d.row_stride == d.cols / 8
+        || d.offset.uses_mesh()
+        || d.offset.constant() < 0
+    {
+        return None;
+    }
+    // Every loop term of the tile origin must be a (non-negative-stride)
+    // enclosing loop, so the gather can enumerate exactly the tiles the
+    // nest will fetch.
+    let mut iters: Vec<(usize, usize, i64)> = Vec::new(); // (var, extent, coeff)
+    for &(av, coeff) in d.offset.terms() {
+        let AVar::Loop(v) = av else { return None };
+        if coeff < 0 {
+            return None;
+        }
+        let &(_, extent) = loops.iter().find(|&&(lv, _)| lv == v)?;
+        iters.push((v, extent, coeff));
+    }
+    // Order outermost-first to match the enclosing nest.
+    iters.sort_by_key(|&(v, _, _)| loops.iter().position(|&(lv, _)| lv == v));
+    let base = d.offset.constant();
+    let span: i64 = iters.iter().map(|&(_, ext, c)| c * (ext as i64 - 1)).sum();
+    let last = base + span + ((d.rows - 1) * d.row_stride + d.cols) as i64;
+    if last > program.mem_bufs[d.buf.0].len as i64 {
+        return None;
+    }
+    let n_iters: usize = iters.iter().map(|&(_, ext, _)| ext).product();
+    let packed_len = n_iters.checked_mul(d.rows * d.cols)?;
+    if packed_len > MAX_PACKED_ELEMS {
+        return None;
+    }
+
+    let src_name = program.mem_bufs[d.buf.0].name.clone();
+    let dst = program.mem_buf(
+        format!("{}_packed{}", src_name, program.mem_bufs.len()),
+        packed_len,
+        MemRole::Temp,
+    );
+    let pack = Stmt::Transform(TransformOp { fused: false,
+        kind: TransformKind::PackTiles {
+            src: d.buf,
+            dst,
+            rows: d.rows,
+            cols: d.cols,
+            row_stride: d.row_stride,
+            mesh_swap: d.mesh_swap,
+            base,
+            iters: iters.iter().map(|&(_, ext, c)| (ext, c)).collect(),
+        },
+    });
+
+    // Packed layout [lin_iter][rid*8+cid][E]: the replacement get is one
+    // contiguous block of E elements per CPE per step.
+    let e = d.rows * d.cols / 64;
+    let mut offset = AffineExpr::zero()
+        .add_term(AVar::Rid, (8 * e) as i64)
+        .add_term(AVar::Cid, e as i64);
+    let mut suffix = 1i64;
+    for &(v, ext, _) in iters.iter().rev() {
+        offset = offset.add_term(AVar::Loop(v), suffix * (64 * e) as i64);
+        suffix *= ext as i64;
+    }
+    let cpe = DmaCpe {
+        buf: dst,
+        offset,
+        block: e,
+        stride: e,
+        n_blocks: 1,
+        direction: d.direction,
+        spm: d.spm.clone(),
+        reply: d.reply,
+        bcast: None,
+        fused: false,
+    };
+    Some((pack, cpe))
+}
+
+/// Main-memory buffers written anywhere within `stmt` (DMA puts and
+/// transform destinations).
+fn written_bufs(stmt: &Stmt) -> HashSet<usize> {
+    let mut out = HashSet::new();
+    stmt.visit(&mut |s| match s {
+        Stmt::DmaCg(d) if d.direction == DmaDirection::SpmToMem => {
+            out.insert(d.buf.0);
+        }
+        Stmt::DmaCpe(d) if d.direction == DmaDirection::SpmToMem => {
+            out.insert(d.buf.0);
+        }
+        Stmt::Transform(t) => {
+            out.insert(transform_dst(&t.kind));
+        }
+        _ => {}
+    });
+    out
+}
+
+fn transform_dst(k: &TransformKind) -> usize {
+    match k {
+        TransformKind::Im2col { dst, .. }
+        | TransformKind::PadImageNchw { dst, .. }
+        | TransformKind::WinogradFilter { dst, .. }
+        | TransformKind::WinogradInput { dst, .. }
+        | TransformKind::WinogradOutput { dst, .. }
+        | TransformKind::PackTensor { dst, .. }
+        | TransformKind::RotateFilter { dst, .. }
+        | TransformKind::PadSubmatrix { dst, .. }
+        | TransformKind::UnpadSubmatrix { dst, .. }
+        | TransformKind::PackTiles { dst, .. } => dst.0,
+        TransformKind::ZeroBuf { buf } => buf.0,
+    }
+}
+
+/// Tag broadcast-eligible gets with their register-communication bus.
+///
+/// A get is row-broadcastable when the 8 fetches of a mesh row are
+/// contiguous (`offset`'s `Cid` coefficient equals `block`) and the leader's
+/// merged `8·block` read does not overrun into the next stride period
+/// (`n_blocks == 1` or `stride ≥ 8·block`); column-broadcast is the `Rid`
+/// mirror. Guarded gets are left untouched — the scatter is a collective
+/// over the full mesh and must not diverge.
+pub fn tag_broadcast(stmt: &Stmt) -> Stmt {
+    tag(stmt, false)
+}
+
+fn tag(s: &Stmt, in_if: bool) -> Stmt {
+    match s {
+        Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(|x| tag(x, in_if)).collect()),
+        Stmt::For { var, extent, body } => {
+            Stmt::For { var: *var, extent: *extent, body: Box::new(tag(body, in_if)) }
+        }
+        Stmt::If { cond, then_, else_ } => Stmt::If {
+            cond: cond.clone(),
+            then_: Box::new(tag(then_, true)),
+            else_: else_.as_ref().map(|e| Box::new(tag(e, true))),
+        },
+        Stmt::DmaCpe(d)
+            if !in_if && d.direction == DmaDirection::MemToSpm && d.bcast.is_none() =>
+        {
+            let layout_ok =
+                d.block > 0 && (d.n_blocks == 1 || d.stride >= 8 * d.block);
+            let bus = if layout_ok && d.offset.coeff(AVar::Cid) == d.block as i64 {
+                Some(BcastBus::Row)
+            } else if layout_ok && d.offset.coeff(AVar::Rid) == d.block as i64 {
+                Some(BcastBus::Column)
+            } else {
+                None
+            };
+            match bus {
+                Some(_) => Stmt::DmaCpe(DmaCpe { bcast: bus, ..d.clone() }),
+                None => s.clone(),
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Batch fusion: mark every `DMA_CPE` get that directly follows another get
+/// on the *same reply word* (no wait, compute or control flow in between)
+/// as `fused` — its descriptors chain onto the engine batch its predecessor
+/// opened, so the per-batch start-up latency is paid once per run of gets
+/// instead of once per node. The first get of each run keeps `fused =
+/// false` and opens the batch group.
+///
+/// Runs of back-to-back small gets are exactly what tile schedules emit
+/// (the A/B operand pair of a GEMM step, or the unrolled per-tap fetches of
+/// an SPM-resident convolution reduction); without fusion each pays the
+/// full DRAM round-trip latency, which is what makes small-tile schedules
+/// DMA-latency bound rather than bandwidth bound.
+pub fn fuse_adjacent_gets(stmt: &Stmt) -> Stmt {
+    match stmt {
+        Stmt::Seq(ss) => {
+            let mut out = Vec::with_capacity(ss.len());
+            // Reply word of the immediately preceding get in this Seq, if
+            // the run is still open.
+            let mut open_run: Option<swatop_ir::ReplyId> = None;
+            for s in ss {
+                match s {
+                    Stmt::DmaCpe(d) if d.direction == DmaDirection::MemToSpm => {
+                        let fused = open_run == Some(d.reply);
+                        open_run = Some(d.reply);
+                        out.push(Stmt::DmaCpe(DmaCpe { fused, ..d.clone() }));
+                    }
+                    other => {
+                        open_run = None;
+                        out.push(fuse_adjacent_gets(other));
+                    }
+                }
+            }
+            Stmt::Seq(out)
+        }
+        Stmt::For { var, extent, body } => Stmt::For {
+            var: *var,
+            extent: *extent,
+            body: Box::new(fuse_adjacent_gets(body)),
+        },
+        Stmt::If { cond, then_, else_ } => Stmt::If {
+            cond: cond.clone(),
+            then_: Box::new(fuse_adjacent_gets(then_)),
+            else_: else_.as_ref().map(|e| Box::new(fuse_adjacent_gets(e))),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Mark runs of back-to-back bulk transforms for chain fusion: every
+/// transform whose immediately preceding statement (in the same `Seq`) is
+/// also a transform keeps the engine's block pipeline streaming and skips
+/// the per-transform start-up latency. The first transform of a run stays
+/// unfused and pays the ramp for the whole chain.
+///
+/// This is the transform-side twin of [`fuse_adjacent_gets`]: coalescing
+/// emits its `PackTiles` staging gathers as one consecutive run before the
+/// consuming nest (and operator lowerings emit their layout-packing setup
+/// the same way), so without fusion a schedule with many small staging
+/// packs pays one full DRAM round-trip per pack.
+pub fn fuse_adjacent_transforms(stmt: &Stmt) -> Stmt {
+    match stmt {
+        Stmt::Seq(ss) => {
+            let mut out = Vec::with_capacity(ss.len());
+            let mut in_run = false;
+            for s in ss {
+                match s {
+                    Stmt::Transform(t) => {
+                        out.push(Stmt::Transform(TransformOp {
+                            fused: in_run,
+                            kind: t.kind.clone(),
+                        }));
+                        in_run = true;
+                    }
+                    other => {
+                        in_run = false;
+                        out.push(fuse_adjacent_transforms(other));
+                    }
+                }
+            }
+            Stmt::Seq(out)
+        }
+        Stmt::For { var, extent, body } => Stmt::For {
+            var: *var,
+            extent: *extent,
+            body: Box::new(fuse_adjacent_transforms(body)),
+        },
+        Stmt::If { cond, then_, else_ } => Stmt::If {
+            cond: cond.clone(),
+            then_: Box::new(fuse_adjacent_transforms(then_)),
+            else_: else_.as_ref().map(|e| Box::new(fuse_adjacent_transforms(e))),
+        },
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swatop_ir::{MemBufId, ReplyId, SpmBufId, SpmSlot};
+
+    fn strided_get(offset: AffineExpr) -> DmaCg {
+        DmaCg {
+            buf: MemBufId(0),
+            offset,
+            rows: 16,
+            cols: 16,
+            row_stride: 96,
+            mesh_swap: false,
+            direction: DmaDirection::MemToSpm,
+            spm: SpmSlot::Single(SpmBufId(0)),
+            reply: ReplyId(0),
+        }
+    }
+
+    fn host(body: Stmt) -> Program {
+        let mut p = Program::new("t");
+        p.mem_buf("A", 96 * 96, MemRole::Input);
+        p.spm_buf("a", 4);
+        p.body = body;
+        p
+    }
+
+    #[test]
+    fn strided_nest_get_is_coalesced() {
+        let get = Stmt::DmaCg(strided_get(AffineExpr::loop_var(0).scale(16)));
+        let body = Stmt::for_(
+            0,
+            4,
+            Stmt::seq(vec![get, Stmt::DmaWait { reply: ReplyId(0), times: 1 }]),
+        );
+        let p = coalesce_gets(host(body));
+        assert_eq!(p.body.count(|s| matches!(s, Stmt::DmaCg(_))), 0);
+        assert_eq!(p.body.count(|s| matches!(s, Stmt::Transform(_))), 1);
+        assert_eq!(p.mem_bufs.len(), 2);
+        assert_eq!(p.mem_bufs[1].role, MemRole::Temp);
+        // 4 iterations × 16×16 tile.
+        assert_eq!(p.mem_bufs[1].len, 4 * 16 * 16);
+        let mut seen = None;
+        p.body.visit(&mut |s| {
+            if let Stmt::DmaCpe(d) = s {
+                seen = Some(d.clone());
+            }
+        });
+        let d = seen.expect("rewritten get");
+        let e = 16 * 16 / 64;
+        assert_eq!((d.block, d.stride, d.n_blocks), (e, e, 1));
+        assert_eq!(d.offset.coeff(AVar::Rid), (8 * e) as i64);
+        assert_eq!(d.offset.coeff(AVar::Cid), e as i64);
+        assert_eq!(d.offset.coeff(AVar::Loop(0)), (64 * e) as i64);
+    }
+
+    #[test]
+    fn accumulator_and_guarded_gets_are_left_alone() {
+        // The buffer is also written (C-style accumulator): no coalesce.
+        let get = Stmt::DmaCg(strided_get(AffineExpr::loop_var(0).scale(16)));
+        let mut put = strided_get(AffineExpr::loop_var(0).scale(16));
+        put.direction = DmaDirection::SpmToMem;
+        let body = Stmt::for_(0, 4, Stmt::seq(vec![get.clone(), Stmt::DmaCg(put)]));
+        let p = coalesce_gets(host(body));
+        assert_eq!(p.body.count(|s| matches!(s, Stmt::DmaCg(_))), 2);
+
+        // Guarded get: no coalesce.
+        let guarded = Stmt::for_(
+            0,
+            4,
+            Stmt::if_(swatop_ir::Cond::lt_const(AffineExpr::loop_var(0), 3), get),
+        );
+        let p = coalesce_gets(host(guarded));
+        assert_eq!(p.body.count(|s| matches!(s, Stmt::DmaCg(_))), 1);
+    }
+
+    #[test]
+    fn contiguous_get_is_not_coalesced() {
+        let mut d = strided_get(AffineExpr::zero());
+        d.row_stride = d.cols / 8; // already per-CPE contiguous
+        let p = coalesce_gets(host(Stmt::DmaCg(d)));
+        assert_eq!(p.body.count(|s| matches!(s, Stmt::DmaCg(_))), 1);
+        assert_eq!(p.mem_bufs.len(), 1);
+    }
+
+    #[test]
+    fn broadcast_tags_row_and_column_contiguous_gets() {
+        let mk = |rid_c: i64, cid_c: i64| {
+            Stmt::DmaCpe(DmaCpe {
+                buf: MemBufId(0),
+                offset: AffineExpr::zero()
+                    .add_term(AVar::Rid, rid_c)
+                    .add_term(AVar::Cid, cid_c),
+                block: 4,
+                stride: 4,
+                n_blocks: 1,
+                direction: DmaDirection::MemToSpm,
+                spm: SpmSlot::Single(SpmBufId(0)),
+                reply: ReplyId(0),
+                bcast: None,
+                fused: false,
+            })
+        };
+        // Cid coefficient == block → row bus.
+        let t = tag_broadcast(&mk(32, 4));
+        if let Stmt::DmaCpe(d) = &t {
+            assert_eq!(d.bcast, Some(BcastBus::Row));
+        } else {
+            panic!("{t:?}");
+        }
+        // Rid coefficient == block → column bus.
+        let t = tag_broadcast(&mk(4, 32));
+        if let Stmt::DmaCpe(d) = &t {
+            assert_eq!(d.bcast, Some(BcastBus::Column));
+        } else {
+            panic!("{t:?}");
+        }
+        // Neither axis contiguous → untouched.
+        let t = tag_broadcast(&mk(32, 8));
+        if let Stmt::DmaCpe(d) = &t {
+            assert_eq!(d.bcast, None);
+        } else {
+            panic!("{t:?}");
+        }
+        // Guarded → untouched even when eligible.
+        let g = Stmt::if_(
+            swatop_ir::Cond::lt_const(AffineExpr::loop_var(0), 3),
+            mk(32, 4),
+        );
+        let t = tag_broadcast(&g);
+        assert_eq!(t.count(|s| matches!(s, Stmt::DmaCpe(d) if d.bcast.is_some())), 0);
+    }
+
+    #[test]
+    fn adjacent_gets_fuse_into_batch_runs() {
+        let get = |reply: usize| {
+            Stmt::DmaCpe(DmaCpe {
+                buf: MemBufId(0),
+                offset: AffineExpr::zero(),
+                block: 4,
+                stride: 4,
+                n_blocks: 1,
+                direction: DmaDirection::MemToSpm,
+                spm: SpmSlot::Single(SpmBufId(0)),
+                reply: ReplyId(reply),
+                bcast: None,
+                fused: false,
+            })
+        };
+        let body = Stmt::seq(vec![
+            get(0),
+            get(0),
+            get(0),
+            Stmt::DmaWait { reply: ReplyId(0), times: 3 },
+            get(0), // run broken by the wait: first of a new run
+            get(1), // different reply word: new run
+            get(1),
+        ]);
+        let fused = fuse_adjacent_gets(&body);
+        let mut flags = Vec::new();
+        fused.visit(&mut |s| {
+            if let Stmt::DmaCpe(d) = s {
+                flags.push(d.fused);
+            }
+        });
+        assert_eq!(flags, vec![false, true, true, false, false, true]);
+
+        // Runs never span Seq boundaries: a loop body's leading get is
+        // re-issued each iteration after the iteration's trailing wait.
+        let looped = Stmt::for_(0, 4, Stmt::seq(vec![get(0), get(0)]));
+        let fused = fuse_adjacent_gets(&looped);
+        let mut flags = Vec::new();
+        fused.visit(&mut |s| {
+            if let Stmt::DmaCpe(d) = s {
+                flags.push(d.fused);
+            }
+        });
+        assert_eq!(flags, vec![false, true]);
+    }
+
+    #[test]
+    fn puts_break_get_fusion_runs() {
+        let mk = |direction| {
+            Stmt::DmaCpe(DmaCpe {
+                buf: MemBufId(0),
+                offset: AffineExpr::zero(),
+                block: 4,
+                stride: 4,
+                n_blocks: 1,
+                direction,
+                spm: SpmSlot::Single(SpmBufId(0)),
+                reply: ReplyId(0),
+                bcast: None,
+                fused: false,
+            })
+        };
+        let body = Stmt::seq(vec![
+            mk(DmaDirection::MemToSpm),
+            mk(DmaDirection::SpmToMem),
+            mk(DmaDirection::MemToSpm),
+        ]);
+        let fused = fuse_adjacent_gets(&body);
+        let mut flags = Vec::new();
+        fused.visit(&mut |s| {
+            if let Stmt::DmaCpe(d) = s {
+                flags.push((d.direction, d.fused));
+            }
+        });
+        // The put is never marked and severs the run around it.
+        assert_eq!(
+            flags,
+            vec![
+                (DmaDirection::MemToSpm, false),
+                (DmaDirection::SpmToMem, false),
+                (DmaDirection::MemToSpm, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn adjacent_transforms_fuse_into_chains() {
+        let tf = || {
+            Stmt::Transform(swatop_ir::TransformOp {
+                fused: false,
+                kind: swatop_ir::TransformKind::ZeroBuf { buf: MemBufId(0) },
+            })
+        };
+        let body = Stmt::seq(vec![
+            tf(),
+            tf(),
+            tf(),
+            Stmt::DmaWait { reply: ReplyId(0), times: 1 },
+            tf(), // run broken by the intervening statement
+        ]);
+        let fused = fuse_adjacent_transforms(&body);
+        let mut flags = Vec::new();
+        fused.visit(&mut |s| {
+            if let Stmt::Transform(t) = s {
+                flags.push(t.fused);
+            }
+        });
+        assert_eq!(flags, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn multiblock_broadcast_requires_stride_room() {
+        let mk = |stride: usize| {
+            Stmt::DmaCpe(DmaCpe {
+                buf: MemBufId(0),
+                offset: AffineExpr::zero().add_term(AVar::Cid, 4).add_term(AVar::Rid, 256),
+                block: 4,
+                stride,
+                n_blocks: 2,
+                direction: DmaDirection::MemToSpm,
+                spm: SpmSlot::Single(SpmBufId(0)),
+                reply: ReplyId(0),
+                bcast: None,
+                fused: false,
+            })
+        };
+        let t = tag_broadcast(&mk(64)); // 64 ≥ 8·4
+        assert_eq!(t.count(|s| matches!(s, Stmt::DmaCpe(d) if d.bcast.is_some())), 1);
+        let t = tag_broadcast(&mk(16)); // 16 < 32: leader blocks would overlap
+        assert_eq!(t.count(|s| matches!(s, Stmt::DmaCpe(d) if d.bcast.is_some())), 0);
+    }
+}

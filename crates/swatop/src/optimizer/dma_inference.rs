@@ -70,6 +70,8 @@ pub fn lower_node(d: &DmaCg) -> DmaCpe {
         direction: d.direction,
         spm: d.spm.clone(),
         reply: d.reply,
+        bcast: None,
+        fused: false,
     }
 }
 

@@ -265,8 +265,7 @@ fn retarget(stmt: &Stmt, twin: &[(SpmBufId, SpmBufId)], sel: &AffineExpr) -> Stm
             other => other.clone(),
         }
     };
-    let map_mat =
-        |m: &MatDesc| MatDesc { slot: map_slot(&m.slot), layout: m.layout, ld: m.ld };
+    let map_mat = |m: &MatDesc| MatDesc { slot: map_slot(&m.slot), ..m.clone() };
     match stmt {
         Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(|s| retarget(s, twin, sel)).collect()),
         Stmt::For { var, extent, body } => Stmt::For {
@@ -321,6 +320,8 @@ mod tests {
             direction: DmaDirection::MemToSpm,
             spm: SpmSlot::Single(sa),
             reply: r_get,
+            bcast: None,
+            fused: false,
         });
         let put = Stmt::DmaCpe(DmaCpe {
             buf: dst,
@@ -331,6 +332,8 @@ mod tests {
             direction: DmaDirection::SpmToMem,
             spm: SpmSlot::Single(sc),
             reply: r_put,
+            bcast: None,
+            fused: false,
         });
         let body = Stmt::seq(vec![
             get,
@@ -448,6 +451,8 @@ mod tests {
             direction: DmaDirection::MemToSpm,
             spm: SpmSlot::Single(s),
             reply: r,
+            bcast: None,
+            fused: false,
         });
         p.body = Stmt::for_(v, 4, Stmt::seq(vec![get, Stmt::DmaWait { reply: r, times: 1 }]));
         let before = p.body.clone();

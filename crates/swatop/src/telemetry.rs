@@ -512,6 +512,10 @@ impl Telemetry {
                 args.push_str(&format!(",\"error\":\"{}\"", escape_json(e)));
             }
             if s.kind == SpanKind::Candidate {
+                // The candidate label *is* its schedule-point description
+                // (knob=value list) — mirror it into args so trace tooling
+                // can filter on schedule knobs without parsing span names.
+                args.push_str(&format!(",\"schedule\":\"{}\"", escape_json(&s.label)));
                 args.push_str(&format!(",\"counters\":{}", counters_json(&s.counters)));
                 if let (Some(p), Some(cycles)) = (peaks, s.cycles) {
                     let a = observatory::attribute(p, cycles, &s.counters);
@@ -729,12 +733,15 @@ pub(crate) fn float_json(x: Option<f64>) -> String {
 fn counters_json(c: &Counters) -> String {
     format!(
         "{{\"dma_payload_bytes\":{},\"dma_bus_bytes\":{},\"dma_batches\":{},\
-         \"dma_stall_cycles\":{},\"dma_waits\":{},\"kernel_calls\":{},\
-         \"kernel_cycles\":{},\"flops\":{},\"compute_cycles\":{},\"issue_p0\":{},\
-         \"issue_p1\":{},\"regcomm_broadcasts\":{},\"spm_high_water_elems\":{}}}",
+         \"dma_bcast_batches\":{},\"dma_stall_cycles\":{},\"dma_waits\":{},\
+         \"kernel_calls\":{},\"kernel_cycles\":{},\"flops\":{},\
+         \"compute_cycles\":{},\"issue_p0\":{},\"issue_p1\":{},\
+         \"regcomm_broadcasts\":{},\"regcomm_bytes\":{},\
+         \"spm_high_water_elems\":{}}}",
         c.dma_payload_bytes,
         c.dma_bus_bytes,
         c.dma_batches,
+        c.dma_bcast_batches,
         c.dma_stall_cycles,
         c.dma_waits,
         c.kernel_calls,
@@ -744,6 +751,7 @@ fn counters_json(c: &Counters) -> String {
         c.issue_p0,
         c.issue_p1,
         c.regcomm_broadcasts,
+        c.regcomm_bytes,
         c.spm_high_water_elems
     )
 }

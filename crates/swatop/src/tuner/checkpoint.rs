@@ -97,6 +97,7 @@ pub fn fingerprint(cfg: &MachineConfig, n_candidates: usize) -> u64 {
     eat(cfg.regcomm_switch.get());
     eat(cfg.kernel_call_overhead.get());
     eat(cfg.kernel_launch.get());
+    eat(cfg.kernel_signal.get());
     match cfg.fault {
         None => eat(0),
         Some(p) => {

@@ -197,11 +197,13 @@ impl fmt::Display for TuneError {
 impl std::error::Error for TuneError {}
 
 /// Execute one candidate in cost-only mode, returning its simulated cycles
-/// (including the one-time CPE kernel launch).
+/// (including the warm-start signal to the resident athread group — the
+/// tuner keeps the CPE cluster spawned across candidates, so a candidate
+/// pays `kernel_signal`, not the cold `kernel_launch`).
 pub fn run_candidate(cfg: &MachineConfig, cand: &Candidate) -> MachineResult<Cycles> {
     let mut cg = CoreGroup::new(cfg.clone(), ExecMode::CostOnly);
     let binding = instantiate(&mut cg, &cand.exe);
-    Ok(execute(&mut cg, &cand.exe, &binding)? + cfg.kernel_launch)
+    Ok(execute(&mut cg, &cand.exe, &binding)? + cfg.kernel_signal)
 }
 
 /// Static pre-validation, run *before* any simulated execution: reject
@@ -223,7 +225,7 @@ pub fn prevalidate(cfg: &MachineConfig, cand: &Candidate) -> MachineResult<()> {
         if err.is_none() {
             if let Stmt::Gemm(g) = s {
                 let mat = |m: &MatDesc| {
-                    SpmMatrix::new(slot_offset(&cand.exe, &m.slot), m.layout, m.ld)
+                    SpmMatrix::new(slot_offset(&cand.exe, &m.slot) + m.offset, m.layout, m.ld)
                 };
                 if let Err(e) = swkernels::spm_gemm::validate(
                     g.m,
@@ -299,7 +301,7 @@ fn measure_candidate(
         let binding = instantiate(&mut cg, &cand.exe);
         match execute(&mut cg, &cand.exe, &binding) {
             Ok(c) => {
-                let observed = cg.observed(c + cfg.kernel_launch);
+                let observed = cg.observed(c + cfg.kernel_signal);
                 samples.push(observed);
                 counters = cg.counters;
                 if let (Some(t), Some(id)) = (tel, span) {

@@ -74,6 +74,28 @@ fn metrics_and_bottlenecks_identical_across_job_counts() {
 }
 
 #[test]
+fn overlap_efficiency_is_derived_bounded_and_exported() {
+    let cfg = MachineConfig::default();
+    let peaks = Peaks::of(&cfg);
+    let counters = sw26010::Counters {
+        flops: 1_000_000,
+        kernel_cycles: 40_000,
+        dma_bus_bytes: 500_000,
+        dma_stall_cycles: 2_000,
+        ..Default::default()
+    };
+    let m = observatory::derive(&peaks, 50_000, &counters);
+    let v = m.get("overlap_efficiency").expect("metric in schema");
+    assert!((0.0..=1.0).contains(&v), "overlap_efficiency out of range: {v}");
+    assert!(v > 0.0, "partial overlap must register: {v}");
+    assert!(m.to_json().contains("\"overlap_efficiency\":"));
+    assert!(m.prometheus_text(&[]).contains("swatop_overlap_efficiency"));
+    // No hideable traffic at all counts as perfectly overlapped.
+    let idle = observatory::derive(&peaks, 1_000, &sw26010::Counters::default());
+    assert_eq!(idle.get("overlap_efficiency"), Some(1.0));
+}
+
+#[test]
 fn bottleneck_mix_on_outcome_matches_recount_across_jobs() {
     let cfg = MachineConfig::default();
     let peaks = Peaks::of(&cfg);

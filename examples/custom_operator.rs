@@ -49,7 +49,7 @@ impl Operator for ResidualMatmul {
         // copy into the output buffer first.
         let c0 = p.mem_buf("C0", self.m * self.n, MemRole::Input);
         let c = p.mem_buf("C", self.m * self.n, MemRole::Output);
-        let copy = Stmt::Transform(swatop_repro::ir::TransformOp {
+        let copy = Stmt::Transform(swatop_repro::ir::TransformOp { fused: false,
             kind: swatop_repro::ir::TransformKind::PadSubmatrix {
                 src: c0,
                 src_rows: self.m,

@@ -88,9 +88,9 @@ fn cost_only_and_functional_clocks_agree() {
     let sched = Scheduler::new(cfg.clone());
     let cands = sched.enumerate(&op);
     for cand in cands.iter().take(5) {
-        // run_candidate adds the one-time kernel-launch cost on top of the
+        // run_candidate adds the warm-start kernel signal on top of the
         // program's clock; subtract it to compare raw execution clocks.
-        let cost_only = run_candidate(&cfg, cand).unwrap() - cfg.kernel_launch;
+        let cost_only = run_candidate(&cfg, cand).unwrap() - cfg.kernel_signal;
         let mut cg = CoreGroup::new(cfg.clone(), ExecMode::Functional);
         let binding = instantiate(&mut cg, &cand.exe);
         // Inputs stay zero — data values never affect timing.
