@@ -12,7 +12,7 @@ use crate::config::MachineConfig;
 use crate::counters::Counters;
 use crate::dma::{DmaDirection, DmaEngine, DmaRequest, ReplyWord};
 use crate::error::{MachineError, MachineResult};
-use crate::fault::FaultSession;
+use crate::fault::{FaultSession, MiscompilePlan, MiscompileSession};
 use crate::mem::MainMemory;
 use crate::spm::Spm;
 use crate::trace::{Event, Trace};
@@ -58,6 +58,11 @@ pub struct CoreGroup {
     /// Active fault stream, present iff `cfg.fault` is set. Rearmed per
     /// measurement run via [`CoreGroup::arm_faults`].
     faults: Option<FaultSession>,
+    /// Active miscompile injection, armed explicitly via
+    /// [`CoreGroup::arm_miscompile`] (validator self-tests only — never part
+    /// of a machine config). Only functional data movement is affected, so
+    /// cost-only clocks stay bit-identical with and without an injection.
+    mis: Option<MiscompileSession>,
 }
 
 impl CoreGroup {
@@ -87,6 +92,7 @@ impl CoreGroup {
             next_tag: 0,
             chain_next: false,
             faults,
+            mis: None,
         }
     }
 
@@ -97,6 +103,30 @@ impl CoreGroup {
     /// worker count or evaluation order.
     pub fn arm_faults(&mut self, run: u64, attempt: u32) {
         self.faults = self.cfg.fault.map(|p| p.session(run, attempt));
+    }
+
+    /// Arm (or disarm, with `None`) a seeded miscompile injection for the
+    /// next execution; see [`MiscompilePlan`]. Used by validator self-tests
+    /// to prove that differential validation catches each corruption class.
+    pub fn arm_miscompile(&mut self, plan: Option<MiscompilePlan>) {
+        self.mis = plan.map(|p| p.session());
+    }
+
+    /// Number of miscompile events the armed injection has fired so far.
+    /// Zero with no injection armed. A test asserting "the validator caught
+    /// the injection" must also assert this is nonzero, or a schedule that
+    /// never exercised the corrupted path would pass vacuously.
+    pub fn miscompile_events(&self) -> u64 {
+        self.mis.as_ref().map_or(0, MiscompileSession::events)
+    }
+
+    /// Should this `SpmSlot::Double` resolution read the wrong parity?
+    /// Consulted by IR interpreters; fires only in functional mode (and only
+    /// under an armed [`MiscompileKind::SwapParity`](crate::fault::MiscompileKind)
+    /// injection), so cost-only execution is untouched.
+    pub fn miscompile_flip_parity(&mut self) -> bool {
+        self.mode == ExecMode::Functional
+            && self.mis.as_mut().is_some_and(MiscompileSession::flip_parity)
     }
 
     /// Effective SPM capacity (in f32 elements) for the current run: the
@@ -245,8 +275,15 @@ impl CoreGroup {
         // the source. Generated programs must not overwrite a source before
         // waiting, which the wait discipline of the IR interpreter enforces.
         if self.mode == ExecMode::Functional {
-            for r in requests {
-                self.copy(r)?;
+            let dropped =
+                chained && self.mis.as_mut().is_some_and(MiscompileSession::drop_fused_copy);
+            if !dropped {
+                for r in requests {
+                    self.copy(r)?;
+                    if self.mis.as_mut().is_some_and(MiscompileSession::corrupt_copy) {
+                        self.corrupt(r)?;
+                    }
+                }
             }
         }
         let payload: usize = requests.iter().map(|r| r.total_bytes()).sum();
@@ -315,8 +352,15 @@ impl CoreGroup {
         let finish =
             self.dma.schedule_with(&self.cfg, self.now, leader_requests, chained)? + scatter;
         if self.mode == ExecMode::Functional {
-            for r in requests {
-                self.copy(r)?;
+            let dropped =
+                chained && self.mis.as_mut().is_some_and(MiscompileSession::drop_fused_copy);
+            if !dropped {
+                for r in requests {
+                    self.copy(r)?;
+                    if self.mis.as_mut().is_some_and(MiscompileSession::corrupt_copy) {
+                        self.corrupt(r)?;
+                    }
+                }
             }
         }
         let payload: usize = leader_requests.iter().map(|r| r.total_bytes()).sum();
@@ -454,6 +498,27 @@ impl CoreGroup {
     /// Fraction of peak achieved so far.
     pub fn efficiency(&self) -> f64 {
         self.cfg.efficiency(self.flops, self.now)
+    }
+
+    /// Flip an exponent bit of the first destination element of a request
+    /// that just copied — the [`MiscompileKind::CorruptPayload`]
+    /// (crate::fault::MiscompileKind) event. The change is far above any
+    /// ulp-level comparison tolerance, so a validator that re-reads the
+    /// result must see it (if the element ever reaches an output).
+    fn corrupt(&mut self, r: &DmaRequest) -> MachineResult<()> {
+        let flip = |x: f32| f32::from_bits(x.to_bits() ^ 0x4000_0000);
+        match r.direction {
+            DmaDirection::MemToSpm => {
+                let s = self.spms[r.cpe].slice_mut(r.spm_offset, 1)?;
+                s[0] = flip(s[0]);
+            }
+            DmaDirection::SpmToMem => {
+                self.mem.check_abs(r.mem_offset, 1)?;
+                let a = self.mem.arena_mut();
+                a[r.mem_offset] = flip(a[r.mem_offset]);
+            }
+        }
+        Ok(())
     }
 
     fn copy(&mut self, r: &DmaRequest) -> MachineResult<()> {

@@ -39,6 +39,18 @@ impl MachineError {
     pub fn is_transient(&self) -> bool {
         matches!(self, MachineError::DmaFault { .. })
     }
+
+    /// Is this error a *deterministic* property of the program — guaranteed
+    /// to recur on any fault-free re-execution? Retrying one of these burns
+    /// budget on an error that cannot go away. The one context-dependent
+    /// case is [`MachineError::SpmOverflow`]: deterministic on a perfect
+    /// machine (the footprint simply doesn't fit) but possibly caused by
+    /// injected capacity pressure when a fault plan is active — which is why
+    /// retry policies take the fault context into account (see
+    /// `swatop::tuner::RetryPolicy::should_retry`).
+    pub fn is_deterministic(&self) -> bool {
+        !self.is_transient()
+    }
 }
 
 impl fmt::Display for MachineError {

@@ -172,6 +172,136 @@ impl FaultSession {
     }
 }
 
+/// Corruption classes of the seeded *miscompile injector*.
+///
+/// Where [`FaultPlan`] models an honest machine that fails loudly (dropped
+/// batches, stolen SPM, noisy timers), the miscompile injector models the
+/// failure mode a schedule verifier exists for: silent wrong answers. Each
+/// class corrupts functional data movement without touching the clock
+/// model, so a cost-only measurement of the same program is bit-identical —
+/// exactly the corruption a tuner cannot see and a differential validator
+/// must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MiscompileKind {
+    /// Corrupt one DMA payload: after a per-CPE functional copy lands, a
+    /// bit is flipped in the destination's first element (an exponent bit,
+    /// so the value change always dwarfs ulp-level tolerance).
+    CorruptPayload,
+    /// Swap ping/pong parity: a sparse subset of `SpmSlot::Double`
+    /// resolutions picks the wrong half, so a consumer reads the buffer the
+    /// prefetcher is still filling. A *global* swap would be self-consistent
+    /// and correct — sparseness is what makes it a hazard.
+    SwapParity,
+    /// Drop a fused wait: the functional copy of a chained (fused) batch is
+    /// elided, modelling a wait that under-counted its chain — compute reads
+    /// whatever the SPM held before the fused get.
+    DropFusedWait,
+}
+
+impl MiscompileKind {
+    /// Every corruption class, for injection-matrix sweeps.
+    pub const ALL: [MiscompileKind; 3] =
+        [MiscompileKind::CorruptPayload, MiscompileKind::SwapParity, MiscompileKind::DropFusedWait];
+
+    /// Stable lowercase name (telemetry, CLI, test matrices).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MiscompileKind::CorruptPayload => "corrupt-payload",
+            MiscompileKind::SwapParity => "swap-parity",
+            MiscompileKind::DropFusedWait => "drop-fused-wait",
+        }
+    }
+}
+
+/// Seeded description of one injected miscompile. Pure data, like
+/// [`FaultPlan`]; per-run state lives in [`MiscompileSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MiscompilePlan {
+    pub kind: MiscompileKind,
+    /// Phase seed: selects *which* payloads / parities / chains are hit, so
+    /// a seed matrix exercises different victims deterministically.
+    pub seed: u64,
+}
+
+impl MiscompilePlan {
+    pub fn new(kind: MiscompileKind, seed: u64) -> Self {
+        MiscompilePlan { kind, seed }
+    }
+
+    /// Fresh per-run injection state.
+    pub fn session(&self) -> MiscompileSession {
+        MiscompileSession { plan: *self, copies: 0, chains: 0, parities: 0, fired: 0 }
+    }
+}
+
+/// Periods of the deterministic firing rules. Chosen small enough that any
+/// realistic schedule trips its class at least once (a full-mesh get alone
+/// issues 64 per-CPE copies; a double-buffered nest resolves slots every
+/// iteration; fused runs chain several batches), and coprime so different
+/// classes don't shadow each other.
+const CORRUPT_PERIOD: u64 = 61;
+const PARITY_PERIOD: u64 = 7;
+const CHAIN_PERIOD: u64 = 2;
+
+/// Per-run miscompile state; the event stream is a pure function of the
+/// plan and the program's own deterministic operation order, so an injected
+/// run is exactly reproducible (and bit-identical across worker counts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MiscompileSession {
+    plan: MiscompilePlan,
+    copies: u64,
+    chains: u64,
+    parities: u64,
+    fired: u64,
+}
+
+impl MiscompileSession {
+    pub fn kind(&self) -> MiscompileKind {
+        self.plan.kind
+    }
+
+    /// How many corruption events have fired so far. A validator test that
+    /// sees zero events must not claim the injection was "caught".
+    pub fn events(&self) -> u64 {
+        self.fired
+    }
+
+    #[inline]
+    fn strike(counter: &mut u64, period: u64, seed: u64) -> bool {
+        let i = *counter;
+        *counter += 1;
+        i % period == seed % period
+    }
+
+    /// Should the functional copy that just landed be corrupted? Counts
+    /// every per-CPE copy; fires only under [`MiscompileKind::CorruptPayload`].
+    pub fn corrupt_copy(&mut self) -> bool {
+        let hit = Self::strike(&mut self.copies, CORRUPT_PERIOD, self.plan.seed)
+            && self.plan.kind == MiscompileKind::CorruptPayload;
+        self.fired += u64::from(hit);
+        hit
+    }
+
+    /// Should this *chained* batch's functional copies be dropped? Called
+    /// once per fused batch; fires only under [`MiscompileKind::DropFusedWait`].
+    pub fn drop_fused_copy(&mut self) -> bool {
+        let hit = Self::strike(&mut self.chains, CHAIN_PERIOD, self.plan.seed)
+            && self.plan.kind == MiscompileKind::DropFusedWait;
+        self.fired += u64::from(hit);
+        hit
+    }
+
+    /// Should this double-buffer slot resolution read the wrong parity?
+    /// Counts every `SpmSlot::Double` resolution; fires only under
+    /// [`MiscompileKind::SwapParity`].
+    pub fn flip_parity(&mut self) -> bool {
+        let hit = Self::strike(&mut self.parities, PARITY_PERIOD, self.plan.seed)
+            && self.plan.kind == MiscompileKind::SwapParity;
+        self.fired += u64::from(hit);
+        hit
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +380,51 @@ mod tests {
         // Only exercises the parse path that doesn't depend on ambient env.
         assert_eq!(FaultPlan::with_seed(7).seed, 7);
         assert!(FaultPlan::with_seed(7).dma_fail_ppm > 0);
+    }
+
+    #[test]
+    fn miscompile_classes_are_disjoint() {
+        // A session only fires events of its own class: the other two hooks
+        // advance their counters but never strike.
+        for kind in MiscompileKind::ALL {
+            let mut s = MiscompilePlan::new(kind, 3).session();
+            let (mut c, mut p, mut d) = (0u64, 0u64, 0u64);
+            for _ in 0..1000 {
+                c += u64::from(s.corrupt_copy());
+                p += u64::from(s.flip_parity());
+                d += u64::from(s.drop_fused_copy());
+            }
+            assert_eq!(c > 0, kind == MiscompileKind::CorruptPayload, "{}", kind.name());
+            assert_eq!(p > 0, kind == MiscompileKind::SwapParity, "{}", kind.name());
+            assert_eq!(d > 0, kind == MiscompileKind::DropFusedWait, "{}", kind.name());
+            assert_eq!(s.events(), c + p + d);
+        }
+    }
+
+    #[test]
+    fn miscompile_firing_is_periodic_and_guaranteed() {
+        // Any program issuing at least one full-period window of operations
+        // is guaranteed a strike, for every seed.
+        for seed in 0..200u64 {
+            let mut s = MiscompilePlan::new(MiscompileKind::CorruptPayload, seed).session();
+            assert!((0..61).any(|_| s.corrupt_copy()), "seed {seed} never struck");
+            let mut s = MiscompilePlan::new(MiscompileKind::SwapParity, seed).session();
+            assert!((0..7).any(|_| s.flip_parity()), "seed {seed} never struck");
+            let mut s = MiscompilePlan::new(MiscompileKind::DropFusedWait, seed).session();
+            assert!((0..2).any(|_| s.drop_fused_copy()), "seed {seed} never struck");
+        }
+    }
+
+    #[test]
+    fn miscompile_sessions_replay_exactly() {
+        let mk = || MiscompilePlan::new(MiscompileKind::SwapParity, 42).session();
+        let (mut a, mut b) = (mk(), mk());
+        let sa: Vec<bool> = (0..256).map(|_| a.flip_parity()).collect();
+        let sb: Vec<bool> = (0..256).map(|_| b.flip_parity()).collect();
+        assert_eq!(sa, sb);
+        // Different seeds strike different victims.
+        let mut c = MiscompilePlan::new(MiscompileKind::SwapParity, 43).session();
+        let sc: Vec<bool> = (0..256).map(|_| c.flip_parity()).collect();
+        assert_ne!(sa, sc);
     }
 }

@@ -15,14 +15,19 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use swatop_bench::journal::{
-    compare, transition_lines, CompareOpts, Journal, record_table, DEFAULT_PATH,
+    compare, consistency_warnings, transition_lines, CompareOpts, Journal, record_table,
+    DEFAULT_PATH,
 };
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["strict"];
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  journal validate [FILE]\n  journal show [FILE] [--label L]\n  \
          journal compare [FILE] --baseline L1 --candidate L2\n                  \
-         [--wall-rel F] [--mad-factor F] [--cycles-rel F]\n\
+         [--wall-rel F] [--mad-factor F] [--cycles-rel F] [--strict]\n\
+         --strict turns comparability warnings (mixed schema/jobs) into failures\n\
          FILE defaults to {DEFAULT_PATH}"
     );
     exit(2);
@@ -37,11 +42,15 @@ fn main() {
     let mut i = 1;
     while i < argv.len() {
         if let Some(name) = argv[i].strip_prefix("--") {
-            i += 1;
-            if i >= argv.len() {
-                usage();
+            if BOOL_FLAGS.contains(&name) {
+                flags.push((name.to_string(), "true".to_string()));
+            } else {
+                i += 1;
+                if i >= argv.len() {
+                    usage();
+                }
+                flags.push((name.to_string(), argv[i].clone()));
             }
-            flags.push((name.to_string(), argv[i].clone()));
         } else {
             path = PathBuf::from(&argv[i]);
         }
@@ -96,6 +105,7 @@ fn main() {
                 mad_factor: num("mad-factor", CompareOpts::default().mad_factor),
                 cycles_rel: num("cycles-rel", CompareOpts::default().cycles_rel),
             };
+            let strict = flag("strict").is_some();
             let b = journal.with_label(base);
             let c = journal.with_label(cand);
             println!(
@@ -106,8 +116,13 @@ fn main() {
             for line in transition_lines(&b, &c) {
                 println!("{line}");
             }
+            let warnings = consistency_warnings(&b, &c);
+            for w in &warnings {
+                println!("{}: {w}", if strict { "FAILURE" } else { "warning" });
+            }
             let regressions = compare(&b, &c, &opts);
-            if regressions.is_empty() {
+            let failures = regressions.len() + if strict { warnings.len() } else { 0 };
+            if failures == 0 {
                 println!("OK: no regression");
             } else {
                 for r in &regressions {

@@ -33,7 +33,8 @@ use swatop::ops::{
 use swatop::scheduler::{Candidate, Operator, Scheduler};
 use swatop::telemetry::{SpanKind, Telemetry};
 use swatop::tuner::{
-    blackbox_tune_opts, model_tune_opts, pool, CheckpointPolicy, TuneOptions, TuneOutcome,
+    blackbox_tune_validated, model_tune_topk_validated, pool, CheckpointPolicy, TuneOptions,
+    TuneOutcome, WinnerValidator,
 };
 use swtensor::ConvShape;
 
@@ -45,9 +46,15 @@ fn usage() -> ! {
          swatop_cli bwd-data B NI NO RO [common flags]\n  \
          swatop_cli bwd-filter B NI NO RO [common flags]\n  \
          swatop_cli bench [--journal FILE] [--label L] [--repeats N] [--smoke]\n               \
-         [--handicap N] [--jobs N] [--faults SEED]\n               \
+         [--handicap N] [--jobs N] [--faults SEED] [--validate|--strict-validate]\n               \
          run the canonical bench set, appending journal records\n\
          common flags:\n  \
+         --validate        validate the winning schedule before reporting it\n                    \
+         (static legality check + differential functional run\n                    \
+         against the golden reference); a rejected winner is\n                    \
+         quarantined and the tuner falls back to the next-best\n  \
+         --strict-validate like --validate, but exit non-zero if any winner\n                    \
+         was quarantined (CI gate: zero quarantined winners)\n  \
          --jobs N          tuner worker threads (0/omitted = all cores, 1 = serial;\n                    \
          the chosen schedule is identical for every value)\n  \
          --out FILE        write generated C code\n  \
@@ -80,7 +87,7 @@ struct Args {
 }
 
 /// Flags that take no value argument.
-const BOOL_FLAGS: &[&str] = &["verbose", "json", "smoke"];
+const BOOL_FLAGS: &[&str] = &["verbose", "json", "smoke", "validate", "strict-validate"];
 
 fn parse_args(args: &[String]) -> Args {
     let mut positional = Vec::new();
@@ -121,6 +128,9 @@ struct Setup {
     /// `--telemetry`, `--trace-timeline` nor `--verbose` was given, which
     /// keeps the tuning hot path entirely uninstrumented.
     telemetry: Option<Telemetry>,
+    /// Validate winning schedules (`--validate` / `--strict-validate`) with
+    /// quarantine-and-fallback.
+    validate: bool,
 }
 
 impl Setup {
@@ -159,9 +169,11 @@ fn tune(
         opts.telemetry = Some(t.child_of(id));
         (t, id)
     });
+    let validator = |_: usize, c: &Candidate| swatop::ops::validate_candidate(cfg, op, c);
+    let v = setup.validate.then_some(&validator as &WinnerValidator);
     let outcome = match setup.tuner {
-        Tuner::Model => model_tune_opts(cfg, &cands, &opts),
-        Tuner::Blackbox => blackbox_tune_opts(cfg, &cands, &opts),
+        Tuner::Model => model_tune_topk_validated(cfg, &cands, 3, &opts, v),
+        Tuner::Blackbox => blackbox_tune_validated(cfg, &cands, &opts, v),
     };
     if let Some((t, id)) = span {
         t.close(id);
@@ -188,13 +200,14 @@ fn json_report(
     let mix = outcome.telemetry.as_ref().map(|t| t.mix).unwrap_or_default();
     format!(
         "{{\"operator\":\"{}\",\"schedule\":\"{}\",\"cycles\":{},\"gflops\":{},\
-         \"pct_peak_gflops\":{},\"bottleneck_mix\":{{\"dma\":{},\"compute\":{},\
-         \"stall\":{},\"spm_capacity\":{}}},\"telemetry\":{}}}",
+         \"pct_peak_gflops\":{},\"quarantined\":{},\"bottleneck_mix\":{{\"dma\":{},\
+         \"compute\":{},\"stall\":{},\"spm_capacity\":{}}},\"telemetry\":{}}}",
         escape_json(name),
         escape_json(&winner.describe),
         cycles,
         fmt_f64(gflops),
         fmt_f64(100.0 * gflops / peaks.gflops),
+        outcome.quarantined,
         mix.dma,
         mix.compute,
         mix.stall,
@@ -235,6 +248,18 @@ fn report(
                 "faults   : seed {seed}; {} of {} measured candidates failed, {} transient retries",
                 outcome.failed, outcome.executed, outcome.retried
             );
+        }
+        if outcome.quarantined > 0 {
+            println!(
+                "validate : {} prospective winner(s) quarantined; fell back to the \
+                 next-best legal schedule",
+                outcome.quarantined
+            );
+            for (i, r) in outcome.reports.iter().enumerate() {
+                if let Some(reason) = &r.quarantined {
+                    println!("           candidate {i}: {reason}");
+                }
+            }
         }
         if a.flags.contains_key("verbose") {
             if let Some(tel) = &outcome.telemetry {
@@ -309,13 +334,16 @@ fn main() {
     let instrument = ["telemetry", "trace-timeline", "verbose", "json"]
         .iter()
         .any(|f| a.flags.contains_key(*f));
+    let strict_validate = a.flags.contains_key("strict-validate");
     let setup = Setup {
         jobs,
         tuner,
         resume: resume.is_some(),
         checkpoint: resume.or_else(|| a.flags.get("checkpoint").map(PathBuf::from)),
         telemetry: instrument.then(Telemetry::new),
+        validate: a.flags.contains_key("validate") || strict_validate,
     };
+    let mut quarantined = 0usize;
     match cmd {
         "bench" => {
             let num = |k: &str, d: u64| {
@@ -327,11 +355,17 @@ fn main() {
                 smoke: a.flags.contains_key("smoke"),
                 handicap: num("handicap", 1),
                 faults: cfg.fault.map(|p| p.seed),
+                validate: setup.validate,
             };
             let repeats = num("repeats", 1);
+            let mut bench_quarantined = 0u64;
             for _ in 0..repeats {
                 let record = swatop_bench::journal::run_bench(&bench);
+                bench_quarantined += record.quarantined;
                 swatop_bench::journal::record_table(&record).print();
+                if record.quarantined > 0 {
+                    println!("validate : {} winner(s) quarantined this run", record.quarantined);
+                }
                 if let Some(path) = a.flags.get("journal") {
                     swatop_bench::journal::Journal::append(
                         std::path::Path::new(path),
@@ -341,12 +375,19 @@ fn main() {
                     println!("journal  : appended to {path}");
                 }
             }
+            if strict_validate && bench_quarantined > 0 {
+                eprintln!(
+                    "swatop_cli: --strict-validate: {bench_quarantined} quarantined winner(s)"
+                );
+                std::process::exit(1);
+            }
             return;
         }
         "gemm" => {
             let [m, n, k] = a.positional[..] else { usage() };
             let op = MatmulOp::new(m, n, k);
             let (winner, outcome) = tune(&cfg, &op, &setup, 0, 1).expect("no valid schedule");
+            quarantined += outcome.quarantined;
             report(&cfg, &op.name(), op.flops(), &winner, &outcome, &a, setup.telemetry.as_ref());
         }
         "conv" | "bwd-data" | "bwd-filter" => {
@@ -383,6 +424,7 @@ fn main() {
             let mut best: Option<(String, u64, Candidate, TuneOutcome)> = None;
             for (slot, op) in ops.iter().enumerate() {
                 if let Some((winner, outcome)) = tune(&cfg, op.as_ref(), &setup, slot, ops.len()) {
+                    quarantined += outcome.quarantined;
                     if best.as_ref().is_none_or(|(_, _, _, o)| outcome.cycles < o.cycles) {
                         best = Some((op.name(), op.flops(), winner, outcome));
                     }
@@ -416,5 +458,11 @@ fn main() {
             swatop_bench::report::telemetry_summary(tel, &cfg).print();
             swatop_bench::report::roofline_table(tel, &cfg).print();
         }
+    }
+    // The gate runs last so telemetry artifacts are still written for
+    // post-mortem inspection of the quarantined schedules.
+    if strict_validate && quarantined > 0 {
+        eprintln!("swatop_cli: --strict-validate: {quarantined} quarantined winner(s)");
+        std::process::exit(1);
     }
 }

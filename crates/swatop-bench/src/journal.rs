@@ -25,11 +25,19 @@ use swatop::observatory::{self, Bottleneck, BottleneckMix, Peaks};
 use swatop::telemetry::{mape, rank_correlation, Telemetry};
 use swatop::tuner::TuneOptions;
 
-use crate::runner::{tune_conv_opts, tune_gemm_opts, ConvMethod};
+use crate::runner::{tune_conv_checked, tune_gemm_checked, ConvMethod};
 use swtensor::ConvShape;
 
 /// Journal file format version; bump on breaking record changes.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// * v1 — initial format.
+/// * v2 — adds the `quarantined` count (winner-validation rejections) to
+///   each record. v1 records still parse (`quarantined` defaults to 0),
+///   but [`compare`] warns when the two sides mix schema versions.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest record schema still accepted by the parser.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Default journal location (relative to the workspace root, where
 /// `cargo run` executes).
@@ -68,6 +76,11 @@ pub struct Record {
     pub jobs: usize,
     /// Harness wall time over the whole op set, ms (after any handicap).
     pub wall_ms: f64,
+    /// Prospective winners quarantined by schedule validation across the
+    /// run's ops (0 when the run tuned without `--validate`, and on v1
+    /// records). A clean validated run must report 0 here — `journal
+    /// compare` gates on it not growing.
+    pub quarantined: u64,
     pub ops: Vec<OpBench>,
     /// Model MAPE over every (predicted, measured) pair of the run.
     pub mape_pct: Option<f64>,
@@ -83,13 +96,14 @@ impl Record {
         let _ = write!(
             s,
             "{{\"schema\":{},\"label\":\"{}\",\"rev\":\"{}\",\"unix_ms\":{},\"jobs\":{},\
-             \"wall_ms\":{}",
+             \"wall_ms\":{},\"quarantined\":{}",
             self.schema,
             escape_json(&self.label),
             escape_json(&self.rev),
             self.unix_ms,
             self.jobs,
-            fmt_f64(self.wall_ms)
+            fmt_f64(self.wall_ms),
+            self.quarantined
         );
         s.push_str(",\"ops\":[");
         for (i, op) in self.ops.iter().enumerate() {
@@ -127,8 +141,10 @@ impl Record {
 
     pub fn from_json(v: &Json) -> Result<Record, String> {
         let schema = v.field("schema")?.as_u64("schema")?;
-        if schema != SCHEMA_VERSION {
-            return Err(format!("unsupported record schema {schema} (expected {SCHEMA_VERSION})"));
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
+            return Err(format!(
+                "unsupported record schema {schema} (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
+            ));
         }
         let mut ops = Vec::new();
         for (i, o) in v.field("ops")?.as_arr("ops")?.iter().enumerate() {
@@ -159,6 +175,11 @@ impl Record {
             unix_ms: v.field("unix_ms")?.as_u64("unix_ms")?,
             jobs: v.field("jobs")?.as_u64("jobs")? as usize,
             wall_ms: v.field("wall_ms")?.as_f64("wall_ms")?,
+            // v1 records predate winner validation: absent means 0.
+            quarantined: match v.field("quarantined") {
+                Ok(f) => f.as_u64("quarantined")?,
+                Err(_) => 0,
+            },
             ops,
             mape_pct: v.field("mape_pct")?.as_opt_f64("mape_pct")?,
             rank_correlation: v.field("rank_correlation")?.as_opt_f64("rank_correlation")?,
@@ -198,8 +219,10 @@ impl Journal {
     pub fn validate(text: &str) -> Result<Journal, String> {
         let v = json::parse(text)?;
         let schema = v.field("schema")?.as_u64("schema")?;
-        if schema != SCHEMA_VERSION {
-            return Err(format!("unsupported journal schema {schema} (expected {SCHEMA_VERSION})"));
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
+            return Err(format!(
+                "unsupported journal schema {schema} (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
+            ));
         }
         let mut records = Vec::new();
         for (i, r) in v.field("records")?.as_arr("records")?.iter().enumerate() {
@@ -261,6 +284,10 @@ pub struct BenchOpts {
     pub handicap: u64,
     /// Fault-injection seed for the tuning run (`None` = clean machine).
     pub faults: Option<u64>,
+    /// Validate every winning schedule (static legality + differential
+    /// functional check) with quarantine-and-fallback; the record's
+    /// `quarantined` field counts the rejections.
+    pub validate: bool,
 }
 
 impl Default for BenchOpts {
@@ -271,6 +298,7 @@ impl Default for BenchOpts {
             smoke: false,
             handicap: 1,
             faults: None,
+            validate: false,
         }
     }
 }
@@ -324,16 +352,17 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
     let t0 = Instant::now();
     let mut tuned: Vec<(String, crate::runner::TunedOp)> = Vec::new();
     for (name, m, n, k) in &gemms {
-        if let Some(t) = tune_gemm_opts(&cfg, *m, *n, *k, &tune_opts) {
+        if let Some(t) = tune_gemm_checked(&cfg, *m, *n, *k, &tune_opts, opts.validate) {
             tuned.push((name.clone(), t));
         }
     }
     for (name, method, shape) in &convs {
-        if let Some(t) = tune_conv_opts(&cfg, *method, shape, &tune_opts) {
+        if let Some(t) = tune_conv_checked(&cfg, *method, shape, &tune_opts, opts.validate) {
             tuned.push((name.clone(), t));
         }
     }
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3 * opts.handicap as f64;
+    let quarantined: u64 = tuned.iter().map(|(_, t)| t.outcome.quarantined as u64).sum();
 
     // Winning-schedule roofline attribution from the rollups (the rollup
     // order matches tuning order: one operator span per op).
@@ -371,6 +400,7 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
         unix_ms,
         jobs: opts.jobs,
         wall_ms,
+        quarantined,
         ops,
         mape_pct: mape(&obs),
         rank_correlation: rank_correlation(&obs),
@@ -486,12 +516,45 @@ pub fn transition_lines(base: &[&Record], cand: &[&Record]) -> Vec<String> {
     out
 }
 
+/// Comparability warnings between the two sides of a [`compare`]: mixed
+/// record schema versions or mixed tuner job counts. Neither invalidates
+/// the deterministic cycles gates, but wall times measured under different
+/// `jobs` are not comparable, and mixed schemas mean one side lacks fields
+/// (e.g. v1 records implicitly report 0 quarantines). `journal compare`
+/// prints these as warnings; `--strict` turns them into gate failures.
+pub fn consistency_warnings(base: &[&Record], cand: &[&Record]) -> Vec<String> {
+    let distinct = |side: &[&Record], f: &dyn Fn(&Record) -> u64| -> Vec<u64> {
+        let mut vals: Vec<u64> = side.iter().map(|r| f(r)).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    };
+    let mut warnings = Vec::new();
+    for (what, f) in [
+        ("schema", &(|r: &Record| r.schema) as &dyn Fn(&Record) -> u64),
+        ("jobs", &|r: &Record| r.jobs as u64),
+    ] {
+        let (b, c) = (distinct(base, f), distinct(cand, f));
+        if !b.is_empty() && !c.is_empty() && b != c {
+            warnings.push(format!(
+                "{what} mismatch: baseline {b:?} vs candidate {c:?} — records are not \
+                 directly comparable"
+            ));
+        }
+    }
+    warnings
+}
+
 /// Noise-aware comparison of candidate records against baseline records.
 ///
 /// Wall time: candidate median may exceed baseline median by
 /// `max(wall_rel × baseline, mad_factor × MAD(baseline))`. Per-op tuned
 /// cycles: medians compared op-by-op (ops present on only one side are
-/// reported as regressions of coverage, not performance).
+/// reported as regressions of coverage, not performance). Quarantined
+/// winners: the candidate median must not exceed the baseline median at
+/// all — against a clean baseline this gates on *zero* quarantined
+/// winners, so a schedule-validation failure can never slip through a
+/// passing comparison.
 pub fn compare(base: &[&Record], cand: &[&Record], opts: &CompareOpts) -> Vec<Regression> {
     let mut regressions = Vec::new();
     if base.is_empty() || cand.is_empty() {
@@ -519,6 +582,21 @@ pub fn compare(base: &[&Record], cand: &[&Record], opts: &CompareOpts) -> Vec<Re
             baseline: base_wall,
             candidate: cand_wall,
             allowed: allowed_wall,
+        });
+    }
+
+    // Quarantined winners are deterministic (the validator is a pure
+    // function of the candidate), so the gate is exact: no growth allowed.
+    let med = |side: &[&Record]| {
+        median(&mut side.iter().map(|r| r.quarantined as f64).collect::<Vec<f64>>()).unwrap()
+    };
+    let (base_q, cand_q) = (med(base), med(cand));
+    if cand_q > base_q {
+        regressions.push(Regression {
+            what: "quarantined".to_string(),
+            baseline: base_q,
+            candidate: cand_q,
+            allowed: base_q,
         });
     }
 
@@ -574,6 +652,7 @@ mod tests {
             unix_ms: 1_700_000_000_000,
             jobs: 2,
             wall_ms: wall,
+            quarantined: 0,
             ops: vec![OpBench {
                 name: "gemm_256".to_string(),
                 cycles,
@@ -591,11 +670,60 @@ mod tests {
 
     #[test]
     fn record_round_trips_through_json() {
-        let r = sample_record("run \"quoted\"/β", 123.5, 42_000);
+        let mut r = sample_record("run \"quoted\"/β", 123.5, 42_000);
+        r.quarantined = 3;
         let json = r.to_json();
         validate_json(&json).unwrap();
         let back = Record::from_json(&json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn v1_records_without_quarantined_still_parse() {
+        // A v1 journal: old top-level schema, record lacking `quarantined`.
+        let r = sample_record("old", 50.0, 9_000);
+        let mut text = Journal { records: vec![r.clone()] }.to_json();
+        text = text
+            .replace("\"schema\":2", "\"schema\":1")
+            .replace(",\"quarantined\":0", "");
+        assert!(!text.contains("quarantined"));
+        let j = Journal::validate(&text).unwrap();
+        assert_eq!(j.records.len(), 1);
+        assert_eq!(j.records[0].quarantined, 0);
+        assert_eq!(j.records[0].schema, 1);
+        // Above the current version is still rejected.
+        let future = text.replace("\"schema\":1", "\"schema\":99");
+        assert!(Journal::validate(&future).is_err());
+    }
+
+    #[test]
+    fn compare_gates_on_quarantined_growth() {
+        let base = sample_record("base", 100.0, 10_000);
+        let mut cand = sample_record("cand", 100.0, 10_000);
+        cand.quarantined = 1;
+        let regs = compare(&[&base], &[&cand], &CompareOpts::default());
+        assert!(
+            regs.iter().any(|r| r.what == "quarantined"),
+            "quarantine growth must trip the gate: {regs:?}"
+        );
+        // Equal counts (both zero) pass.
+        let clean = sample_record("cand", 100.0, 10_000);
+        assert!(compare(&[&base], &[&clean], &CompareOpts::default()).is_empty());
+    }
+
+    #[test]
+    fn consistency_warnings_flag_schema_and_jobs_mixes() {
+        let a = sample_record("base", 100.0, 10_000);
+        let mut b = sample_record("cand", 100.0, 10_000);
+        assert!(consistency_warnings(&[&a], &[&b]).is_empty());
+        b.jobs = 8;
+        let w = consistency_warnings(&[&a], &[&b]);
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert!(w[0].contains("jobs mismatch"));
+        b.schema = 1;
+        let w = consistency_warnings(&[&a], &[&b]);
+        assert_eq!(w.len(), 2, "{w:?}");
+        assert!(w.iter().any(|m| m.contains("schema mismatch")));
     }
 
     #[test]

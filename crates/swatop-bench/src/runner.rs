@@ -12,9 +12,9 @@
 //!   schedule spaces are small.
 
 use sw26010::{Cycles, MachineConfig};
-use swatop::scheduler::{Operator, Scheduler};
+use swatop::scheduler::{Candidate, Operator, Scheduler};
 use swatop::telemetry::SpanKind;
-use swatop::tuner::{model_tune_opts, pool, TuneOptions, TuneOutcome};
+use swatop::tuner::{model_tune_topk_validated, pool, TuneOptions, TuneOutcome};
 use swatop::ops::{ExplicitConvOp, ImplicitConvOp, MatmulOp, WinogradConvOp};
 use swtensor::ConvShape;
 
@@ -65,7 +65,13 @@ impl TunedOp {
     }
 }
 
-fn tune(cfg: &MachineConfig, op: &dyn Operator, label: &str, opts: &TuneOptions) -> Option<TunedOp> {
+fn tune(
+    cfg: &MachineConfig,
+    op: &dyn Operator,
+    label: &str,
+    opts: &TuneOptions,
+    validate: bool,
+) -> Option<TunedOp> {
     let sched = Scheduler::new(cfg.clone());
     let cands = sched.enumerate(op);
     if cands.is_empty() {
@@ -80,7 +86,17 @@ fn tune(cfg: &MachineConfig, op: &dyn Operator, label: &str, opts: &TuneOptions)
         run_opts.telemetry = Some(t.child_of(id));
         (t.clone(), id)
     });
-    let outcome = model_tune_opts(cfg, &cands, &run_opts);
+    // The winner validator runs the static legality checker plus a full
+    // differential functional execution against the operator's golden
+    // reference; a rejected winner is quarantined and the tuner falls back.
+    let validator = |_: usize, c: &Candidate| swatop::ops::validate_candidate(cfg, op, c);
+    let outcome = model_tune_topk_validated(
+        cfg,
+        &cands,
+        3,
+        &run_opts,
+        validate.then_some(&validator as &swatop::tuner::WinnerValidator),
+    );
     if let Some((t, id)) = span {
         t.close(id);
     }
@@ -113,14 +129,29 @@ pub fn tune_conv_opts(
     shape: &ConvShape,
     opts: &TuneOptions,
 ) -> Option<TunedOp> {
+    tune_conv_checked(cfg, method, shape, opts, false)
+}
+
+/// [`tune_conv_opts`] with optional winner validation: when `validate` is
+/// set, the winning schedule must pass the static legality checker and a
+/// differential functional check before being reported; rejected winners
+/// are quarantined ([`TuneOutcome::quarantined`]) and the tuner falls back
+/// down the model ranking.
+pub fn tune_conv_checked(
+    cfg: &MachineConfig,
+    method: ConvMethod,
+    shape: &ConvShape,
+    opts: &TuneOptions,
+    validate: bool,
+) -> Option<TunedOp> {
     if !method.applicable(shape) {
         return None;
     }
     let label = conv_label(method, shape);
     match method {
-        ConvMethod::Implicit => tune(cfg, &ImplicitConvOp::new(*shape), &label, opts),
-        ConvMethod::Explicit => tune(cfg, &ExplicitConvOp::new(*shape), &label, opts),
-        ConvMethod::Winograd => tune(cfg, &WinogradConvOp::new(*shape), &label, opts),
+        ConvMethod::Implicit => tune(cfg, &ImplicitConvOp::new(*shape), &label, opts, validate),
+        ConvMethod::Explicit => tune(cfg, &ExplicitConvOp::new(*shape), &label, opts, validate),
+        ConvMethod::Winograd => tune(cfg, &WinogradConvOp::new(*shape), &label, opts, validate),
     }
 }
 
@@ -164,7 +195,20 @@ pub fn tune_gemm_opts(
     k: usize,
     opts: &TuneOptions,
 ) -> Option<TunedOp> {
-    tune(cfg, &MatmulOp::new(m, n, k), &format!("gemm {m}x{n}x{k}"), opts)
+    tune_gemm_checked(cfg, m, n, k, opts, false)
+}
+
+/// [`tune_gemm_opts`] with optional winner validation; see
+/// [`tune_conv_checked`].
+pub fn tune_gemm_checked(
+    cfg: &MachineConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    opts: &TuneOptions,
+    validate: bool,
+) -> Option<TunedOp> {
+    tune(cfg, &MatmulOp::new(m, n, k), &format!("gemm {m}x{n}x{k}"), opts, validate)
 }
 
 /// Tune every shape of a convolution sweep, one worker per shape (each

@@ -146,7 +146,7 @@ impl Interp<'_> {
                 if d.bcast.is_some() {
                     return self.dma_cpe_bcast(cg, d, env);
                 }
-                let spm_off = self.resolve_slot(&d.spm, env)?;
+                let spm_off = self.resolve_slot(cg, &d.spm, env)?;
                 let machine_buf = self.buf(d.buf)?;
                 let base = cg.mem.base(machine_buf);
                 let len = cg.mem.len_of(machine_buf);
@@ -228,9 +228,9 @@ impl Interp<'_> {
                 cg.dma_wait(r, *times)
             }
             Stmt::Gemm(g) => {
-                let a = self.mat(&g.a, env)?;
-                let b = self.mat(&g.b, env)?;
-                let c = self.mat(&g.c, env)?;
+                let a = self.mat(cg, &g.a, env)?;
+                let b = self.mat(cg, &g.b, env)?;
+                let c = self.mat(cg, &g.c, env)?;
                 swkernels::spm_gemm(cg, g.m, g.n, g.k, g.alpha, a, b, g.beta, c, g.vd)
             }
             Stmt::Transform(t) => self.transform(cg, t),
@@ -257,7 +257,7 @@ impl Interp<'_> {
                 "broadcast DMA is only defined for mem→SPM gets".into(),
             ));
         }
-        let spm_off = self.resolve_slot(&d.spm, env)?;
+        let spm_off = self.resolve_slot(cg, &d.spm, env)?;
         let machine_buf = self.buf(d.buf)?;
         let base = cg.mem.base(machine_buf);
         let len = cg.mem.len_of(machine_buf);
@@ -349,12 +349,21 @@ impl Interp<'_> {
         cg.dma_bcast(d.direction, &leader_reqs, &reqs, scatter, self.reply(d.reply)?)
     }
 
-    fn resolve_slot(&self, slot: &SpmSlot, env: &Env) -> MachineResult<usize> {
+    fn resolve_slot(
+        &self,
+        cg: &mut CoreGroup,
+        slot: &SpmSlot,
+        env: &Env,
+    ) -> MachineResult<usize> {
         let id = match slot {
             SpmSlot::Single(b) => *b,
             SpmSlot::Double { even, odd, sel } => {
                 let v = sel.eval(env, 0, 0);
-                if v.rem_euclid(2) == 0 {
+                // An armed swap-parity miscompile injection flips a sparse
+                // subset of resolutions (functional mode only) — the hazard
+                // the differential validator exists to catch.
+                let even_wins = (v.rem_euclid(2) == 0) ^ cg.miscompile_flip_parity();
+                if even_wins {
                     *even
                 } else {
                     *odd
@@ -370,8 +379,8 @@ impl Interp<'_> {
         })
     }
 
-    fn mat(&self, m: &MatDesc, env: &Env) -> MachineResult<SpmMatrix> {
-        Ok(SpmMatrix::new(self.resolve_slot(&m.slot, env)? + m.offset, m.layout, m.ld))
+    fn mat(&self, cg: &mut CoreGroup, m: &MatDesc, env: &Env) -> MachineResult<SpmMatrix> {
+        Ok(SpmMatrix::new(self.resolve_slot(cg, &m.slot, env)? + m.offset, m.layout, m.ld))
     }
 
     fn transform(&self, cg: &mut CoreGroup, t: &swatop_ir::TransformOp) -> MachineResult<()> {

@@ -24,6 +24,7 @@ pub use implicit_conv::ImplicitConvOp;
 pub use matmul::MatmulOp;
 pub use winograd_conv::WinogradConvOp;
 
+use sw26010::fault::MiscompilePlan;
 use sw26010::{CoreGroup, ExecMode, MachineConfig, MachineResult};
 use swatop_dsl::{SchedulePoint, ScheduleSpace};
 use swatop_ir::{MemRole, ScheduleHints};
@@ -94,20 +95,91 @@ pub fn verify_candidate(
     op: &dyn Operator,
     cand: &Candidate,
 ) -> MachineResult<f32> {
+    run_differential(cfg, op, cand, None).0
+}
+
+/// Differential execution core: run the candidate functionally (optionally
+/// under an armed miscompile injection) and return the max-abs-diff against
+/// the golden reference, plus the number of injection events that fired.
+fn run_differential(
+    cfg: &MachineConfig,
+    op: &dyn Operator,
+    cand: &Candidate,
+    mis: Option<MiscompilePlan>,
+) -> (MachineResult<f32>, u64) {
     let mut cg = CoreGroup::new(cfg.clone(), ExecMode::Functional);
+    cg.arm_miscompile(mis);
     let binding = instantiate(&mut cg, &cand.exe);
     let inputs = op.input_data(&cand.exe.program);
     let input_ids = cand.exe.program.bufs_with_role(MemRole::Input);
     assert_eq!(inputs.len(), input_ids.len(), "input count mismatch");
     for (id, data) in input_ids.iter().zip(&inputs) {
-        cg.mem.write(binding.bufs[id.0], 0, data)?;
+        if let Err(e) = cg.mem.write(binding.bufs[id.0], 0, data) {
+            return (Err(e), cg.miscompile_events());
+        }
     }
-    execute(&mut cg, &cand.exe, &binding)?;
+    if let Err(e) = execute(&mut cg, &cand.exe, &binding) {
+        return (Err(e), cg.miscompile_events());
+    }
     let out_ids = cand.exe.program.bufs_with_role(MemRole::Output);
     assert_eq!(out_ids.len(), 1, "operators declare exactly one output");
     let got = cg.mem.buffer(binding.bufs[out_ids[0].0]);
     let expect = op.reference_output(&inputs);
-    Ok(swtensor::compare::max_abs_diff(got, &expect))
+    (Ok(swtensor::compare::max_abs_diff(got, &expect)), cg.miscompile_events())
+}
+
+/// Fully validate a candidate before it may be reported as a tuning winner:
+/// the static legality checker first (cheap, catches structural hazards),
+/// then differential functional execution against the operator's golden
+/// reference under [`verify_tolerance`].
+///
+/// Validation always runs on a *fault-free* copy of `cfg`: injected
+/// transient faults belong to the measurement path, and a validator that
+/// could fail on a dropped batch would quarantine correct schedules
+/// non-deterministically. A returned `Err` is therefore a deterministic
+/// property of the candidate — never worth retrying.
+pub fn validate_candidate(
+    cfg: &MachineConfig,
+    op: &dyn Operator,
+    cand: &Candidate,
+) -> Result<(), String> {
+    let mut clean = cfg.clone();
+    clean.fault = None;
+    crate::optimizer::verify::verify_message(&cand.exe, &clean)
+        .map_err(|msg| format!("static: {msg}"))?;
+    let tol = verify_tolerance(op.flops());
+    match run_differential(&clean, op, cand, None).0 {
+        Err(e) => Err(format!("differential: functional execution failed: {e}")),
+        Ok(diff) if !diff.is_finite() || diff > tol => {
+            Err(format!("differential: max |err| {diff:.3e} exceeds tolerance {tol:.3e}"))
+        }
+        Ok(_) => Ok(()),
+    }
+}
+
+/// Self-test variant of [`validate_candidate`]: run only the differential
+/// stage with a seeded miscompile injection armed, returning the validation
+/// verdict and how many corruption events actually fired. Tests asserting
+/// "the validator catches class X" must require `events > 0`, otherwise a
+/// schedule that never exercised the corrupted path passes vacuously.
+pub fn validate_candidate_injected(
+    cfg: &MachineConfig,
+    op: &dyn Operator,
+    cand: &Candidate,
+    mis: MiscompilePlan,
+) -> (Result<(), String>, u64) {
+    let mut clean = cfg.clone();
+    clean.fault = None;
+    let tol = verify_tolerance(op.flops());
+    let (res, events) = run_differential(&clean, op, cand, Some(mis));
+    let verdict = match res {
+        Err(e) => Err(format!("differential: functional execution failed: {e}")),
+        Ok(diff) if !diff.is_finite() || diff > tol => {
+            Err(format!("differential: max |err| {diff:.3e} exceeds tolerance {tol:.3e}"))
+        }
+        Ok(_) => Ok(()),
+    };
+    (verdict, events)
 }
 
 /// Relative-error bound used when asserting functional correctness of

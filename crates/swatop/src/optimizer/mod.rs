@@ -7,12 +7,16 @@
 //! * [`prefetch`] — hide memory latency by double buffering, with
 //!   next-iteration index inference over the enclosing loop nest;
 //! * [`boundary`] — boundary-processing helpers: tile-size arithmetic and
-//!   the lightweight zero-padding plan used by the operator lowerings.
+//!   the lightweight zero-padding plan used by the operator lowerings;
+//! * [`verify`] — the static legality checker: walks a planned executable
+//!   and rejects DMA/compute hazards (use-before-reply, broken fused
+//!   chains, slot aliasing/overflow…) before any execution.
 
 pub mod boundary;
 pub mod coalesce;
 pub mod dma_inference;
 pub mod prefetch;
+pub mod verify;
 
 use swatop_ir::Program;
 

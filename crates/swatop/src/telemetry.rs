@@ -58,6 +58,9 @@ pub enum SpanKind {
     Candidate,
     /// One execution attempt of a candidate (retries produce several).
     Attempt,
+    /// Validating a prospective winner (static legality + differential
+    /// functional check); an `error` on the span means it was quarantined.
+    Validate,
 }
 
 impl SpanKind {
@@ -67,6 +70,7 @@ impl SpanKind {
             SpanKind::Operator => "operator",
             SpanKind::Candidate => "candidate",
             SpanKind::Attempt => "attempt",
+            SpanKind::Validate => "validate",
         }
     }
 }
@@ -365,6 +369,7 @@ impl Telemetry {
             mape_pct: acc.as_ref().and_then(|a| a.mape_pct),
             rank_correlation: acc.as_ref().and_then(|a| a.rank_correlation),
             misranked: acc.as_ref().map_or(0, |a| a.misranked.len()),
+            quarantined: 0,
             mix: BottleneckMix::default(),
         }
     }
@@ -462,6 +467,14 @@ impl Telemetry {
             out.push_str("]}");
         }
         out.push_str(&format!("],\"totals\":{}", counters_json(&self.totals())));
+        // Winner-validation outcomes: Validate spans with an error are
+        // quarantined winners (the error is the rejection reason).
+        let quarantines = self
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Validate && s.error.is_some())
+            .count();
+        out.push_str(&format!(",\"quarantines\":{quarantines}"));
         if let Some(p) = peaks {
             let mix = self.bottleneck_mix(p);
             out.push_str(&format!(
@@ -646,6 +659,9 @@ pub struct TuneTelemetry {
     pub rank_correlation: Option<f64>,
     /// Candidates misranked beyond the threshold.
     pub misranked: usize,
+    /// Prospective winners rejected by the validator and quarantined
+    /// (each forced a fallback to the next-best legal candidate).
+    pub quarantined: usize,
     /// Roofline bottleneck classes over every executed candidate
     /// ([`crate::observatory::classify`]): the run's dma / compute / stall /
     /// spm-capacity mix.

@@ -69,6 +69,11 @@ pub struct TuneOutcome {
     pub failed: usize,
     /// Total transient-failure retries consumed across all candidates.
     pub retried: u64,
+    /// Prospective winners rejected by the [`WinnerValidator`] and
+    /// quarantined; each one forced a fallback to the next-best legal
+    /// candidate. Always 0 when tuning without a validator. The reasons are
+    /// in [`CandReport::quarantined`].
+    pub quarantined: usize,
     /// Per-candidate measurement report, index-aligned with the input.
     pub reports: Vec<CandReport>,
     /// Condensed telemetry (counter totals, model accuracy, roofline
@@ -86,6 +91,11 @@ pub struct CandReport {
     pub samples: u32,
     /// Terminal error message, if the candidate failed.
     pub error: Option<String>,
+    /// Validator verdict, if this candidate was a prospective winner that
+    /// failed validation and was quarantined. Quarantine is distinct from
+    /// `error`: the candidate *measured* fine but computes the wrong answer
+    /// (or carries a statically illegal schedule).
+    pub quarantined: Option<String>,
 }
 
 impl CandReport {
@@ -93,14 +103,26 @@ impl CandReport {
         match cell {
             CandCell::Pending => CandReport::default(),
             CandCell::Done { retries, samples, .. } => {
-                CandReport { retries: *retries, samples: *samples, error: None }
+                CandReport { retries: *retries, samples: *samples, ..CandReport::default() }
             }
-            CandCell::Failed { error, retries } => {
-                CandReport { retries: *retries, samples: 0, error: Some(error.clone()) }
-            }
+            CandCell::Failed { error, retries } => CandReport {
+                retries: *retries,
+                error: Some(error.clone()),
+                ..CandReport::default()
+            },
         }
     }
 }
+
+/// Validates a prospective tuning winner `(input index, candidate)` before
+/// it may be reported. `Err` carries the human-readable reason; the tuner
+/// quarantines the candidate and falls back to the next-best one. The
+/// verdict must be a *pure function of the candidate* — deterministic and
+/// independent of measurement order — or quarantine decisions (and thus the
+/// reported winner) would vary across runs and job counts. The standard
+/// implementation is [`crate::ops::validate_candidate`] (static legality
+/// check + differential functional execution on a fault-free machine).
+pub type WinnerValidator<'v> = dyn Fn(usize, &Candidate) -> Result<(), String> + 'v;
 
 /// How the engine reacts to transient failures and measurement noise.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,6 +143,30 @@ pub struct RetryPolicy {
 impl Default for RetryPolicy {
     fn default() -> Self {
         RetryPolicy { max_attempts: 8, repeats: 3, backoff: Duration::from_micros(50) }
+    }
+}
+
+impl RetryPolicy {
+    /// Classify a failed execution attempt: retry only errors that can
+    /// plausibly go away on a fresh attempt. Deterministic failures —
+    /// malformed requests, kernel-contract violations ([`MachineError::BadKernelArgs`]),
+    /// out-of-bounds accesses, reply underflows — recur on every attempt
+    /// and must fail fast instead of burning the retry budget. Injected
+    /// [`MachineError::DmaFault`]s are always transient; an SPM overflow is
+    /// transient *only* when a fault plan is active (injected capacity
+    /// pressure may have caused it — the next attempt may get the scratch
+    /// pad back). Validation failures never reach this path at all: the
+    /// winner validator is a pure function of the candidate, so its
+    /// verdict is quarantined, not retried.
+    pub fn should_retry(&self, e: &MachineError, fault_active: bool) -> bool {
+        match e {
+            MachineError::DmaFault { .. } => true,
+            MachineError::SpmOverflow { .. } => fault_active,
+            _ => {
+                debug_assert!(e.is_deterministic());
+                false
+            }
+        }
     }
 }
 
@@ -315,10 +361,7 @@ fn measure_candidate(
             // SPM overflow is permanent on a perfect machine (prevalidation
             // bounds the footprint) but transient under injected capacity
             // pressure: the next attempt may get the scratch pad back.
-            Err(e)
-                if e.is_transient()
-                    || (fault_active && matches!(e, MachineError::SpmOverflow { .. })) =>
-            {
+            Err(e) if retry.should_retry(&e, fault_active) => {
                 retries += 1;
                 if let (Some(t), Some(id)) = (tel, span) {
                     let msg = e.to_string();
@@ -434,6 +477,9 @@ struct Engine<'a> {
     /// Machine counters per measured candidate (only kept when telemetry is
     /// attached; empty otherwise).
     counters: Vec<Counters>,
+    /// Prospective winners rejected by the validator: `(index, reason)` in
+    /// quarantine order.
+    quarantined: Vec<(usize, String)>,
 }
 
 impl<'a> Engine<'a> {
@@ -474,7 +520,34 @@ impl<'a> Engine<'a> {
             telemetry: opts.telemetry.clone(),
             predictions: Vec::new(),
             counters,
+            quarantined: Vec::new(),
         }
+    }
+
+    /// Run the winner validator on candidate `i`, recording a Validate span
+    /// (with the rejection reason as its error) when instrumented.
+    fn validate(&self, validator: &WinnerValidator, i: usize) -> Result<(), String> {
+        let span = self
+            .telemetry
+            .as_ref()
+            .map(|t| (t, t.open(SpanKind::Validate, self.candidates[i].describe.clone())));
+        let res = validator(i, &self.candidates[i]);
+        if let Some((t, id)) = span {
+            t.update(id, |s| {
+                s.index = Some(i);
+                if let Err(reason) = &res {
+                    s.error = Some(reason.clone());
+                }
+            });
+            t.close(id);
+        }
+        res
+    }
+
+    /// Quarantine a rejected winner. The caller must also clear it from its
+    /// own selection set so the fallback loop moves on.
+    fn quarantine(&mut self, index: usize, reason: String) {
+        self.quarantined.push((index, reason));
     }
 
     /// Remember model predictions for accuracy tracking (telemetry only;
@@ -559,8 +632,16 @@ impl<'a> Engine<'a> {
             }
             let mut summary = t.tune_summary(t.scope(), total);
             summary.mix = mix;
+            summary.quarantined = self.quarantined.len();
             summary
         });
+        let mut reports: Vec<CandReport> =
+            self.cells.iter().map(CandReport::from_cell).collect();
+        for (i, reason) in &self.quarantined {
+            if let Some(r) = reports.get_mut(*i) {
+                r.quarantined = Some(reason.clone());
+            }
+        }
         TuneOutcome {
             best,
             cycles,
@@ -571,7 +652,8 @@ impl<'a> Engine<'a> {
             cpu: self.cpu,
             failed: self.cells.iter().filter(|c| matches!(c, CandCell::Failed { .. })).count(),
             retried: self.cells.iter().map(|c| u64::from(c.retries())).sum(),
-            reports: self.cells.iter().map(CandReport::from_cell).collect(),
+            quarantined: self.quarantined.len(),
+            reports,
             telemetry,
         }
     }
@@ -603,6 +685,23 @@ pub fn blackbox_tune_opts(
     candidates: &[Candidate],
     opts: &TuneOptions,
 ) -> Option<TuneOutcome> {
+    blackbox_tune_validated(cfg, candidates, opts, None)
+}
+
+/// [`blackbox_tune_opts`] with winner validation and quarantine-and-fallback:
+/// before any candidate is reported as the winner it must pass `validator`.
+/// A rejected winner is quarantined (recorded in
+/// [`TuneOutcome::quarantined`] / [`CandReport::quarantined`], plus a
+/// telemetry Validate span) and the pick falls back to the next-best
+/// measured candidate; returns `None` only when *every* measurable candidate
+/// is quarantined. A validation failure is a deterministic property of the
+/// candidate — it is never retried (see [`RetryPolicy::should_retry`]).
+pub fn blackbox_tune_validated(
+    cfg: &MachineConfig,
+    candidates: &[Candidate],
+    opts: &TuneOptions,
+    validator: Option<&WinnerValidator>,
+) -> Option<TuneOutcome> {
     let start = Instant::now();
     let mut eng = Engine::new(cfg, candidates, opts);
     if eng.telemetry.is_some() {
@@ -616,7 +715,18 @@ pub fn blackbox_tune_opts(
     }
     let order: Vec<usize> = (0..candidates.len()).collect();
     eng.run(&order);
-    let (best, cycles) = best_of(&eng.all_cycles())?;
+    let mut chosen = eng.all_cycles();
+    let (best, cycles) = loop {
+        let (b, c) = best_of(&chosen)?;
+        let Some(v) = validator else { break (b, c) };
+        match eng.validate(v, b) {
+            Ok(()) => break (b, c),
+            Err(reason) => {
+                eng.quarantine(b, reason);
+                chosen[b] = None;
+            }
+        }
+    };
     Some(eng.outcome(start, best, cycles, candidates.len()))
 }
 
@@ -673,6 +783,24 @@ pub fn model_tune_topk_opts(
     k: usize,
     opts: &TuneOptions,
 ) -> Option<TuneOutcome> {
+    model_tune_topk_validated(cfg, candidates, k, opts, None)
+}
+
+/// [`model_tune_topk_opts`] with winner validation and
+/// quarantine-and-fallback. A quarantined winner first falls back within
+/// the measured top-k wave; once the wave is exhausted (every member failed
+/// or was quarantined) the tuner continues *down the model ranking* one
+/// candidate at a time — measure, then validate — until a legal winner
+/// emerges or the ranking runs out (`None`). This unifies the all-failed
+/// fallback of the serial tuner with quarantine fallback: both are "the
+/// wave produced nothing reportable".
+pub fn model_tune_topk_validated(
+    cfg: &MachineConfig,
+    candidates: &[Candidate],
+    k: usize,
+    opts: &TuneOptions,
+    validator: Option<&WinnerValidator>,
+) -> Option<TuneOutcome> {
     let start = Instant::now();
     let model = GemmModel::cached(cfg);
     let mut eng = Engine::new(cfg, candidates, opts);
@@ -689,18 +817,31 @@ pub fn model_tune_topk_opts(
     // Consider only indices this run actually targeted: a resumed
     // checkpoint may hold measurements for candidates outside the wave
     // (e.g. from a black-box sweep), and those must not leak into the pick.
-    let mut best = wave
-        .iter()
-        .filter_map(|&i| eng.cells[i].cycles().map(|c| (i, c)))
-        .min_by_key(|&(i, c)| (c, i));
-    let mut rest = ranked.iter().skip(wave.len());
-    while best.is_none() {
-        let Some(&(i, _)) = rest.next() else { break };
-        eng.run(&[i]);
-        executed += 1;
-        best = eng.cells[i].cycles().map(|c| (i, c));
+    let mut chosen: Vec<Option<Cycles>> = vec![None; candidates.len()];
+    for &i in &wave {
+        chosen[i] = eng.cells[i].cycles();
     }
-    let (best, cycles) = best?;
+    let mut rest = ranked.iter().skip(wave.len());
+    let (best, cycles) = loop {
+        match best_of(&chosen) {
+            Some((b, c)) => {
+                let Some(v) = validator else { break (b, c) };
+                match eng.validate(v, b) {
+                    Ok(()) => break (b, c),
+                    Err(reason) => {
+                        eng.quarantine(b, reason);
+                        chosen[b] = None;
+                    }
+                }
+            }
+            None => {
+                let &(i, _) = rest.next()?;
+                eng.run(&[i]);
+                executed += 1;
+                chosen[i] = eng.cells[i].cycles();
+            }
+        }
+    };
     Some(eng.outcome(start, best, cycles, executed))
 }
 

@@ -120,6 +120,7 @@ impl<'a> Sampler<'a> {
             cpu: self.cpu,
             failed,
             retried: self.cells.iter().map(|c| u64::from(c.retries())).sum(),
+            quarantined: 0,
             reports: self.cells.iter().map(CandReport::from_cell).collect(),
             telemetry: self
                 .tel
