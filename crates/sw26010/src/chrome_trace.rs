@@ -83,6 +83,17 @@ pub fn to_chrome_json(trace: &Trace, clock_ghz: f64) -> String {
                 &mut out,
                 &mut first,
             ),
+            Event::Regcomm { at, cycles, bytes } => emit(
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\
+                     \"pid\":0,\"tid\":1,\"ts\":{:.3},\"dur\":{:.3}}}",
+                    escape_json(&format!("regcomm scatter {bytes}B")),
+                    us(at.get(), clock_ghz),
+                    us(cycles.get(), clock_ghz)
+                ),
+                &mut out,
+                &mut first,
+            ),
         }
     }
     // Track names.

@@ -392,6 +392,12 @@ impl CoreGroup {
                 bus_bytes: bus,
                 tag,
             });
+            let scatter_bytes = (payload / 8) * 7;
+            self.trace.push(Event::Regcomm {
+                at: finish.saturating_sub(scatter),
+                cycles: scatter,
+                bytes: scatter_bytes,
+            });
         }
         self.reply_mut(reply)?.push(finish);
         self.next_tag += 1;
@@ -423,6 +429,25 @@ impl CoreGroup {
         }
         self.counters.dma_bcast_batches += 1;
         self.counters.regcomm_bytes += (payload_bytes as u64 / 8) * 7;
+        // Pure observation — the cost-only profiler reads the same event
+        // stream the functional path records; no clock is touched.
+        if self.trace.is_enabled() {
+            let at = self.now;
+            let tag = self.next_tag;
+            self.trace.push(Event::DmaIssue {
+                at,
+                done: finish,
+                direction: DmaDirection::MemToSpm,
+                payload_bytes,
+                bus_bytes,
+                tag,
+            });
+            self.trace.push(Event::Regcomm {
+                at: finish.saturating_sub(scatter),
+                cycles: scatter,
+                bytes: (payload_bytes / 8) * 7,
+            });
+        }
         self.reply_mut(reply)?.push(finish);
         self.next_tag += 1;
         Ok(())
@@ -434,6 +459,21 @@ impl CoreGroup {
     /// to issuing the equivalent batch through [`CoreGroup::dma`].
     pub fn dma_totals(
         &mut self,
+        bus_bytes: usize,
+        blocks: usize,
+        payload_bytes: usize,
+        reply: ReplyId,
+    ) -> MachineResult<()> {
+        self.dma_totals_directed(DmaDirection::MemToSpm, bus_bytes, blocks, payload_bytes, reply)
+    }
+
+    /// [`CoreGroup::dma_totals`] with an explicit transfer direction, so the
+    /// trace (and the timelines built from it) labels cost-only batches
+    /// correctly. `dma_totals` itself defaults to mem→SPM for callers that
+    /// don't care.
+    pub fn dma_totals_directed(
+        &mut self,
+        direction: DmaDirection,
         bus_bytes: usize,
         blocks: usize,
         payload_bytes: usize,
@@ -453,6 +493,20 @@ impl CoreGroup {
         self.counters.dma_bus_bytes += bus_bytes as u64;
         if !chained {
             self.counters.dma_batches += 1;
+        }
+        // Pure observation — no clock is touched; with the trace disabled
+        // this path is bit-identical to the pre-profiler behaviour.
+        if self.trace.is_enabled() {
+            let at = self.now;
+            let tag = self.next_tag;
+            self.trace.push(Event::DmaIssue {
+                at,
+                done: finish,
+                direction,
+                payload_bytes,
+                bus_bytes,
+                tag,
+            });
         }
         self.reply_mut(reply)?.push(finish);
         self.next_tag += 1;

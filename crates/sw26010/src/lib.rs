@@ -62,6 +62,7 @@ pub mod gldst;
 pub mod json;
 pub mod mem;
 pub mod pipeline;
+pub mod profile;
 pub mod regcomm;
 pub mod spm;
 pub mod trace;

@@ -24,6 +24,9 @@ pub enum Event {
     Gemm { at: Cycles, cycles: Cycles, m: usize, n: usize, k: usize },
     /// Scalar / auxiliary compute on the CPEs.
     Compute { at: Cycles, cycles: Cycles, what: &'static str },
+    /// Register-communication traffic: the scatter phase of a broadcast DMA
+    /// batch, serialised after the leader fetch completes.
+    Regcomm { at: Cycles, cycles: Cycles, bytes: usize },
 }
 
 /// Bounded event trace. Disabled (zero-cost) by default.
@@ -32,15 +35,16 @@ pub struct Trace {
     enabled: bool,
     events: Vec<Event>,
     cap: usize,
+    truncated: bool,
 }
 
 impl Trace {
     pub fn disabled() -> Self {
-        Trace { enabled: false, events: Vec::new(), cap: 0 }
+        Trace { enabled: false, events: Vec::new(), cap: 0, truncated: false }
     }
 
     pub fn enabled(cap: usize) -> Self {
-        Trace { enabled: true, events: Vec::new(), cap }
+        Trace { enabled: true, events: Vec::new(), cap, truncated: false }
     }
 
     #[inline]
@@ -50,9 +54,23 @@ impl Trace {
 
     #[inline]
     pub fn push(&mut self, e: Event) {
-        if self.enabled && self.events.len() < self.cap {
-            self.events.push(e);
+        if !self.enabled {
+            return;
         }
+        if self.events.len() < self.cap {
+            self.events.push(e);
+        } else {
+            // The bounded cap dropped this event: remember it, so consumers
+            // (timeline builder, exporters) can flag the clipped window
+            // instead of presenting a silently incomplete execution.
+            self.truncated = true;
+        }
+    }
+
+    /// Did the bounded cap drop any event? A truncated trace still holds
+    /// the first `cap` events, but timelines built from it are incomplete.
+    pub fn truncated(&self) -> bool {
+        self.truncated
     }
 
     pub fn events(&self) -> &[Event] {
@@ -61,6 +79,7 @@ impl Trace {
 
     pub fn clear(&mut self) {
         self.events.clear();
+        self.truncated = false;
     }
 
     /// Total cycles the compute stream stalled waiting on DMA.
@@ -75,6 +94,8 @@ impl Trace {
     }
 
     /// Number of events of each broad kind (issue, wait, gemm, compute).
+    /// Regcomm scatters describe a slice of the DMA batch that produced
+    /// them, not a new machine operation, so they are not counted here.
     pub fn counts(&self) -> (usize, usize, usize, usize) {
         let mut c = (0, 0, 0, 0);
         for e in &self.events {
@@ -83,6 +104,7 @@ impl Trace {
                 Event::DmaWait { .. } => c.1 += 1,
                 Event::Gemm { .. } => c.2 += 1,
                 Event::Compute { .. } => c.3 += 1,
+                Event::Regcomm { .. } => {}
             }
         }
         c
@@ -107,6 +129,22 @@ mod tests {
             t.push(Event::Compute { at: Cycles(i), cycles: Cycles(1), what: "x" });
         }
         assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn truncation_is_flagged_and_cleared() {
+        let mut t = Trace::enabled(1);
+        t.push(Event::Compute { at: Cycles(0), cycles: Cycles(1), what: "x" });
+        assert!(!t.truncated(), "within cap: not truncated");
+        t.push(Event::Compute { at: Cycles(1), cycles: Cycles(1), what: "y" });
+        assert!(t.truncated(), "over cap: flagged");
+        assert_eq!(t.events().len(), 1, "dropped events stay dropped");
+        t.clear();
+        assert!(!t.truncated(), "clear resets the flag");
+        // A disabled trace never truncates — it records nothing at all.
+        let mut d = Trace::disabled();
+        d.push(Event::Compute { at: Cycles(0), cycles: Cycles(1), what: "x" });
+        assert!(!d.truncated());
     }
 
     #[test]

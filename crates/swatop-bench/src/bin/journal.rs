@@ -15,8 +15,8 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use swatop_bench::journal::{
-    compare, consistency_warnings, transition_lines, CompareOpts, Journal, record_table,
-    DEFAULT_PATH,
+    compare, consistency_warnings, convergence_lines, transition_lines, trend_lines,
+    CompareOpts, Journal, record_table, DEFAULT_PATH,
 };
 
 /// Flags that take no value.
@@ -86,14 +86,26 @@ fn main() {
             if records.is_empty() {
                 println!("{}: no matching records", path.display());
             }
-            for r in records {
+            for r in &records {
                 record_table(r).print();
                 println!(
-                    "  model: mape {} %, rank corr {}; mix: {}\n",
+                    "  model: mape {} %, rank corr {}; mix: {}",
                     r.mape_pct.map_or_else(|| "-".into(), |v| format!("{v:.2}")),
                     r.rank_correlation.map_or_else(|| "-".into(), |v| format!("{v:.3}")),
                     r.mix.summary()
                 );
+                for line in convergence_lines(r) {
+                    println!("  search: {line}");
+                }
+                println!();
+            }
+            // The cross-record trajectory: per-op GFLOPS with deltas.
+            let trends = trend_lines(&records);
+            if !trends.is_empty() {
+                println!("GFLOPS trend across {} record(s):", records.len());
+                for line in trends {
+                    println!("  {line}");
+                }
             }
         }
         "compare" => {

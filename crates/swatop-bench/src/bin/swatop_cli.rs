@@ -6,6 +6,9 @@
 //!            [--kernel K] [--stride S] [--pad P] [--out FILE] [--trace FILE]
 //! swatop_cli bwd-data B NI NO RO [--out FILE]
 //! swatop_cli bwd-filter B NI NO RO [--out FILE]
+//! swatop_cli profile gemm M N K [--candidate N | --select SUBSTR]
+//!            [--diff N | --diff-select SUBSTR] [--out FILE] [--perfetto FILE]
+//! swatop_cli profile conv B NI NO RO [--method implicit|winograd|explicit] [...]
 //! ```
 //!
 //! Tunes the requested operator with the performance-model autotuner,
@@ -33,8 +36,8 @@ use swatop::ops::{
 use swatop::scheduler::{Candidate, Operator, Scheduler};
 use swatop::telemetry::{SpanKind, Telemetry};
 use swatop::tuner::{
-    blackbox_tune_validated, model_tune_topk_validated, pool, CheckpointPolicy, TuneOptions,
-    TuneOutcome, WinnerValidator,
+    blackbox_tune_validated, model_tune, model_tune_topk_validated, pool, CheckpointPolicy,
+    TuneOptions, TuneOutcome, WinnerValidator,
 };
 use swtensor::ConvShape;
 
@@ -47,7 +50,14 @@ fn usage() -> ! {
          swatop_cli bwd-filter B NI NO RO [common flags]\n  \
          swatop_cli bench [--journal FILE] [--label L] [--repeats N] [--smoke]\n               \
          [--handicap N] [--jobs N] [--faults SEED] [--validate|--strict-validate]\n               \
-         run the canonical bench set, appending journal records\n\
+         [--corpus FILE]\n               \
+         run the canonical bench set, appending journal records\n  \
+         swatop_cli profile gemm M N K | conv B NI NO RO [--method M] [--kernel K]\n               \
+         [--candidate N | --select SUBSTR]   pick candidate A (default: tuned winner)\n               \
+         [--diff N | --diff-select SUBSTR]   diff mode: compare A against candidate B\n               \
+         [--out FILE]                        profile (or diff) JSON artifact\n               \
+         [--perfetto FILE]                   cycle-resolved timeline for ui.perfetto.dev\n               \
+         cycle-resolved per-engine profile of one enumerated schedule\n\
          common flags:\n  \
          --validate        validate the winning schedule before reporting it\n                    \
          (static legality check + differential functional run\n                    \
@@ -76,7 +86,10 @@ fn usage() -> ! {
          rank correlation) and the per-candidate roofline table\n                    \
          (bottleneck class, % of peak GFLOPS / DMA bandwidth)\n  \
          --json            machine-readable result: one JSON object on stdout\n                    \
-         (result summary + full telemetry snapshot), no human text"
+         (result summary + full telemetry snapshot), no human text\n  \
+         --corpus FILE     write the feature corpus: one JSONL row per measured\n                    \
+         candidate (knobs, counters, cycles, bottleneck), sorted\n                    \
+         by (operator, index) so bytes are --jobs-independent"
     );
     std::process::exit(2);
 }
@@ -309,12 +322,156 @@ fn report(
     }
 }
 
+/// The `profile` subcommand: re-run one enumerated candidate cost-only with
+/// tracing enabled and report where its cycles go (per-engine busy spans,
+/// prologue/steady/epilogue phases). With `--diff`, profile a second
+/// candidate of the same operator and attribute the cycle delta to the
+/// schedule knobs that changed.
+fn run_profile(argv: &[String]) {
+    use swatop::profiler::{
+        diff, diff_json, diff_report, profile_candidate, profile_json, profile_perfetto,
+        CandidateProfile, PROFILE_TRACE_CAP,
+    };
+
+    let Some(sub) = argv.first() else { usage() };
+    let a = parse_args(&argv[1..]);
+    // Profiles always run on the clean machine: they explain where a
+    // schedule's cycles go, which fault jitter would only blur.
+    let cfg = MachineConfig::default();
+    let op: Box<dyn Operator> = match sub.as_str() {
+        "gemm" => {
+            let [m, n, k] = a.positional[..] else { usage() };
+            Box::new(MatmulOp::new(m, n, k))
+        }
+        "conv" => {
+            let [b, ni, no, ro] = a.positional[..] else { usage() };
+            let get = |key: &str, d: usize| {
+                a.flags.get(key).map_or(d, |v| v.parse().unwrap_or_else(|_| usage()))
+            };
+            let shape = ConvShape {
+                b,
+                ni,
+                no,
+                ro,
+                co: ro,
+                kr: get("kernel", 3),
+                kc: get("kernel", 3),
+                stride: get("stride", 1),
+                pad: get("pad", 0),
+            };
+            // A profile is of *one* schedule space, so `auto` (which races
+            // three decompositions) makes no sense here; default implicit.
+            match a.flags.get("method").map(String::as_str).unwrap_or("implicit") {
+                "implicit" => Box::new(ImplicitConvOp::new(shape)),
+                "winograd" => Box::new(WinogradConvOp::new(shape)),
+                "explicit" => Box::new(ExplicitConvOp::new(shape)),
+                _ => usage(),
+            }
+        }
+        _ => usage(),
+    };
+    let cands = Scheduler::new(cfg.clone()).enumerate(op.as_ref());
+    let name = op.name();
+    // Candidate selection: by enumeration index, by describe substring, or
+    // (for the primary only) defaulting to the model tuner's winner.
+    let select = |cand_flag: &str, select_flag: &str| -> Option<usize> {
+        if let Some(v) = a.flags.get(cand_flag) {
+            let i: usize = v.parse().unwrap_or_else(|_| usage());
+            if i >= cands.len() {
+                eprintln!(
+                    "swatop_cli: --{cand_flag} {i} out of range ({} candidates)",
+                    cands.len()
+                );
+                std::process::exit(2);
+            }
+            return Some(i);
+        }
+        a.flags.get(select_flag).map(|s| {
+            cands.iter().position(|c| c.describe.contains(s.as_str())).unwrap_or_else(|| {
+                eprintln!("swatop_cli: no candidate matches --{select_flag} {s:?}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let a_idx = select("candidate", "select").unwrap_or_else(|| {
+        // Default: profile what you'd ship — the model tuner's winner.
+        model_tune(&cfg, &cands).expect("tuning failed").best
+    });
+    let profile = |i: usize| -> CandidateProfile {
+        profile_candidate(&cfg, &name, i, &cands[i]).expect("profile run")
+    };
+    let pa = profile(a_idx);
+
+    if let Some(b_idx) = select("diff", "diff-select") {
+        let pb = profile(b_idx);
+        let d = diff(&pa, &pb);
+        print!("{}", diff_report(&d));
+        if let Some(path) = a.flags.get("out") {
+            std::fs::write(path, diff_json(&d)).expect("write diff JSON");
+            println!("diff     : {path}");
+        }
+        return;
+    }
+
+    println!("operator : {name}");
+    println!("candidate: #{} of {}", pa.index, cands.len());
+    println!("schedule : {}", pa.describe);
+    println!("cycles   : {} (bottleneck: {})", pa.cycles.get(), pa.bottleneck.name());
+    let t = &pa.timeline;
+    println!(
+        "timeline : {} cycles traced over {} events; dma busy {}, compute busy {}, \
+         overlap {}, stall {}, regcomm {}",
+        t.total,
+        t.events,
+        t.dma_busy(),
+        t.compute_busy(),
+        t.overlap_cycles(),
+        t.stall_cycles(),
+        t.regcomm_cycles()
+    );
+    if t.truncated {
+        println!(
+            "warning  : trace truncated at {PROFILE_TRACE_CAP} events; \
+             the profile covers only a prefix of the run"
+        );
+    }
+    println!(
+        "  {:<9} {:>12} {:>7} {:>7} {:>10} {:>10}",
+        "phase", "cycles", "dma%", "comp%", "stall", "overlap"
+    );
+    for p in &t.phases {
+        println!(
+            "  {:<9} {:>12} {:>6.1}% {:>6.1}% {:>10} {:>10}",
+            p.kind.name(),
+            p.cycles(),
+            100.0 * p.dma_occupancy(),
+            100.0 * p.compute_occupancy(),
+            p.stall,
+            p.overlap
+        );
+    }
+    if let Some(path) = a.flags.get("out") {
+        std::fs::write(path, profile_json(&pa)).expect("write profile JSON");
+        println!("profile  : {path}");
+    }
+    if let Some(path) = a.flags.get("perfetto") {
+        std::fs::write(path, profile_perfetto(&pa, cfg.clock_ghz)).expect("write perfetto JSON");
+        println!("perfetto : {path} (open in ui.perfetto.dev)");
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
         usage();
     }
     let cmd = argv[0].as_str();
+    if cmd == "profile" {
+        // `profile` takes its own sub-operator word before the numeric
+        // positionals, so it parses from argv[2].
+        run_profile(&argv[1..]);
+        return;
+    }
     let a = parse_args(&argv[1..]);
     let fault = a
         .flags
@@ -331,7 +488,7 @@ fn main() {
         _ => usage(),
     };
     let resume = a.flags.get("resume").map(PathBuf::from);
-    let instrument = ["telemetry", "trace-timeline", "verbose", "json"]
+    let instrument = ["telemetry", "trace-timeline", "verbose", "json", "corpus"]
         .iter()
         .any(|f| a.flags.contains_key(*f));
     let strict_validate = a.flags.contains_key("strict-validate");
@@ -356,6 +513,7 @@ fn main() {
                 handicap: num("handicap", 1),
                 faults: cfg.fault.map(|p| p.seed),
                 validate: setup.validate,
+                corpus: a.flags.get("corpus").map(PathBuf::from),
             };
             let repeats = num("repeats", 1);
             let mut bench_quarantined = 0u64;
@@ -451,6 +609,13 @@ fn main() {
                 .expect("write timeline JSON");
             if !json_mode {
                 println!("timeline : {path} (open in ui.perfetto.dev)");
+            }
+        }
+        if let Some(path) = a.flags.get("corpus") {
+            let rows = swatop::profiler::feature_rows(tel, &peaks);
+            std::fs::write(path, swatop::profiler::corpus_text(&rows)).expect("write corpus");
+            if !json_mode {
+                println!("corpus   : {path} ({} rows)", rows.len());
             }
         }
         if a.flags.contains_key("verbose") && !json_mode {

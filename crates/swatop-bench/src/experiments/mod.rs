@@ -196,6 +196,7 @@ impl Opts {
             handicap: self.journal_handicap,
             faults: self.faults,
             validate: false,
+            corpus: None,
         };
         let record = crate::journal::run_bench(&bench);
         let path = std::path::Path::new(crate::journal::DEFAULT_PATH);

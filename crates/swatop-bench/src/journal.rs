@@ -34,7 +34,10 @@ use swtensor::ConvShape;
 /// * v2 — adds the `quarantined` count (winner-validation rejections) to
 ///   each record. v1 records still parse (`quarantined` defaults to 0),
 ///   but [`compare`] warns when the two sides mix schema versions.
-pub const SCHEMA_VERSION: u64 = 2;
+/// * v3 — adds per-op search-trajectory fields: the `tuner` kind that
+///   produced the winner and the `convergence` curve (best-so-far cycles
+///   vs. candidates evaluated). Older records parse with an empty curve.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest record schema still accepted by the parser.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -60,6 +63,13 @@ pub struct OpBench {
     /// Schedule-point description (`knob=value` list) of the winning
     /// candidate; empty on records written before the field existed.
     pub schedule: String,
+    /// Tuner kind that produced the winner (e.g. `"model"`); empty on
+    /// pre-v3 records.
+    pub tuner: String,
+    /// Convergence curve of the tuning run: `(candidates evaluated,
+    /// best-so-far cycles)` at every improvement, in the tuner's
+    /// deterministic evaluation order. Empty on pre-v3 records.
+    pub convergence: Vec<(u64, u64)>,
 }
 
 /// One journal entry: a full run of the canonical benchmark set.
@@ -113,15 +123,24 @@ impl Record {
             let _ = write!(
                 s,
                 "{{\"name\":\"{}\",\"cycles\":{},\"gflops\":{},\"pct_peak_gflops\":{},\
-                 \"pct_peak_dma_bw\":{},\"bottleneck\":\"{}\",\"schedule\":\"{}\"}}",
+                 \"pct_peak_dma_bw\":{},\"bottleneck\":\"{}\",\"schedule\":\"{}\",\
+                 \"tuner\":\"{}\",\"convergence\":[",
                 escape_json(&op.name),
                 op.cycles,
                 fmt_f64(op.gflops),
                 fmt_f64(op.pct_peak_gflops),
                 fmt_f64(op.pct_peak_dma_bw),
                 op.bottleneck.name(),
-                escape_json(&op.schedule)
+                escape_json(&op.schedule),
+                escape_json(&op.tuner)
             );
+            for (j, (n, c)) in op.convergence.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "[{n},{c}]");
+            }
+            s.push_str("]}");
         }
         s.push(']');
         let opt = |x: Option<f64>| x.map_or_else(|| "null".to_string(), fmt_f64);
@@ -156,6 +175,26 @@ impl Record {
                 Ok(f) => f.as_str(&what("schedule"))?.to_string(),
                 Err(_) => String::new(),
             };
+            // Pre-v3 records have neither the tuner kind nor the curve.
+            let tuner = match o.field("tuner") {
+                Ok(f) => f.as_str(&what("tuner"))?.to_string(),
+                Err(_) => String::new(),
+            };
+            let convergence = match o.field("convergence") {
+                Ok(f) => {
+                    let mut curve = Vec::new();
+                    for (j, pt) in f.as_arr(&what("convergence"))?.iter().enumerate() {
+                        let w = what(&format!("convergence[{j}]"));
+                        let pair = pt.as_arr(&w)?;
+                        if pair.len() != 2 {
+                            return Err(format!("{w}: expected [evaluated, cycles]"));
+                        }
+                        curve.push((pair[0].as_u64(&w)?, pair[1].as_u64(&w)?));
+                    }
+                    curve
+                }
+                Err(_) => Vec::new(),
+            };
             ops.push(OpBench {
                 name: o.field("name")?.as_str(&what("name"))?.to_string(),
                 cycles: o.field("cycles")?.as_u64(&what("cycles"))?,
@@ -165,6 +204,8 @@ impl Record {
                 bottleneck: Bottleneck::parse(bname)
                     .ok_or_else(|| format!("{}: unknown class {bname:?}", what("bottleneck")))?,
                 schedule,
+                tuner,
+                convergence,
             });
         }
         let mix = v.field("mix")?;
@@ -288,6 +329,9 @@ pub struct BenchOpts {
     /// functional check) with quarantine-and-fallback; the record's
     /// `quarantined` field counts the rejections.
     pub validate: bool,
+    /// Write the feature corpus (one JSONL row per measured candidate,
+    /// sorted by `(operator, index)` so bytes are `--jobs`-independent).
+    pub corpus: Option<std::path::PathBuf>,
 }
 
 impl Default for BenchOpts {
@@ -299,6 +343,7 @@ impl Default for BenchOpts {
             handicap: 1,
             faults: None,
             validate: false,
+            corpus: None,
         }
     }
 }
@@ -384,7 +429,15 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
             pct_peak_dma_bw: a.metrics.get("pct_peak_dma_bw").unwrap_or(0.0),
             bottleneck: a.bottleneck,
             schedule: t.schedule.clone(),
+            // The runner's checked tuners are all model-guided top-k.
+            tuner: "model".to_string(),
+            convergence: t.outcome.convergence.clone(),
         });
+    }
+
+    if let Some(path) = &opts.corpus {
+        let rows = swatop::profiler::feature_rows(&tel, &peaks);
+        std::fs::write(path, swatop::profiler::corpus_text(&rows)).expect("write corpus");
     }
 
     let obs: Vec<(f64, f64)> =
@@ -514,6 +567,63 @@ pub fn transition_lines(base: &[&Record], cand: &[&Record]) -> Vec<String> {
         ));
     }
     out
+}
+
+/// Per-op GFLOPS trend across a sequence of records (oldest first): one
+/// line per op name in first-appearance order, listing each record's
+/// GFLOPS with the delta vs. the previous sample — the bench trajectory at
+/// a glance, no JSON spelunking (e.g.
+/// `gemm_256: 16.0, 42.5 (+26.5), 61.2 (+18.7) GFLOPS`).
+pub fn trend_lines(records: &[&Record]) -> Vec<String> {
+    let mut names: Vec<&str> = Vec::new();
+    for r in records {
+        for op in &r.ops {
+            if !names.contains(&op.name.as_str()) {
+                names.push(&op.name);
+            }
+        }
+    }
+    names
+        .into_iter()
+        .map(|name| {
+            let samples: Vec<f64> = records
+                .iter()
+                .flat_map(|r| r.ops.iter().filter(|o| o.name == name).map(|o| o.gflops))
+                .collect();
+            let mut parts = Vec::with_capacity(samples.len());
+            for (i, g) in samples.iter().enumerate() {
+                if i == 0 {
+                    parts.push(format!("{g:.1}"));
+                } else {
+                    parts.push(format!("{g:.1} ({:+.1})", g - samples[i - 1]));
+                }
+            }
+            format!("{name}: {} GFLOPS", parts.join(", "))
+        })
+        .collect()
+}
+
+/// One-line convergence summary per op of a record (empty for pre-v3
+/// records): how fast the search found its winner, e.g.
+/// `gemm_256 [model]: best 42000 cycles after 7/31 improvements at eval 18`.
+pub fn convergence_lines(r: &Record) -> Vec<String> {
+    r.ops
+        .iter()
+        .filter(|op| !op.convergence.is_empty())
+        .map(|op| {
+            let (last_n, last_c) = *op.convergence.last().expect("non-empty");
+            let kind = if op.tuner.is_empty() { "?" } else { &op.tuner };
+            format!(
+                "{} [{}]: best {} cycles after {} improvement{} (winner found at eval {})",
+                op.name,
+                kind,
+                last_c,
+                op.convergence.len(),
+                if op.convergence.len() == 1 { "" } else { "s" },
+                last_n
+            )
+        })
+        .collect()
 }
 
 /// Comparability warnings between the two sides of a [`compare`]: mixed
@@ -661,6 +771,8 @@ mod tests {
                 pct_peak_dma_bw: 12.0,
                 bottleneck: Bottleneck::Compute,
                 schedule: "t_m=64, dbuf=true, coal=false, bcast=false".to_string(),
+                tuner: "model".to_string(),
+                convergence: vec![(1, 50_000), (4, cycles + 10), (9, cycles)],
             }],
             mape_pct: Some(7.25),
             rank_correlation: Some(0.93),
@@ -684,16 +796,54 @@ mod tests {
         let r = sample_record("old", 50.0, 9_000);
         let mut text = Journal { records: vec![r.clone()] }.to_json();
         text = text
-            .replace("\"schema\":2", "\"schema\":1")
+            .replace("\"schema\":3", "\"schema\":1")
             .replace(",\"quarantined\":0", "");
+        // Strip the v3 per-op fields too: a real v1 record has neither.
+        let tuner_start = text.find(",\"tuner\":").unwrap();
+        let tuner_end = text[tuner_start..].find("]}").unwrap() + tuner_start + 1;
+        text.replace_range(tuner_start..tuner_end, "");
         assert!(!text.contains("quarantined"));
+        assert!(!text.contains("convergence"));
         let j = Journal::validate(&text).unwrap();
         assert_eq!(j.records.len(), 1);
         assert_eq!(j.records[0].quarantined, 0);
         assert_eq!(j.records[0].schema, 1);
+        assert!(j.records[0].ops[0].tuner.is_empty());
+        assert!(j.records[0].ops[0].convergence.is_empty());
         // Above the current version is still rejected.
         let future = text.replace("\"schema\":1", "\"schema\":99");
         assert!(Journal::validate(&future).is_err());
+    }
+
+    #[test]
+    fn trend_lines_track_gflops_deltas() {
+        let mut a = sample_record("run", 100.0, 20_000);
+        a.ops[0].gflops = 16.0;
+        let mut b = sample_record("run", 100.0, 12_000);
+        b.ops[0].gflops = 42.5;
+        let mut c = sample_record("run", 100.0, 9_000);
+        c.ops[0].gflops = 61.2;
+        // A second op appearing later still gets its own line.
+        c.ops.push(OpBench { name: "conv_new".to_string(), gflops: 5.0, ..c.ops[0].clone() });
+        let lines = trend_lines(&[&a, &b, &c]);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert_eq!(lines[0], "gemm_256: 16.0, 42.5 (+26.5), 61.2 (+18.7) GFLOPS");
+        assert_eq!(lines[1], "conv_new: 5.0 GFLOPS");
+        assert!(trend_lines(&[]).is_empty());
+    }
+
+    #[test]
+    fn convergence_lines_summarise_the_search() {
+        let r = sample_record("run", 100.0, 42_000);
+        let lines = convergence_lines(&r);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(
+            lines[0],
+            "gemm_256 [model]: best 42000 cycles after 3 improvements (winner found at eval 9)"
+        );
+        let mut old = sample_record("run", 100.0, 42_000);
+        old.ops[0].convergence.clear();
+        assert!(convergence_lines(&old).is_empty(), "pre-v3 records have no curve");
     }
 
     #[test]

@@ -192,7 +192,13 @@ impl Interp<'_> {
                         );
                     }
                     let payload = d.block * d.n_blocks * 4 * N_CPE;
-                    return cg.dma_totals(bus, d.n_blocks * N_CPE, payload, self.reply(d.reply)?);
+                    return cg.dma_totals_directed(
+                        d.direction,
+                        bus,
+                        d.n_blocks * N_CPE,
+                        payload,
+                        self.reply(d.reply)?,
+                    );
                 }
                 let mut reqs = Vec::with_capacity(N_CPE);
                 for cpe in 0..N_CPE {

@@ -55,6 +55,7 @@ pub mod codegen;
 pub mod interp;
 pub mod model;
 pub mod observatory;
+pub mod profiler;
 pub mod ops;
 pub mod optimizer;
 pub mod scheduler;

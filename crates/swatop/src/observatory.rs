@@ -237,7 +237,22 @@ impl MetricSet {
             let body: Vec<String> = labels
                 .iter()
                 .map(|(k, v)| {
-                    let v = v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+                    // Exposition-format escapes for values; carriage returns
+                    // fold into the newline escape so a hostile value can
+                    // never split the sample line.
+                    let v = v
+                        .replace('\\', "\\\\")
+                        .replace('"', "\\\"")
+                        .replace(['\n', '\r'], "\\n");
+                    // Label names have no escape syntax at all — coerce to
+                    // the legal charset ([a-zA-Z_][a-zA-Z0-9_]*).
+                    let mut k: String = k
+                        .chars()
+                        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+                        .collect();
+                    if k.is_empty() || k.starts_with(|c: char| c.is_ascii_digit()) {
+                        k.insert(0, '_');
+                    }
                     format!("{k}=\"{v}\"")
                 })
                 .collect();
@@ -608,5 +623,39 @@ mod tests {
         assert!(prom.contains("op=\"gemm \\\"x\\\"\""));
         let bare = m.prometheus_text(&[]);
         assert!(bare.contains("swatop_cycles 1000000\n"));
+    }
+
+    #[test]
+    fn prometheus_text_survives_hostile_labels() {
+        let p = peaks();
+        let (cycles, c) = compute_heavy();
+        let m = derive(&p, cycles, &c);
+        let prom = m.prometheus_text(&[
+            ("op", "evil\ninjected_metric 1"),
+            ("path", "C:\\spm\\\"quoted\""),
+            ("crlf", "a\r\nb"),
+            ("bad-key!", "v"),
+            ("9lives", "v"),
+        ]);
+        // Every line is a HELP/TYPE comment or a sample — a newline in a
+        // label value must never fabricate a new exposition line.
+        for line in prom.lines() {
+            assert!(
+                line.starts_with("# HELP swatop_")
+                    || line.starts_with("# TYPE swatop_")
+                    || line.starts_with("swatop_"),
+                "injected line: {line:?}"
+            );
+        }
+        assert!(prom.contains("op=\"evil\\ninjected_metric 1\""));
+        assert!(prom.contains("path=\"C:\\\\spm\\\\\\\"quoted\\\"\""));
+        assert!(prom.contains("crlf=\"a\\n\\nb\""), "CR folds into the newline escape");
+        assert!(prom.contains("bad_key_=\"v\""), "label names coerced to the legal charset");
+        assert!(prom.contains("_9lives=\"v\""), "leading digit gets a prefix");
+        // HELP/TYPE headers survive per metric, hostile labels or not.
+        for d in SCHEMA {
+            assert!(prom.contains(&format!("# HELP swatop_{} {}", d.name, d.help)));
+            assert!(prom.contains(&format!("# TYPE swatop_{} gauge", d.name)));
+        }
     }
 }

@@ -76,6 +76,12 @@ pub struct TuneOutcome {
     pub quarantined: usize,
     /// Per-candidate measurement report, index-aligned with the input.
     pub reports: Vec<CandReport>,
+    /// Search-trajectory convergence curve: `(candidates evaluated,
+    /// best-so-far cycles)` sampled at every improvement, in evaluation
+    /// order. The evaluation order is the tuner's deterministic schedule
+    /// (input order for the blackbox tuner, model-ranked wave order for the
+    /// model tuner), so the curve is identical for every `jobs` value.
+    pub convergence: Vec<(u64, u64)>,
     /// Condensed telemetry (counter totals, model accuracy, roofline
     /// bottleneck mix); present iff the run was instrumented via
     /// [`TuneOptions::telemetry`].
@@ -480,6 +486,10 @@ struct Engine<'a> {
     /// Prospective winners rejected by the validator: `(index, reason)` in
     /// quarantine order.
     quarantined: Vec<(usize, String)>,
+    /// Candidate indices in the order the tuner asked for them (the
+    /// deterministic schedule passed to [`Engine::run`], not worker
+    /// completion order) — the substrate for the convergence curve.
+    eval_order: Vec<usize>,
 }
 
 impl<'a> Engine<'a> {
@@ -521,6 +531,7 @@ impl<'a> Engine<'a> {
             predictions: Vec::new(),
             counters,
             quarantined: Vec::new(),
+            eval_order: Vec::new(),
         }
     }
 
@@ -574,6 +585,7 @@ impl<'a> Engine<'a> {
         if todo.is_empty() {
             return;
         }
+        self.eval_order.extend(todo.iter().copied());
         let chunk = self.checkpoint.as_ref().map_or(usize::MAX, |c| c.every.max(1));
         for part in todo.chunks(chunk.min(todo.len())) {
             let results = pool::par_map_catch_ctx(self.jobs, part, |worker, _, &i| {
@@ -612,6 +624,24 @@ impl<'a> Engine<'a> {
 
     fn all_cycles(&self) -> Vec<Option<Cycles>> {
         self.cells.iter().map(CandCell::cycles).collect()
+    }
+
+    /// Best-so-far cycles vs. candidates evaluated, sampled at every
+    /// improvement along [`Engine::eval_order`]. Failed evaluations count
+    /// toward the x axis (they consumed search budget) but never improve
+    /// the curve.
+    fn convergence(&self) -> Vec<(u64, u64)> {
+        let mut curve = Vec::new();
+        let mut best: Option<u64> = None;
+        for (n, &i) in self.eval_order.iter().enumerate() {
+            if let Some(c) = self.cells[i].cycles() {
+                if best.is_none_or(|b| c.get() < b) {
+                    best = Some(c.get());
+                    curve.push((n as u64 + 1, c.get()));
+                }
+            }
+        }
+        curve
     }
 
     fn outcome(&self, start: Instant, best: usize, cycles: Cycles, executed: usize) -> TuneOutcome {
@@ -655,6 +685,7 @@ impl<'a> Engine<'a> {
             quarantined: self.quarantined.len(),
             reports,
             telemetry,
+            convergence: self.convergence(),
         }
     }
 }

@@ -45,6 +45,9 @@ struct Sampler<'a> {
     best: Option<(usize, Cycles)>,
     executed: usize,
     cpu: Duration,
+    /// `(evaluations, best-so-far cycles)` at every improvement, in the
+    /// sampler's (serial, seeded, deterministic) visit order.
+    convergence: Vec<(u64, u64)>,
 }
 
 impl<'a> Sampler<'a> {
@@ -59,6 +62,7 @@ impl<'a> Sampler<'a> {
             best: None,
             executed: 0,
             cpu: Duration::ZERO,
+            convergence: Vec::new(),
         }
     }
 
@@ -88,6 +92,7 @@ impl<'a> Sampler<'a> {
         if let Some(c) = cell.cycles() {
             if self.best.is_none_or(|(_, b)| c < b) {
                 self.best = Some((i, c));
+                self.convergence.push((self.executed as u64, c.get()));
             }
         }
         self.cells[i] = cell;
@@ -126,6 +131,7 @@ impl<'a> Sampler<'a> {
                 .tel
                 .as_ref()
                 .map(|t| t.tune_summary(t.scope(), self.counters)),
+            convergence: self.convergence,
         })
     }
 }
