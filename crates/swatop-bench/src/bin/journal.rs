@@ -94,6 +94,18 @@ fn main() {
                     r.rank_correlation.map_or_else(|| "-".into(), |v| format!("{v:.3}")),
                     r.mix.summary()
                 );
+                // v4 records carry tuner throughput; pre-v4 parse to zeros.
+                if r.candidates_evaluated > 0 {
+                    println!(
+                        "  tuner: {} candidates evaluated at {:.0}/s \
+                         (screened {} / measured {} / validated {})",
+                        r.candidates_evaluated,
+                        r.cands_per_sec,
+                        r.tiers.screened,
+                        r.tiers.measured,
+                        r.tiers.validated
+                    );
+                }
                 for line in convergence_lines(r) {
                     println!("  search: {line}");
                 }

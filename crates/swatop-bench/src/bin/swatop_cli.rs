@@ -36,8 +36,8 @@ use swatop::ops::{
 use swatop::scheduler::{Candidate, Operator, Scheduler};
 use swatop::telemetry::{SpanKind, Telemetry};
 use swatop::tuner::{
-    blackbox_tune_validated, model_tune, model_tune_topk_validated, pool, CheckpointPolicy,
-    TuneOptions, TuneOutcome, WinnerValidator,
+    blackbox_tune_validated, model_tune, model_tune_topk_validated, pool, tiered_tune_validated,
+    CheckpointPolicy, TierMode, TierPolicy, TuneOptions, TuneOutcome, WinnerValidator,
 };
 use swtensor::ConvShape;
 
@@ -69,9 +69,16 @@ fn usage() -> ! {
          the chosen schedule is identical for every value)\n  \
          --out FILE        write generated C code\n  \
          --trace FILE      write a Chrome trace of the winning schedule\n  \
-         --tuner model|blackbox\n                    \
+         --tuner model|blackbox|tiered\n                    \
          model (default): execute only the model's top picks;\n                    \
-         blackbox: execute the whole space\n  \
+         blackbox: execute the whole space;\n                    \
+         tiered: analytic screen, scoreboard top-k, functional winner\n  \
+         --tiers tiered|full\n                    \
+         evaluation ladder for tiered paths (bench uses it too):\n                    \
+         tiered (default) = analytic screen then adaptive top-k;\n                    \
+         full = score every candidate on the scoreboard\n  \
+         --tier0-k N       initial scoreboard wave size for the tiered ladder\n                    \
+         (adaptive widening may measure more; default 3)\n  \
          --faults SEED     tune under injected faults (DMA drops, SPM pressure,\n                    \
          measurement jitter); SWATOP_FAULT_SEED works too\n  \
          --checkpoint FILE periodically snapshot sweep state to FILE\n  \
@@ -129,6 +136,7 @@ fn parse_args(args: &[String]) -> Args {
 enum Tuner {
     Model,
     Blackbox,
+    Tiered,
 }
 
 /// Everything the tuning call needs beyond the operator itself.
@@ -144,6 +152,9 @@ struct Setup {
     /// Validate winning schedules (`--validate` / `--strict-validate`) with
     /// quarantine-and-fallback.
     validate: bool,
+    /// Tier ladder policy (`--tiers`, `--tier0-k`); used by the tiered
+    /// tuner and the bench sweep.
+    tiers: TierPolicy,
 }
 
 impl Setup {
@@ -162,6 +173,7 @@ impl Setup {
             cp.resume = self.resume;
             opts.checkpoint = Some(cp);
         }
+        opts.tiers = self.tiers.clone();
         opts
     }
 }
@@ -187,6 +199,7 @@ fn tune(
     let outcome = match setup.tuner {
         Tuner::Model => model_tune_topk_validated(cfg, &cands, 3, &opts, v),
         Tuner::Blackbox => blackbox_tune_validated(cfg, &cands, &opts, v),
+        Tuner::Tiered => tiered_tune_validated(cfg, &cands, &opts, v),
     };
     if let Some((t, id)) = span {
         t.close(id);
@@ -485,8 +498,16 @@ fn main() {
     let tuner = match a.flags.get("tuner").map(String::as_str).unwrap_or("model") {
         "model" => Tuner::Model,
         "blackbox" => Tuner::Blackbox,
+        "tiered" => Tuner::Tiered,
         _ => usage(),
     };
+    let mut tiers = TierPolicy::default();
+    if let Some(mode) = a.flags.get("tiers") {
+        tiers.mode = TierMode::parse(mode).unwrap_or_else(|| usage());
+    }
+    if let Some(k) = a.flags.get("tier0-k") {
+        tiers.base_k = k.parse().unwrap_or_else(|_| usage());
+    }
     let resume = a.flags.get("resume").map(PathBuf::from);
     let instrument = ["telemetry", "trace-timeline", "verbose", "json", "corpus"]
         .iter()
@@ -499,6 +520,7 @@ fn main() {
         checkpoint: resume.or_else(|| a.flags.get("checkpoint").map(PathBuf::from)),
         telemetry: instrument.then(Telemetry::new),
         validate: a.flags.contains_key("validate") || strict_validate,
+        tiers,
     };
     let mut quarantined = 0usize;
     match cmd {
@@ -514,6 +536,7 @@ fn main() {
                 faults: cfg.fault.map(|p| p.seed),
                 validate: setup.validate,
                 corpus: a.flags.get("corpus").map(PathBuf::from),
+                tiers: setup.tiers.clone(),
             };
             let repeats = num("repeats", 1);
             let mut bench_quarantined = 0u64;

@@ -197,6 +197,7 @@ impl Opts {
             faults: self.faults,
             validate: false,
             corpus: None,
+            tiers: swatop::tuner::TierPolicy::default(),
         };
         let record = crate::journal::run_bench(&bench);
         let path = std::path::Path::new(crate::journal::DEFAULT_PATH);

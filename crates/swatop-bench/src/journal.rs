@@ -37,7 +37,10 @@ use swtensor::ConvShape;
 /// * v3 — adds per-op search-trajectory fields: the `tuner` kind that
 ///   produced the winner and the `convergence` curve (best-so-far cycles
 ///   vs. candidates evaluated). Older records parse with an empty curve.
-pub const SCHEMA_VERSION: u64 = 3;
+/// * v4 — adds tuner-throughput fields: `candidates_evaluated`,
+///   `cands_per_sec` and the per-tier eval counts (`tiers`). Older records
+///   parse with zeros, and `compare` warns when throughput regresses >2×.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Oldest record schema still accepted by the parser.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -72,6 +75,17 @@ pub struct OpBench {
     pub convergence: Vec<(u64, u64)>,
 }
 
+/// Per-tier evaluation volume of one benchmark run, summed over its ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierCounts {
+    /// Tier-0 analytic screenings (whole candidate spaces, no scoreboard).
+    pub screened: u64,
+    /// Tier-1 scoreboard measurements.
+    pub measured: u64,
+    /// Tier-2 winner validations (accepts + quarantined rejections).
+    pub validated: u64,
+}
+
 /// One journal entry: a full run of the canonical benchmark set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Record {
@@ -91,6 +105,17 @@ pub struct Record {
     /// records). A clean validated run must report 0 here — `journal
     /// compare` gates on it not growing.
     pub quarantined: u64,
+    /// Distinct candidates whose cost any tier evaluated, summed over the
+    /// run's ops (the analytic screen covers whole spaces). 0 on pre-v4
+    /// records.
+    pub candidates_evaluated: u64,
+    /// Tuner throughput: `candidates_evaluated` per second of *tuning*
+    /// wall-clock (the sum of per-op tuning walls — enumeration and
+    /// lowering are excluded, and the synthetic `--handicap` factor is not
+    /// applied). 0 on pre-v4 records.
+    pub cands_per_sec: f64,
+    /// Per-tier evaluation counts; all zero on pre-v4 records.
+    pub tiers: TierCounts,
     pub ops: Vec<OpBench>,
     /// Model MAPE over every (predicted, measured) pair of the run.
     pub mape_pct: Option<f64>,
@@ -106,14 +131,21 @@ impl Record {
         let _ = write!(
             s,
             "{{\"schema\":{},\"label\":\"{}\",\"rev\":\"{}\",\"unix_ms\":{},\"jobs\":{},\
-             \"wall_ms\":{},\"quarantined\":{}",
+             \"wall_ms\":{},\"quarantined\":{},\"candidates_evaluated\":{},\
+             \"cands_per_sec\":{},\"tiers\":{{\"screened\":{},\"measured\":{},\
+             \"validated\":{}}}",
             self.schema,
             escape_json(&self.label),
             escape_json(&self.rev),
             self.unix_ms,
             self.jobs,
             fmt_f64(self.wall_ms),
-            self.quarantined
+            self.quarantined,
+            self.candidates_evaluated,
+            fmt_f64(self.cands_per_sec),
+            self.tiers.screened,
+            self.tiers.measured,
+            self.tiers.validated
         );
         s.push_str(",\"ops\":[");
         for (i, op) in self.ops.iter().enumerate() {
@@ -220,6 +252,23 @@ impl Record {
             quarantined: match v.field("quarantined") {
                 Ok(f) => f.as_u64("quarantined")?,
                 Err(_) => 0,
+            },
+            // Pre-v4 records predate the tier ladder: throughput unknown.
+            candidates_evaluated: match v.field("candidates_evaluated") {
+                Ok(f) => f.as_u64("candidates_evaluated")?,
+                Err(_) => 0,
+            },
+            cands_per_sec: match v.field("cands_per_sec") {
+                Ok(f) => f.as_f64("cands_per_sec")?,
+                Err(_) => 0.0,
+            },
+            tiers: match v.field("tiers") {
+                Ok(t) => TierCounts {
+                    screened: t.field("screened")?.as_u64("tiers.screened")?,
+                    measured: t.field("measured")?.as_u64("tiers.measured")?,
+                    validated: t.field("validated")?.as_u64("tiers.validated")?,
+                },
+                Err(_) => TierCounts::default(),
             },
             ops,
             mape_pct: v.field("mape_pct")?.as_opt_f64("mape_pct")?,
@@ -332,6 +381,9 @@ pub struct BenchOpts {
     /// Write the feature corpus (one JSONL row per measured candidate,
     /// sorted by `(operator, index)` so bytes are `--jobs`-independent).
     pub corpus: Option<std::path::PathBuf>,
+    /// Evaluation-ladder configuration (`--tiers` / `--tier0-k`): tiered
+    /// (the default) or full-scoreboard reference mode.
+    pub tiers: swatop::tuner::TierPolicy,
 }
 
 impl Default for BenchOpts {
@@ -344,6 +396,7 @@ impl Default for BenchOpts {
             faults: None,
             validate: false,
             corpus: None,
+            tiers: swatop::tuner::TierPolicy::default(),
         }
     }
 }
@@ -390,8 +443,12 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
     };
     let peaks = Peaks::of(&cfg);
     let tel = Telemetry::new();
-    let tune_opts =
-        TuneOptions { jobs: opts.jobs, telemetry: Some(tel.clone()), ..TuneOptions::default() };
+    let tune_opts = TuneOptions {
+        jobs: opts.jobs,
+        telemetry: Some(tel.clone()),
+        tiers: opts.tiers.clone(),
+        ..TuneOptions::default()
+    };
 
     let (gemms, convs) = bench_ops(opts.smoke);
     let t0 = Instant::now();
@@ -408,6 +465,19 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
     }
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3 * opts.handicap as f64;
     let quarantined: u64 = tuned.iter().map(|(_, t)| t.outcome.quarantined as u64).sum();
+    // Tuner throughput over the *tuning* walls (enumeration/lowering and
+    // the synthetic handicap are excluded — this measures the evaluation
+    // engine, not the harness).
+    let candidates_evaluated: u64 =
+        tuned.iter().map(|(_, t)| t.outcome.candidates_evaluated() as u64).sum();
+    let tiers = TierCounts {
+        screened: tuned.iter().map(|(_, t)| t.outcome.screened as u64).sum(),
+        measured: tuned.iter().map(|(_, t)| t.outcome.executed as u64).sum(),
+        validated: tuned.iter().map(|(_, t)| t.outcome.validated as u64).sum(),
+    };
+    let tune_secs: f64 = tuned.iter().map(|(_, t)| t.outcome.wall.as_secs_f64()).sum();
+    let cands_per_sec =
+        if tune_secs > 0.0 { candidates_evaluated as f64 / tune_secs } else { 0.0 };
 
     // Winning-schedule roofline attribution from the rollups (the rollup
     // order matches tuning order: one operator span per op).
@@ -429,8 +499,11 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
             pct_peak_dma_bw: a.metrics.get("pct_peak_dma_bw").unwrap_or(0.0),
             bottleneck: a.bottleneck,
             schedule: t.schedule.clone(),
-            // The runner's checked tuners are all model-guided top-k.
-            tuner: "model".to_string(),
+            tuner: match opts.tiers.mode {
+                swatop::tuner::TierMode::Tiered => "tiered",
+                swatop::tuner::TierMode::FullScoreboard => "full-scoreboard",
+            }
+            .to_string(),
             convergence: t.outcome.convergence.clone(),
         });
     }
@@ -454,6 +527,9 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
         jobs: opts.jobs,
         wall_ms,
         quarantined,
+        candidates_evaluated,
+        cands_per_sec,
+        tiers,
         ops,
         mape_pct: mape(&obs),
         rank_correlation: rank_correlation(&obs),
@@ -463,8 +539,16 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
 
 /// Render a journal record as a human-readable table.
 pub fn record_table(r: &Record) -> crate::report::Table {
+    let throughput = if r.cands_per_sec > 0.0 {
+        format!(", {:.0} cand/s over {} evaluated", r.cands_per_sec, r.candidates_evaluated)
+    } else {
+        String::new()
+    };
     let mut t = crate::report::Table::new(
-        format!("bench journal — {} @ {} ({} ms wall, jobs {})", r.label, r.rev, r.wall_ms as u64, r.jobs),
+        format!(
+            "bench journal — {} @ {} ({} ms wall, jobs {}{throughput})",
+            r.label, r.rev, r.wall_ms as u64, r.jobs
+        ),
         &["op", "cycles", "GFLOPS", "% peak", "% DMA bw", "bottleneck"],
     );
     for op in &r.ops {
@@ -652,6 +736,21 @@ pub fn consistency_warnings(base: &[&Record], cand: &[&Record]) -> Vec<String> {
             ));
         }
     }
+    // Tuner-throughput regression: the ladder exists to evaluate more
+    // candidates per second, so losing more than half of it is worth a
+    // warning (pre-v4 records report 0 and are skipped).
+    let med_tp = |side: &[&Record]| {
+        let mut v: Vec<f64> =
+            side.iter().map(|r| r.cands_per_sec).filter(|t| *t > 0.0).collect();
+        median(&mut v)
+    };
+    if let (Some(b), Some(c)) = (med_tp(base), med_tp(cand)) {
+        if c * 2.0 < b {
+            warnings.push(format!(
+                "tuner throughput regressed more than 2x: {b:.0} -> {c:.0} candidates/sec"
+            ));
+        }
+    }
     warnings
 }
 
@@ -763,6 +862,9 @@ mod tests {
             jobs: 2,
             wall_ms: wall,
             quarantined: 0,
+            candidates_evaluated: 1800,
+            cands_per_sec: 5125.5,
+            tiers: TierCounts { screened: 1800, measured: 9, validated: 1 },
             ops: vec![OpBench {
                 name: "gemm_256".to_string(),
                 cycles,
@@ -796,18 +898,28 @@ mod tests {
         let r = sample_record("old", 50.0, 9_000);
         let mut text = Journal { records: vec![r.clone()] }.to_json();
         text = text
-            .replace("\"schema\":3", "\"schema\":1")
+            .replace("\"schema\":4", "\"schema\":1")
             .replace(",\"quarantined\":0", "");
+        // Strip the v4 throughput fields: candidates_evaluated and
+        // cands_per_sec are scalars, so the first '}' after the span start
+        // closes the tiers object.
+        let tp_start = text.find(",\"candidates_evaluated\":").unwrap();
+        let tp_end = text[tp_start..].find('}').unwrap() + tp_start + 1;
+        text.replace_range(tp_start..tp_end, "");
         // Strip the v3 per-op fields too: a real v1 record has neither.
         let tuner_start = text.find(",\"tuner\":").unwrap();
         let tuner_end = text[tuner_start..].find("]}").unwrap() + tuner_start + 1;
         text.replace_range(tuner_start..tuner_end, "");
         assert!(!text.contains("quarantined"));
         assert!(!text.contains("convergence"));
+        assert!(!text.contains("cands_per_sec"));
         let j = Journal::validate(&text).unwrap();
         assert_eq!(j.records.len(), 1);
         assert_eq!(j.records[0].quarantined, 0);
         assert_eq!(j.records[0].schema, 1);
+        assert_eq!(j.records[0].candidates_evaluated, 0);
+        assert_eq!(j.records[0].cands_per_sec, 0.0);
+        assert_eq!(j.records[0].tiers, TierCounts::default());
         assert!(j.records[0].ops[0].tuner.is_empty());
         assert!(j.records[0].ops[0].convergence.is_empty());
         // Above the current version is still rejected.
@@ -874,6 +986,22 @@ mod tests {
         let w = consistency_warnings(&[&a], &[&b]);
         assert_eq!(w.len(), 2, "{w:?}");
         assert!(w.iter().any(|m| m.contains("schema mismatch")));
+    }
+
+    #[test]
+    fn consistency_warnings_flag_throughput_collapse() {
+        let a = sample_record("base", 100.0, 10_000);
+        let mut b = sample_record("cand", 100.0, 10_000);
+        // Half the throughput is tolerated; beyond 2x trips the warning.
+        b.cands_per_sec = a.cands_per_sec / 2.0;
+        assert!(consistency_warnings(&[&a], &[&b]).is_empty());
+        b.cands_per_sec = a.cands_per_sec / 2.5;
+        let w = consistency_warnings(&[&a], &[&b]);
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert!(w[0].contains("throughput regressed"));
+        // Pre-v4 records (throughput 0) never warn.
+        b.cands_per_sec = 0.0;
+        assert!(consistency_warnings(&[&a], &[&b]).is_empty());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use sw26010::{Cycles, MachineConfig};
 use swatop::scheduler::{Candidate, Operator, Scheduler};
 use swatop::telemetry::SpanKind;
-use swatop::tuner::{model_tune_topk_validated, pool, TuneOptions, TuneOutcome};
+use swatop::tuner::{pool, tiered_tune_validated, TuneOptions, TuneOutcome};
 use swatop::ops::{ExplicitConvOp, ImplicitConvOp, MatmulOp, WinogradConvOp};
 use swtensor::ConvShape;
 
@@ -90,10 +90,9 @@ fn tune(
     // differential functional execution against the operator's golden
     // reference; a rejected winner is quarantined and the tuner falls back.
     let validator = |_: usize, c: &Candidate| swatop::ops::validate_candidate(cfg, op, c);
-    let outcome = model_tune_topk_validated(
+    let outcome = tiered_tune_validated(
         cfg,
         &cands,
-        3,
         &run_opts,
         validate.then_some(&validator as &swatop::tuner::WinnerValidator),
     );
@@ -275,7 +274,11 @@ fn sweep<R>(
 ) -> R {
     let span = opts.telemetry.as_ref().map(|t| (t.clone(), t.open(SpanKind::Sweep, label)));
     let shape_opts = |w: usize| {
-        let mut inner = TuneOptions { retry: opts.retry.clone(), ..TuneOptions::default() };
+        let mut inner = TuneOptions {
+            retry: opts.retry.clone(),
+            tiers: opts.tiers.clone(),
+            ..TuneOptions::default()
+        };
         if let Some((t, id)) = &span {
             inner.telemetry = Some(t.child_of(*id).on_track(w));
         }

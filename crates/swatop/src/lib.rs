@@ -68,5 +68,6 @@ pub use observatory::{Attribution, Bottleneck, BottleneckMix, MetricSet, Peaks};
 pub use scheduler::{Candidate, Scheduler};
 pub use telemetry::{Telemetry, TuneTelemetry};
 pub use tuner::{
-    blackbox_tune, blackbox_tune_jobs, model_tune, model_tune_jobs, TuneOutcome,
+    blackbox_tune, blackbox_tune_jobs, model_tune, model_tune_jobs, tiered_tune,
+    tiered_tune_validated, TierMode, TierPolicy, TuneOutcome,
 };

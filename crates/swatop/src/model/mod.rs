@@ -15,6 +15,7 @@
 //!   latency).
 
 pub mod fit;
+pub mod memo;
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -205,6 +206,74 @@ fn subtree_has_dependent_if(s: &Stmt, var: usize) -> bool {
     found
 }
 
+/// Guard-variable masks per `For` node (keyed by address): bit `v` is set
+/// when some `If` condition inside the loop body reads loop variable `v`.
+/// One bottom-up pass replaces the repeated `subtree_has_dependent_if`
+/// subtree scans of the walk — inside a concrete boundary walk those scans
+/// re-run per iteration and dominate the screen. Bit 127 is a saturation
+/// sentinel for variables ≥ 127 (conservative: such loops always walk
+/// concretely, which is slower but bit-identical in outcome only when no
+/// guard actually depends on the variable — indices that high never occur
+/// in lowered programs).
+type IfMasks = HashMap<*const Stmt, u128>;
+
+fn var_bit(v: usize) -> u128 {
+    1u128 << v.min(127)
+}
+
+fn cond_var_mask(cond: &swatop_ir::Cond) -> u128 {
+    use swatop_ir::Cond::*;
+    match cond {
+        Lt(a, b) | Ge(a, b) | Eq(a, b) => {
+            let mut m = 0;
+            for e in [a, b] {
+                // `loop_vars` may report zero-coefficient terms; the walk
+                // switches on `depends_on` (coefficient ≠ 0), and the mask
+                // must make exactly the same concrete-vs-symbolic calls.
+                for v in e.loop_vars() {
+                    if e.depends_on(v) {
+                        m |= var_bit(v);
+                    }
+                }
+            }
+            m
+        }
+        And(a, b) => cond_var_mask(a) | cond_var_mask(b),
+    }
+}
+
+fn collect_if_masks(s: &Stmt, out: &mut IfMasks) -> u128 {
+    match s {
+        Stmt::Seq(ss) => ss.iter().fold(0, |m, x| m | collect_if_masks(x, out)),
+        Stmt::For { body, .. } => {
+            let m = collect_if_masks(body, out);
+            out.insert(std::ptr::from_ref(s), m);
+            m
+        }
+        Stmt::If { cond, then_, else_ } => {
+            let mut m = cond_var_mask(cond) | collect_if_masks(then_, out);
+            if let Some(e) = else_ {
+                m |= collect_if_masks(e, out);
+            }
+            m
+        }
+        _ => 0,
+    }
+}
+
+/// Does the subtree contain any `If` at all? Guard-free programs (most GEMM
+/// candidates) skip mask collection *and* memo keying entirely: every loop
+/// is symbolic and the walk touches each node exactly once, so any per-node
+/// bookkeeping would be pure overhead on the screen's hottest path.
+fn any_if(s: &Stmt) -> bool {
+    match s {
+        Stmt::If { .. } => true,
+        Stmt::Seq(ss) => ss.iter().any(any_if),
+        Stmt::For { body, .. } => any_if(body),
+        _ => false,
+    }
+}
+
 fn estimate_stmt(
     cfg: &MachineConfig,
     model: &GemmModel,
@@ -280,6 +349,114 @@ fn estimate_stmt(
             est.t_compute += mult * c;
             est.t_dma += mult * c;
         }
+    }
+}
+
+/// Estimate a lowered program with sub-cost memoization (the Tier-0
+/// analytic screen).
+///
+/// Unlike [`estimate_program`], every loop subtree is costed into its own
+/// accumulator and then scaled/added — the grouping that makes a subtree's
+/// cost a pure function of its structure and the entry values of its free
+/// guard variables, i.e. exactly the memo key ([`memo::subtree_key`]).
+/// Because the grouping is the same whether or not a cache is attached,
+/// results are bit-identical for `memo = None`, a cold cache and a warm
+/// cache; the cache only skips recomputation.
+///
+/// Only *concretely walked* loops (boundary guards depending on the loop
+/// variable) are memoized: their walk is O(extent × body) against an
+/// O(body) key, so a hit is a real saving. A symbolic loop costs O(body)
+/// to walk and O(body) to hash — the cache can never beat recomputation
+/// there, it only adds hashing and lock traffic.
+pub fn estimate_program_memo(
+    cfg: &MachineConfig,
+    model: &GemmModel,
+    p: &Program,
+    memo: Option<&memo::MemoCache>,
+) -> Estimate {
+    let mut env = Env::new(p.n_vars().max(1));
+    let cfg_key = if memo.is_some() { memo::cfg_key(cfg) } else { 0 };
+    let masks = any_if(&p.body).then(|| {
+        let mut m = IfMasks::default();
+        collect_if_masks(&p.body, &mut m);
+        m
+    });
+    let mut est = Estimate::default();
+    estimate_grouped(cfg, model, &p.body, &mut env, memo, cfg_key, masks.as_ref(), &mut est);
+    est
+}
+
+#[allow(clippy::too_many_arguments)]
+fn estimate_grouped(
+    cfg: &MachineConfig,
+    model: &GemmModel,
+    s: &Stmt,
+    env: &mut Env,
+    cache: Option<&memo::MemoCache>,
+    cfg_key: u64,
+    masks: Option<&IfMasks>,
+    est: &mut Estimate,
+) {
+    match s {
+        Stmt::For { var, extent, body } => {
+            // `masks` is `None` exactly when the whole program is guard-free
+            // — then every loop is symbolic by construction.
+            let concrete = masks.is_some_and(|m| {
+                let guard = m.get(&std::ptr::from_ref(s)).copied().unwrap_or(u128::MAX);
+                guard & (var_bit(*var) | var_bit(127)) != 0
+            });
+            let key = if concrete {
+                cache.map(|_| memo::subtree_key(cfg_key, s, env))
+            } else {
+                None
+            };
+            let sub = if let Some(hit) = key.and_then(|k| cache.and_then(|c| c.get(k))) {
+                hit
+            } else {
+                // Loop variables scope: the walk restores the entry value,
+                // so a memo hit (which skips the walk entirely) leaves the
+                // environment in the same state as a miss.
+                let saved = env.get(*var);
+                let mut sub = Estimate::default();
+                if concrete {
+                    // Boundary guards: walk concretely so each branch is
+                    // counted exactly.
+                    for i in 0..*extent {
+                        env.set(*var, i as i64);
+                        let mut iter = Estimate::default();
+                        estimate_grouped(cfg, model, body, env, cache, cfg_key, masks, &mut iter);
+                        sub.t_dma += iter.t_dma;
+                        sub.t_compute += iter.t_compute;
+                    }
+                } else {
+                    env.set(*var, 0);
+                    let mut one = Estimate::default();
+                    estimate_grouped(cfg, model, body, env, cache, cfg_key, masks, &mut one);
+                    sub.t_dma = one.t_dma * *extent as f64;
+                    sub.t_compute = one.t_compute * *extent as f64;
+                }
+                env.set(*var, saved);
+                if let (Some(c), Some(key)) = (cache, key) {
+                    c.insert(key, sub);
+                }
+                sub
+            };
+            est.t_dma += sub.t_dma;
+            est.t_compute += sub.t_compute;
+        }
+        Stmt::If { cond, then_, else_ } => {
+            if cond.eval(env, 0, 0) {
+                estimate_grouped(cfg, model, then_, env, cache, cfg_key, masks, est);
+            } else if let Some(e) = else_ {
+                estimate_grouped(cfg, model, e, env, cache, cfg_key, masks, est);
+            }
+        }
+        Stmt::Seq(ss) => {
+            ss.iter()
+                .for_each(|x| estimate_grouped(cfg, model, x, env, cache, cfg_key, masks, est));
+        }
+        // Leaves: identical costing to the un-grouped estimator at mult = 1.
+        other => estimate_stmt(cfg, model, other, env, 1.0, est),
     }
 }
 

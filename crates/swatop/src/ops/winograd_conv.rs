@@ -15,12 +15,16 @@
 //!
 //! Schedule knobs: channel tiles `t_no`/`t_ni`, tile-axis tile `t_nt`,
 //! the U layout (row/column-major — the latter enables the fast
-//! vector-load path under M-vectorisation) and the vectorised dimension.
+//! vector-load path under M-vectorisation), the vectorised dimension, the
+//! DMA ladder and the reduction schedule (`red=loop` re-waits per `ni`
+//! step; `red=resident` unrolls the reduction with per-step SPM slots, one
+//! fused get run per tile and a double-buffered M tile with deferred puts
+//! — the same ladder that lifted implicit conv off the DMA wall).
 
 use sw26010::DmaDirection::{MemToSpm, SpmToMem};
 use swatop_dsl::{factors_of, SchedulePoint, ScheduleSpace, Seed};
 use swatop_ir::{
-    AffineExpr, DmaCg, GemmOp, MatDesc, MemRole, Program, SpmSlot, Stmt, TransformKind,
+    AffineExpr, Cond, DmaCg, GemmOp, MatDesc, MemRole, Program, SpmSlot, Stmt, TransformKind,
     TransformOp,
 };
 use swkernels::VecDim;
@@ -54,6 +58,11 @@ impl WinogradConvOp {
         round_up(self.nt(), 32)
     }
 }
+
+/// Cap on unrolled reduction steps for the SPM-resident schedule (matches
+/// the implicit-conv ladder): beyond this the per-step slots bloat the SPM
+/// footprint and the program, so larger reductions must use `red=loop`.
+const MAX_RESIDENT_STEPS: usize = 16;
 
 fn divisor_menu(n: usize, mult: usize, cap: usize) -> Vec<usize> {
     let v: Vec<usize> = factors_of(n).into_iter().filter(|d| d % mult == 0).collect();
@@ -92,6 +101,10 @@ impl Operator for WinogradConvOp {
         sp.choice("u_layout", vec!["row".into(), "col".into()]);
         sp.toggle("vec_m");
         crate::ops::DmaKnobs::add_compact(&mut sp);
+        // Reduction schedule over the `ni` axis of each position's GEMM:
+        // `loop` re-waits every step, `resident` unrolls with per-step SPM
+        // slots and one fused get run per tile (see the module doc).
+        sp.choice("red", vec!["loop".into(), "resident".into()]);
         sp
     }
 
@@ -106,6 +119,7 @@ impl Operator for WinogradConvOp {
         let u_col = point.choice(space, "u_layout") == "col";
         let vec_m = point.toggle(space, "vec_m");
         let dma = crate::ops::DmaKnobs::from_point(space, point);
+        let resident = space.has_knob("red") && point.choice(space, "red") == "resident";
 
         if !t_no.is_multiple_of(8) || !t_ni.is_multiple_of(8) || !t_nt.is_multiple_of(32) {
             return None;
@@ -159,9 +173,34 @@ impl Operator for WinogradConvOp {
             }),
         ];
 
-        let spm_u = p.spm_buf("spm_u", (t_no / 8) * (t_ni / 8));
-        let spm_v = p.spm_buf("spm_v", (t_ni / 8) * (t_nt / 8));
-        let spm_m = p.spm_buf("spm_m", (t_no / 8) * (t_nt / 8));
+        // Unrolled `ni` reduction steps of the SPM-resident schedule: every
+        // step keeps its own U/V slot so all the fetches of a tile issue as
+        // one back-to-back run (one engine batch under get fusion).
+        let k_steps = ni / t_ni;
+        if resident && k_steps > MAX_RESIDENT_STEPS {
+            return None;
+        }
+        let u_words = (t_no / 8) * (t_ni / 8);
+        let v_words = (t_ni / 8) * (t_nt / 8);
+        let m_words = (t_no / 8) * (t_nt / 8);
+        let spm_m = p.spm_buf("spm_m", m_words);
+        // Parity twin for the resident schedule's deferred M puts.
+        let spm_m_dbl = resident.then(|| p.spm_buf("spm_m_dbl", m_words));
+        // Per-step slots for `resident`; `loop` shares one pair. Segments
+        // run sequentially, so the slots (sized for the full `t_nt` tile)
+        // are reused across them.
+        let step_slots: Vec<(swatop_ir::SpmBufId, swatop_ir::SpmBufId)> = if resident {
+            (0..k_steps)
+                .map(|i| {
+                    (
+                        p.spm_buf(format!("spm_u_s{i}"), u_words),
+                        p.spm_buf(format!("spm_v_s{i}"), v_words),
+                    )
+                })
+                .collect()
+        } else {
+            vec![(p.spm_buf("spm_u", u_words), p.spm_buf("spm_v", v_words))]
+        };
         let r_in = p.fresh_reply();
         let r_mget = p.fresh_reply();
         let r_mput = p.fresh_reply();
@@ -174,61 +213,64 @@ impl Operator for WinogradConvOp {
             let v_ntt = p.fresh_var("nt_t");
             let v_nit = p.fresh_var("ni_t");
 
-            let u_get = {
-                let (rows, cols, rs, offset) = if u_col {
-                    (
-                        t_ni,
-                        t_no,
-                        no,
-                        lv(v_pos)
-                            .scale((ni * no) as i64)
-                            .add(&lv(v_nit).scale((t_ni * no) as i64))
-                            .add(&lv(v_not).scale(t_no as i64)),
-                    )
-                } else {
-                    (
-                        t_no,
-                        t_ni,
-                        ni,
-                        lv(v_pos)
-                            .scale((no * ni) as i64)
-                            .add(&lv(v_not).scale((t_no * ni) as i64))
-                            .add(&lv(v_nit).scale(t_ni as i64)),
-                    )
-                };
+            let (u_rows, u_cols, u_rs, u_offset) = if u_col {
+                (
+                    t_ni,
+                    t_no,
+                    no,
+                    lv(v_pos)
+                        .scale((ni * no) as i64)
+                        .add(&lv(v_nit).scale((t_ni * no) as i64))
+                        .add(&lv(v_not).scale(t_no as i64)),
+                )
+            } else {
+                (
+                    t_no,
+                    t_ni,
+                    ni,
+                    lv(v_pos)
+                        .scale((no * ni) as i64)
+                        .add(&lv(v_not).scale((t_no * ni) as i64))
+                        .add(&lv(v_nit).scale(t_ni as i64)),
+                )
+            };
+            let u_get_to = |spm: swatop_ir::SpmBufId, offset: AffineExpr| {
                 Stmt::DmaCg(DmaCg {
                     buf: u_buf,
                     offset,
-                    rows,
-                    cols,
-                    row_stride: rs,
+                    rows: u_rows,
+                    cols: u_cols,
+                    row_stride: u_rs,
                     mesh_swap: u_col,
                     direction: MemToSpm,
-                    spm: SpmSlot::Single(spm_u),
+                    spm: SpmSlot::Single(spm),
                     reply: r_in,
                 })
             };
-            let v_get = Stmt::DmaCg(DmaCg {
-                buf: v_buf,
-                offset: lv(v_pos)
-                    .scale((ni * nt_pad) as i64)
-                    .add(&lv(v_nit).scale((t_ni * nt_pad) as i64))
-                    .add(&lv(v_ntt).scale(seg.stride as i64))
-                    .add_const(seg.start as i64),
-                rows: t_ni,
-                cols: seg.size,
-                row_stride: nt_pad,
-                mesh_swap: false,
-                direction: MemToSpm,
-                spm: SpmSlot::Single(spm_v),
-                reply: r_in,
-            });
+            let v_offset = lv(v_pos)
+                .scale((ni * nt_pad) as i64)
+                .add(&lv(v_nit).scale((t_ni * nt_pad) as i64))
+                .add(&lv(v_ntt).scale(seg.stride as i64))
+                .add_const(seg.start as i64);
+            let v_get_to = |spm: swatop_ir::SpmBufId, offset: AffineExpr| {
+                Stmt::DmaCg(DmaCg {
+                    buf: v_buf,
+                    offset,
+                    rows: t_ni,
+                    cols: seg.size,
+                    row_stride: nt_pad,
+                    mesh_swap: false,
+                    direction: MemToSpm,
+                    spm: SpmSlot::Single(spm),
+                    reply: r_in,
+                })
+            };
             let m_offset = lv(v_pos)
                 .scale((no * nt_pad) as i64)
                 .add(&lv(v_not).scale((t_no * nt_pad) as i64))
                 .add(&lv(v_ntt).scale(seg.stride as i64))
                 .add_const(seg.start as i64);
-            let m_dma = |direction, reply| {
+            let m_dma = |direction, reply, slot: SpmSlot| {
                 Stmt::DmaCg(DmaCg {
                     buf: m_buf,
                     offset: m_offset.clone(),
@@ -237,43 +279,104 @@ impl Operator for WinogradConvOp {
                     row_stride: nt_pad,
                     mesh_swap: false,
                     direction,
-                    spm: SpmSlot::Single(spm_m),
+                    spm: slot,
                     reply,
                 })
             };
-            let gemm = Stmt::Gemm(GemmOp {
-                m: t_no,
-                n: seg.size,
-                k: t_ni,
-                alpha: 1.0,
-                beta: 1.0,
-                a: MatDesc::new(
-                    SpmSlot::Single(spm_u),
-                    if u_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
-                    if u_col { t_no / 8 } else { t_ni / 8 },
-                ),
-                b: MatDesc::new(SpmSlot::Single(spm_v), MatLayout::RowMajor, seg.size / 8),
-                c: MatDesc::new(SpmSlot::Single(spm_m), MatLayout::RowMajor, seg.size / 8),
-                vd: if vec_m { VecDim::M } else { VecDim::N },
-            });
+            let gemm_with = |ua: swatop_ir::SpmBufId, vb: swatop_ir::SpmBufId, c_slot: SpmSlot, beta: f32| {
+                Stmt::Gemm(GemmOp {
+                    m: t_no,
+                    n: seg.size,
+                    k: t_ni,
+                    alpha: 1.0,
+                    beta,
+                    a: MatDesc::new(
+                        SpmSlot::Single(ua),
+                        if u_col { MatLayout::ColMajor } else { MatLayout::RowMajor },
+                        if u_col { t_no / 8 } else { t_ni / 8 },
+                    ),
+                    b: MatDesc::new(SpmSlot::Single(vb), MatLayout::RowMajor, seg.size / 8),
+                    c: MatDesc::new(c_slot, MatLayout::RowMajor, seg.size / 8),
+                    vd: if vec_m { VecDim::M } else { VecDim::N },
+                })
+            };
 
-            let ni_loop = Stmt::for_(
-                v_nit,
-                ni / t_ni,
-                Stmt::seq(vec![u_get, v_get, Stmt::DmaWait { reply: r_in, times: 2 }, gemm]),
-            );
-            let tile_body = Stmt::seq(vec![
-                m_dma(MemToSpm, r_mget),
-                Stmt::DmaWait { reply: r_mget, times: 1 },
-                ni_loop,
-                m_dma(SpmToMem, r_mput),
-                Stmt::DmaWait { reply: r_mput, times: 1 },
-            ]);
-            nests.push(Stmt::for_(
+            let tiles = 16 * (no / t_no) * seg.count;
+            let tile_body = if resident {
+                // SPM-resident reduction (the implicit-conv ladder applied
+                // to the position GEMMs): unroll the `ni` steps, issue all
+                // 2·k_steps gets as one leading run with a single wait, and
+                // double-buffer the M tile by tile parity with each put's
+                // wait deferred by two tiles. The M tile is visited exactly
+                // once, so the first step initialises it (β = 0) and the
+                // accumulator get disappears entirely.
+                let lin = crate::optimizer::prefetch::linear_index(&[
+                    (v_pos, 16),
+                    (v_not, no / t_no),
+                    (v_ntt, seg.count),
+                ]);
+                let m_slot = SpmSlot::Double {
+                    even: spm_m,
+                    odd: spm_m_dbl.expect("resident twin"),
+                    sel: lin.clone(),
+                };
+                let mut body = Vec::with_capacity(3 * k_steps + 3);
+                for (i, &(su, _)) in step_slots.iter().enumerate() {
+                    let at = AffineExpr::konst(i as i64);
+                    body.push(u_get_to(su, u_offset.subst(v_nit, &at)));
+                }
+                for (i, &(_, sv)) in step_slots.iter().enumerate() {
+                    let at = AffineExpr::konst(i as i64);
+                    body.push(v_get_to(sv, v_offset.subst(v_nit, &at)));
+                }
+                body.push(Stmt::DmaWait { reply: r_in, times: 2 * k_steps });
+                if tiles >= 3 {
+                    // Reclaim the parity slot we are about to write: the
+                    // put issued two tiles ago targeted the same twin.
+                    body.push(Stmt::if_(
+                        Cond::Ge(lin.clone(), AffineExpr::konst(2)),
+                        Stmt::DmaWait { reply: r_mput, times: 1 },
+                    ));
+                }
+                for (i, &(su, sv)) in step_slots.iter().enumerate() {
+                    body.push(gemm_with(su, sv, m_slot.clone(), if i == 0 { 0.0 } else { 1.0 }));
+                }
+                body.push(m_dma(SpmToMem, r_mput, m_slot));
+                Stmt::seq(body)
+            } else {
+                let (spm_u, spm_v) = step_slots[0];
+                let ni_loop = Stmt::for_(
+                    v_nit,
+                    k_steps,
+                    Stmt::seq(vec![
+                        u_get_to(spm_u, u_offset.clone()),
+                        v_get_to(spm_v, v_offset.clone()),
+                        Stmt::DmaWait { reply: r_in, times: 2 },
+                        gemm_with(spm_u, spm_v, SpmSlot::Single(spm_m), 1.0),
+                    ]),
+                );
+                Stmt::seq(vec![
+                    m_dma(MemToSpm, r_mget, SpmSlot::Single(spm_m)),
+                    Stmt::DmaWait { reply: r_mget, times: 1 },
+                    ni_loop,
+                    m_dma(SpmToMem, r_mput, SpmSlot::Single(spm_m)),
+                    Stmt::DmaWait { reply: r_mput, times: 1 },
+                ])
+            };
+            let mut seg_nest = Stmt::for_(
                 v_pos,
                 16,
                 Stmt::for_(v_not, no / t_no, Stmt::for_(v_ntt, seg.count, tile_body)),
-            ));
+            );
+            if resident {
+                // Drain the (up to two) in-flight deferred puts before the
+                // next segment (or the output transform) reads M.
+                seg_nest = Stmt::seq(vec![
+                    seg_nest,
+                    Stmt::DmaWait { reply: r_mput, times: tiles.min(2) },
+                ]);
+            }
+            nests.push(seg_nest);
         }
 
         let output = Stmt::Transform(TransformOp { fused: false,
@@ -365,6 +468,31 @@ mod tests {
     fn padded_conv_correct() {
         let shape = ConvShape { b: 1, ni: 8, no: 8, ro: 8, co: 8, kr: 3, kc: 3, stride: 1, pad: 1 };
         verify_some(shape, 3);
+    }
+
+    #[test]
+    fn resident_reduction_correct() {
+        let cfg = MachineConfig::default();
+        let op = WinogradConvOp::new(ConvShape::square(2, 16, 16, 8));
+        let sched = Scheduler::new(cfg.clone());
+        let space = op.space();
+        let mut checked = 0;
+        for point in space.points() {
+            if point.choice(&space, "red") != "resident" {
+                continue;
+            }
+            let Some(cand) = sched.lower_point(&op, &space, &point) else {
+                continue;
+            };
+            let err = verify_candidate(&cfg, &op, &cand)
+                .unwrap_or_else(|e| panic!("{}: {e}", point.describe(&space)));
+            assert!(err < 5e-3, "{}: max err {err}", point.describe(&space));
+            checked += 1;
+            if checked >= 4 {
+                break;
+            }
+        }
+        assert!(checked > 0, "no valid resident candidates");
     }
 
     #[test]

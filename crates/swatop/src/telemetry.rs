@@ -61,6 +61,10 @@ pub enum SpanKind {
     /// Validating a prospective winner (static legality + differential
     /// functional check); an `error` on the span means it was quarantined.
     Validate,
+    /// Tier-0 analytic screening of a whole candidate space (batch cost
+    /// ranking, no scoreboard); `samples` carries the number of candidates
+    /// screened.
+    Screen,
 }
 
 impl SpanKind {
@@ -71,6 +75,7 @@ impl SpanKind {
             SpanKind::Candidate => "candidate",
             SpanKind::Attempt => "attempt",
             SpanKind::Validate => "validate",
+            SpanKind::Screen => "screen",
         }
     }
 }
@@ -469,12 +474,29 @@ impl Telemetry {
         out.push_str(&format!("],\"totals\":{}", counters_json(&self.totals())));
         // Winner-validation outcomes: Validate spans with an error are
         // quarantined winners (the error is the rejection reason).
-        let quarantines = self
-            .spans()
+        let spans = self.spans();
+        let quarantines = spans
             .iter()
             .filter(|s| s.kind == SpanKind::Validate && s.error.is_some())
             .count();
         out.push_str(&format!(",\"quarantines\":{quarantines}"));
+        // Tier ladder volume: tier-0 analytic screenings (samples on Screen
+        // spans), tier-1 scoreboard measurements (Candidate spans), tier-2
+        // winner validations. Deterministic — derived from the span set.
+        let screened: u64 = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Screen)
+            .map(|s| u64::from(s.samples))
+            .sum();
+        let measured = spans.iter().filter(|s| s.kind == SpanKind::Candidate).count();
+        let validated = spans.iter().filter(|s| s.kind == SpanKind::Validate).count();
+        out.push_str(&format!(
+            ",\"tiers\":{{\"screened\":{screened},\"measured\":{measured},\
+             \"validated\":{validated}}}"
+        ));
+        // Shared-cache observability. Process-global counters, approximate
+        // under concurrency — never compared byte-for-byte across runs.
+        out.push_str(&format!(",\"caches\":{}", caches_json()));
         if let Some(p) = peaks {
             let mix = self.bottleneck_mix(p);
             out.push_str(&format!(
@@ -772,6 +794,49 @@ fn counters_json(c: &Counters) -> String {
     )
 }
 
+/// Hit/miss/entry counters of the process-wide evaluation caches as a JSON
+/// object: the PR 1 kernel-cost cache ([`swkernels::cost::cache_stats`])
+/// and the model sub-cost memo cache ([`crate::model::memo`]). Counters are
+/// relaxed atomics — approximate under concurrency, exact serially — so
+/// they are observability, never an input to tuning decisions.
+pub fn caches_json() -> String {
+    let (kh, km, ke) = swkernels::cost::cache_stats();
+    let (mh, mm, me) = crate::model::memo::stats();
+    format!(
+        "{{\"kernel_cost\":{{\"hits\":{kh},\"misses\":{km},\"entries\":{ke}}},\
+         \"memo\":{{\"hits\":{mh},\"misses\":{mm},\"entries\":{me}}}}}"
+    )
+}
+
+/// Prometheus text exposition of the same process-wide cache counters as
+/// [`caches_json`]: `swatop_cache_{hits,misses}_total` counters and a
+/// `swatop_cache_entries` gauge, one sample per cache
+/// (`cache="kernel_cost"` / `cache="memo"`). Appended alongside
+/// [`crate::observatory::MetricSet::prometheus_text`] by scrapers that
+/// want cache observability next to the roofline gauges.
+pub fn caches_prometheus_text() -> String {
+    let (kh, km, ke) = swkernels::cost::cache_stats();
+    let (mh, mm, me) = crate::model::memo::stats();
+    let mut out = String::new();
+    let mut series = |name: &str, help: &str, kind: &str, kernel: u64, memo: u64| {
+        out.push_str(&format!(
+            "# HELP swatop_{name} {help}\n# TYPE swatop_{name} {kind}\n\
+             swatop_{name}{{cache=\"kernel_cost\"}} {kernel}\n\
+             swatop_{name}{{cache=\"memo\"}} {memo}\n"
+        ));
+    };
+    series("cache_hits_total", "Evaluation-cache hits since process start", "counter", kh, mh);
+    series(
+        "cache_misses_total",
+        "Evaluation-cache misses since process start",
+        "counter",
+        km,
+        mm,
+    );
+    series("cache_entries", "Resident evaluation-cache entries", "gauge", ke, me);
+    out
+}
+
 /// Structural JSON well-formedness check (objects, arrays, strings with
 /// escapes, numbers incl. floats/exponents, booleans, null). Returns the
 /// first syntax error. Used by tests and the CI telemetry smoke leg; the
@@ -956,6 +1021,25 @@ mod tests {
         assert_eq!(spans[2].track, Some(2));
         assert_eq!(spans[2].cycles, Some(1234));
         assert_eq!(spans[0].track, None);
+    }
+
+    #[test]
+    fn cache_exports_are_well_formed() {
+        validate_json(&caches_json()).unwrap();
+        let prom = caches_prometheus_text();
+        for line in prom.lines() {
+            assert!(
+                line.starts_with("# HELP swatop_cache_")
+                    || line.starts_with("# TYPE swatop_cache_")
+                    || line.starts_with("swatop_cache_"),
+                "unexpected line: {line:?}"
+            );
+        }
+        for name in ["cache_hits_total", "cache_misses_total", "cache_entries"] {
+            for cache in ["kernel_cost", "memo"] {
+                assert!(prom.contains(&format!("swatop_{name}{{cache=\"{cache}\"}} ")));
+            }
+        }
     }
 
     #[test]

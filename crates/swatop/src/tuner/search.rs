@@ -132,6 +132,8 @@ impl<'a> Sampler<'a> {
                 .as_ref()
                 .map(|t| t.tune_summary(t.scope(), self.counters)),
             convergence: self.convergence,
+            screened: 0,
+            validated: 0,
         })
     }
 }

@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 use sw26010::{Cycles, MachineConfig, MESH};
@@ -42,6 +43,8 @@ fn cfg_fingerprint(cfg: &MachineConfig) -> u64 {
 }
 
 static CACHE: RwLock<Option<HashMap<Key, u64>>> = RwLock::new(None);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Cycle cost of one `spm_gemm(M, N, K)` call with the given variant.
 ///
@@ -55,10 +58,12 @@ pub fn gemm_cycles(cfg: &MachineConfig, variant: GemmVariant, m: usize, n: usize
         let guard = CACHE.read();
         if let Some(map) = guard.as_ref() {
             if let Some(&c) = map.get(&key) {
+                HITS.fetch_add(1, Ordering::Relaxed);
                 return Cycles(c);
             }
         }
     }
+    MISSES.fetch_add(1, Ordering::Relaxed);
     let (v_len, s_len) = match variant.vec {
         VecDim::M => (mb, nb),
         VecDim::N => (nb, mb),
@@ -72,6 +77,14 @@ pub fn gemm_cycles(cfg: &MachineConfig, variant: GemmVariant, m: usize, n: usize
 /// Number of entries currently memoised (observability for tests/benches).
 pub fn cache_len() -> usize {
     CACHE.read().as_ref().map_or(0, |m| m.len())
+}
+
+/// `(hits, misses, entries)` of the kernel-cost cache since process start.
+/// Counters are relaxed atomics: approximate under concurrency (two workers
+/// racing on a cold key may both count a miss), exact serially — they are
+/// observability for the telemetry snapshot, never control flow.
+pub fn cache_stats() -> (u64, u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed), cache_len() as u64)
 }
 
 /// FLOPs of one `C += A·B` call: 2·M·N·K multiply-accumulates. The single
