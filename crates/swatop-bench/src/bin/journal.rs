@@ -15,18 +15,20 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use swatop_bench::journal::{
-    compare, consistency_warnings, convergence_lines, transition_lines, trend_lines,
+    compare, consistency_warnings, convergence_lines, show_json, transition_lines, trend_lines,
     CompareOpts, Journal, record_table, DEFAULT_PATH,
 };
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["strict"];
+const BOOL_FLAGS: &[&str] = &["strict", "json"];
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  journal validate [FILE]\n  journal show [FILE] [--label L]\n  \
+        "usage:\n  journal validate [FILE]\n  journal show [FILE] [--label L] [--json]\n  \
          journal compare [FILE] --baseline L1 --candidate L2\n                  \
          [--wall-rel F] [--mad-factor F] [--cycles-rel F] [--strict]\n\
+         --json   machine-readable show: records + per-op GFLOPS trend as one\n         \
+         JSON document on stdout\n\
          --strict turns comparability warnings (mixed schema/jobs) into failures\n\
          FILE defaults to {DEFAULT_PATH}"
     );
@@ -79,6 +81,10 @@ fn main() {
             );
         }
         "show" => {
+            if flag("json").is_some() {
+                println!("{}", show_json(&journal, flag("label")));
+                return;
+            }
             let records: Vec<_> = match flag("label") {
                 Some(l) => journal.with_label(l),
                 None => journal.records.iter().collect(),

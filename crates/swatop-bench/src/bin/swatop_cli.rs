@@ -25,7 +25,10 @@
 //! as an uninterrupted sweep.
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use sw26010::{CoreGroup, ExecMode, FaultPlan, MachineConfig};
 use swatop::interp::{execute, instantiate};
@@ -34,11 +37,16 @@ use swatop::ops::{
     WinogradConvOp,
 };
 use swatop::scheduler::{Candidate, Operator, Scheduler};
+use swatop::telemetry::bus::{Event, EventBus, Subscriber};
+use swatop::telemetry::metrics::{MetricsHub, MetricsServer};
 use swatop::telemetry::{SpanKind, Telemetry};
+use swatop::tuner::pool::{MonitorConfig, PoolMonitor};
 use swatop::tuner::{
     blackbox_tune_validated, model_tune, model_tune_topk_validated, pool, tiered_tune_validated,
     CheckpointPolicy, TierMode, TierPolicy, TuneOptions, TuneOutcome, WinnerValidator,
 };
+use swatop_bench::flight::{flight_html, LiveFlight};
+use swatop_bench::journal::Journal;
 use swtensor::ConvShape;
 
 fn usage() -> ! {
@@ -52,6 +60,8 @@ fn usage() -> ! {
          [--handicap N] [--jobs N] [--faults SEED] [--validate|--strict-validate]\n               \
          [--corpus FILE]\n               \
          run the canonical bench set, appending journal records\n  \
+         swatop_cli report [--journal FILE] [--label L] [--out FILE]\n               \
+         render the flight report (self-contained HTML) from the journal\n  \
          swatop_cli profile gemm M N K | conv B NI NO RO [--method M] [--kernel K]\n               \
          [--candidate N | --select SUBSTR]   pick candidate A (default: tuned winner)\n               \
          [--diff N | --diff-select SUBSTR]   diff mode: compare A against candidate B\n               \
@@ -96,7 +106,18 @@ fn usage() -> ! {
          (result summary + full telemetry snapshot), no human text\n  \
          --corpus FILE     write the feature corpus: one JSONL row per measured\n                    \
          candidate (knobs, counters, cycles, bottleneck), sorted\n                    \
-         by (operator, index) so bytes are --jobs-independent"
+         by (operator, index) so bytes are --jobs-independent\n  \
+         --quiet           disable live observability entirely: no progress\n                    \
+         lines, no event bus (results are bit-identical either way)\n  \
+         --metrics-addr A  serve live Prometheus metrics on A (e.g.\n                    \
+         127.0.0.1:9184) at /metrics for the duration of the run\n  \
+         --metrics-linger MS\n                    \
+         keep serving /metrics MS after the run finishes\n  \
+         --flight-report FILE\n                    \
+         write the self-contained HTML flight report after the run\n  \
+         --stall-after-ms MS\n                    \
+         watchdog threshold: flag a candidate measurement still\n                    \
+         running after MS as stalled (report-only; default 30000)"
     );
     std::process::exit(2);
 }
@@ -107,7 +128,7 @@ struct Args {
 }
 
 /// Flags that take no value argument.
-const BOOL_FLAGS: &[&str] = &["verbose", "json", "smoke", "validate", "strict-validate"];
+const BOOL_FLAGS: &[&str] = &["verbose", "json", "smoke", "validate", "strict-validate", "quiet"];
 
 fn parse_args(args: &[String]) -> Args {
     let mut positional = Vec::new();
@@ -139,6 +160,171 @@ enum Tuner {
     Tiered,
 }
 
+/// Human progress line for one lifecycle event, or `None` for per-candidate
+/// volume and host-timing samples the console shouldn't scroll through.
+fn progress_line(e: &Event) -> Option<String> {
+    match e {
+        Event::SweepStart { label } => Some(format!("sweep start: {label}")),
+        Event::SweepEnd { label } => Some(format!("sweep done : {label}")),
+        Event::OperatorStart { label, candidates } => {
+            Some(format!("tuning {label} ({candidates} candidates)"))
+        }
+        Event::OperatorEnd { label, best_cycles, executed, quarantined } => {
+            Some(match best_cycles {
+                Some(c) => format!(
+                    "tuned {label}: best {c} cycles ({executed} executed, \
+                     {quarantined} quarantined)"
+                ),
+                None => format!("tuned {label}: no winner ({executed} executed)"),
+            })
+        }
+        Event::Quarantined { index, reason } => {
+            Some(format!("quarantined candidate {index}: {reason}"))
+        }
+        Event::CheckpointSaved { done, total } => {
+            Some(format!("checkpoint: {done}/{total} candidates settled"))
+        }
+        Event::StallFlagged { worker, index, path, stalled_ms } => Some(format!(
+            "watchdog: worker {worker} stalled {stalled_ms} ms on candidate {index} ({path})"
+        )),
+        _ => None,
+    }
+}
+
+/// Background thread printing progress lines to **stderr** (stdout stays
+/// machine-readable under `--json`).
+struct Progress {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+fn spawn_progress(bus: &EventBus) -> Progress {
+    let sub = bus.subscribe(4096);
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("swatop-progress".to_string())
+        .spawn(move || loop {
+            let done = stop2.load(Ordering::Acquire);
+            for e in sub.drain() {
+                if let Some(line) = progress_line(&e) {
+                    eprintln!("swatop: {line}");
+                }
+            }
+            if done {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        })
+        .expect("spawn progress printer");
+    Progress { stop, handle }
+}
+
+/// Live-observability plumbing for one CLI invocation: the event bus, the
+/// worker monitor, the optional `/metrics` server, the optional progress
+/// printer and the optional flight-report subscriber. All report-only —
+/// winners, cycles and journal records are bit-identical with all of it on
+/// or off (`--quiet`).
+struct Observability {
+    bus: Option<EventBus>,
+    monitor: Option<Arc<PoolMonitor>>,
+    hub: Option<Arc<MetricsHub>>,
+    server: Option<MetricsServer>,
+    progress: Option<Progress>,
+    /// Flight-report subscriber and output path (`--flight-report FILE`).
+    flight: Option<(Subscriber, PathBuf)>,
+    linger: Duration,
+}
+
+impl Observability {
+    fn from_args(a: &Args) -> Observability {
+        let quiet = a.flags.contains_key("quiet");
+        let metrics_addr = a.flags.get("metrics-addr");
+        let flight_path = a.flags.get("flight-report").map(PathBuf::from);
+        if quiet && metrics_addr.is_none() && flight_path.is_none() {
+            return Observability {
+                bus: None,
+                monitor: None,
+                hub: None,
+                server: None,
+                progress: None,
+                flight: None,
+                linger: Duration::ZERO,
+            };
+        }
+        let num = |k: &str, d: u64| {
+            a.flags.get(k).map_or(d, |v| v.parse().unwrap_or_else(|_| usage()))
+        };
+        let bus = EventBus::default();
+        let monitor = Arc::new(PoolMonitor::new(
+            MonitorConfig {
+                stall_after: Duration::from_millis(num("stall-after-ms", 30_000)),
+                ..MonitorConfig::default()
+            },
+            Some(bus.clone()),
+        ));
+        let progress = (!quiet).then(|| spawn_progress(&bus));
+        let flight = flight_path.map(|p| (bus.subscribe(1 << 16), p));
+        let (hub, server) = match metrics_addr {
+            Some(addr) => {
+                let hub = Arc::new(MetricsHub::new(&bus, Some(monitor.clone()), 1 << 14));
+                let server = MetricsServer::start(addr, hub.clone()).unwrap_or_else(|e| {
+                    eprintln!("swatop_cli: --metrics-addr {addr}: {e}");
+                    std::process::exit(2);
+                });
+                if !quiet {
+                    eprintln!("swatop: serving /metrics on {}", server.addr());
+                }
+                (Some(hub), Some(server))
+            }
+            None => (None, None),
+        };
+        Observability {
+            bus: Some(bus),
+            monitor: Some(monitor),
+            hub,
+            server,
+            progress,
+            flight,
+            linger: Duration::from_millis(num("metrics-linger", 0)),
+        }
+    }
+
+    /// Flush and tear down: record truncated artifacts, stop the printer,
+    /// write the flight report, linger for late `/metrics` scrapes, stop
+    /// the server.
+    fn finish(self, journal_path: &Path, label: Option<&str>, truncated: &[String]) {
+        if let Some(hub) = &self.hub {
+            for t in truncated {
+                hub.note_truncated(t);
+            }
+        }
+        if let Some(p) = self.progress {
+            p.stop.store(true, Ordering::Release);
+            let _ = p.handle.join();
+        }
+        if let Some((sub, path)) = self.flight {
+            let mut live = LiveFlight::default();
+            for e in sub.drain() {
+                live.fold(&e);
+            }
+            live.bus_received = sub.received();
+            live.bus_dropped = sub.dropped();
+            live.truncated = truncated.to_vec();
+            let journal = Journal::load(journal_path).unwrap_or_default();
+            std::fs::write(&path, flight_html(&journal, label, Some(&live)))
+                .expect("write flight report");
+            eprintln!("swatop: flight report written to {}", path.display());
+        }
+        if let Some(server) = self.server {
+            if !self.linger.is_zero() {
+                std::thread::sleep(self.linger);
+            }
+            server.shutdown();
+        }
+    }
+}
+
 /// Everything the tuning call needs beyond the operator itself.
 struct Setup {
     jobs: usize,
@@ -155,6 +341,11 @@ struct Setup {
     /// Tier ladder policy (`--tiers`, `--tier0-k`); used by the tiered
     /// tuner and the bench sweep.
     tiers: TierPolicy,
+    /// Live event bus (`None` under `--quiet` with no metrics/flight
+    /// consumers).
+    bus: Option<EventBus>,
+    /// Worker heartbeat/stall monitor riding along with the bus.
+    monitor: Option<Arc<PoolMonitor>>,
 }
 
 impl Setup {
@@ -174,6 +365,8 @@ impl Setup {
             opts.checkpoint = Some(cp);
         }
         opts.tiers = self.tiers.clone();
+        opts.bus = self.bus.clone();
+        opts.monitor = self.monitor.clone();
         opts
     }
 }
@@ -187,6 +380,13 @@ fn tune(
 ) -> Option<(Candidate, TuneOutcome)> {
     let cands = Scheduler::new(cfg.clone()).enumerate(op);
     let mut opts = setup.options(slot, n_ops);
+    let name = op.name();
+    if let Some(m) = &setup.monitor {
+        m.set_context(&name);
+    }
+    if let Some(bus) = &setup.bus {
+        bus.emit_with(|| Event::OperatorStart { label: name.clone(), candidates: cands.len() });
+    }
     // Each operator tunes under its own span; the engine's candidate spans
     // nest beneath it.
     let span = setup.telemetry.as_ref().map(|t| {
@@ -203,6 +403,14 @@ fn tune(
     };
     if let Some((t, id)) = span {
         t.close(id);
+    }
+    if let Some(bus) = &setup.bus {
+        bus.emit_with(|| Event::OperatorEnd {
+            label: name.clone(),
+            best_cycles: outcome.as_ref().map(|o| o.cycles.get()),
+            executed: outcome.as_ref().map_or(0, |o| o.executed),
+            quarantined: outcome.as_ref().map_or(0, |o| o.quarantined),
+        });
     }
     let outcome = outcome?;
     Some((cands[outcome.best].clone(), outcome))
@@ -242,6 +450,9 @@ fn json_report(
     )
 }
 
+/// Print the result and write the requested artifacts. Returns the paths
+/// of any artifacts whose trace hit its event cap (propagated into the
+/// flight report and `/metrics` as data-completeness warnings).
 fn report(
     cfg: &MachineConfig,
     name: &str,
@@ -250,7 +461,8 @@ fn report(
     outcome: &TuneOutcome,
     a: &Args,
     tel: Option<&Telemetry>,
-) {
+) -> Vec<String> {
+    let mut truncated = Vec::new();
     let json_mode = a.flags.contains_key("json");
     let cycles = outcome.cycles.get();
     if json_mode {
@@ -327,12 +539,17 @@ fn report(
         cg.trace = sw26010::trace::Trace::enabled(1_000_000);
         let binding = instantiate(&mut cg, &winner.exe);
         execute(&mut cg, &winner.exe, &binding).expect("trace run");
+        if cg.trace.truncated() {
+            truncated.push(path.clone());
+            eprintln!("swatop: trace {path} truncated at its event cap");
+        }
         let json = sw26010::chrome_trace::to_chrome_json(&cg.trace, cfg.clock_ghz);
         std::fs::write(path, json).expect("write trace");
         if !json_mode {
             println!("trace    : {path} (open in chrome://tracing)");
         }
     }
+    truncated
 }
 
 /// The `profile` subcommand: re-run one enumerated candidate cost-only with
@@ -485,6 +702,25 @@ fn main() {
         run_profile(&argv[1..]);
         return;
     }
+    if cmd == "report" {
+        // Standalone flight report straight from the committed journal: no
+        // tuning, no live accounting.
+        let a = parse_args(&argv[1..]);
+        let journal_path = a
+            .flags
+            .get("journal")
+            .cloned()
+            .unwrap_or_else(|| swatop_bench::journal::DEFAULT_PATH.to_string());
+        let out = a.flags.get("out").cloned().unwrap_or_else(|| "flight.html".to_string());
+        let journal = Journal::load(Path::new(&journal_path)).unwrap_or_else(|e| {
+            eprintln!("swatop_cli: {e}");
+            std::process::exit(1);
+        });
+        let html = flight_html(&journal, a.flags.get("label").map(String::as_str), None);
+        std::fs::write(&out, html).expect("write flight report");
+        println!("flight   : {out} ({} journal record(s))", journal.records.len());
+        return;
+    }
     let a = parse_args(&argv[1..]);
     let fault = a
         .flags
@@ -513,6 +749,7 @@ fn main() {
         .iter()
         .any(|f| a.flags.contains_key(*f));
     let strict_validate = a.flags.contains_key("strict-validate");
+    let obs = Observability::from_args(&a);
     let setup = Setup {
         jobs,
         tuner,
@@ -521,8 +758,11 @@ fn main() {
         telemetry: instrument.then(Telemetry::new),
         validate: a.flags.contains_key("validate") || strict_validate,
         tiers,
+        bus: obs.bus.clone(),
+        monitor: obs.monitor.clone(),
     };
     let mut quarantined = 0usize;
+    let mut truncated: Vec<String> = Vec::new();
     match cmd {
         "bench" => {
             let num = |k: &str, d: u64| {
@@ -537,6 +777,8 @@ fn main() {
                 validate: setup.validate,
                 corpus: a.flags.get("corpus").map(PathBuf::from),
                 tiers: setup.tiers.clone(),
+                bus: obs.bus.clone(),
+                monitor: obs.monitor.clone(),
             };
             let repeats = num("repeats", 1);
             let mut bench_quarantined = 0u64;
@@ -556,6 +798,12 @@ fn main() {
                     println!("journal  : appended to {path}");
                 }
             }
+            let journal_path = a
+                .flags
+                .get("journal")
+                .cloned()
+                .unwrap_or_else(|| swatop_bench::journal::DEFAULT_PATH.to_string());
+            obs.finish(Path::new(&journal_path), a.flags.get("label").map(String::as_str), &[]);
             if strict_validate && bench_quarantined > 0 {
                 eprintln!(
                     "swatop_cli: --strict-validate: {bench_quarantined} quarantined winner(s)"
@@ -569,7 +817,15 @@ fn main() {
             let op = MatmulOp::new(m, n, k);
             let (winner, outcome) = tune(&cfg, &op, &setup, 0, 1).expect("no valid schedule");
             quarantined += outcome.quarantined;
-            report(&cfg, &op.name(), op.flops(), &winner, &outcome, &a, setup.telemetry.as_ref());
+            truncated.extend(report(
+                &cfg,
+                &op.name(),
+                op.flops(),
+                &winner,
+                &outcome,
+                &a,
+                setup.telemetry.as_ref(),
+            ));
         }
         "conv" | "bwd-data" | "bwd-filter" => {
             let [b, ni, no, ro] = a.positional[..] else { usage() };
@@ -613,7 +869,15 @@ fn main() {
             }
             let (name, flops, winner, outcome) =
                 best.expect("no applicable method for this shape");
-            report(&cfg, &name, flops, &winner, &outcome, &a, setup.telemetry.as_ref());
+            truncated.extend(report(
+                &cfg,
+                &name,
+                flops,
+                &winner,
+                &outcome,
+                &a,
+                setup.telemetry.as_ref(),
+            ));
         }
         _ => usage(),
     }
@@ -647,6 +911,7 @@ fn main() {
             swatop_bench::report::roofline_table(tel, &cfg).print();
         }
     }
+    obs.finish(Path::new(swatop_bench::journal::DEFAULT_PATH), None, &truncated);
     // The gate runs last so telemetry artifacts are still written for
     // post-mortem inspection of the quarantined schedules.
     if strict_validate && quarantined > 0 {

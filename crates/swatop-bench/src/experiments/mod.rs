@@ -195,9 +195,7 @@ impl Opts {
             smoke: self.scale == Scale::Smoke,
             handicap: self.journal_handicap,
             faults: self.faults,
-            validate: false,
-            corpus: None,
-            tiers: swatop::tuner::TierPolicy::default(),
+            ..crate::journal::BenchOpts::default()
         };
         let record = crate::journal::run_bench(&bench);
         let path = std::path::Path::new(crate::journal::DEFAULT_PATH);

@@ -22,6 +22,7 @@ use std::time::Instant;
 use sw26010::json::{self, escape_json, fmt_f64, Json};
 use sw26010::MachineConfig;
 use swatop::observatory::{self, Bottleneck, BottleneckMix, Peaks};
+use swatop::telemetry::bus::Event;
 use swatop::telemetry::{mape, rank_correlation, Telemetry};
 use swatop::tuner::TuneOptions;
 
@@ -73,6 +74,12 @@ pub struct OpBench {
     /// best-so-far cycles)` at every improvement, in the tuner's
     /// deterministic evaluation order. Empty on pre-v3 records.
     pub convergence: Vec<(u64, u64)>,
+    /// Model MAPE over this operator's (predicted, measured) pairs.
+    /// Added append-only (no schema bump, like `schedule`); `None` on
+    /// older records and when the op recorded fewer than one pair.
+    pub mape_pct: Option<f64>,
+    /// Spearman rank correlation over the same per-op pairs.
+    pub rank_correlation: Option<f64>,
 }
 
 /// Per-tier evaluation volume of one benchmark run, summed over its ops.
@@ -127,6 +134,9 @@ pub struct Record {
 
 impl Record {
     pub fn to_json(&self) -> String {
+        fn opt(x: Option<f64>) -> String {
+            x.map_or_else(|| "null".to_string(), fmt_f64)
+        }
         let mut s = String::new();
         let _ = write!(
             s,
@@ -172,10 +182,14 @@ impl Record {
                 }
                 let _ = write!(s, "[{n},{c}]");
             }
-            s.push_str("]}");
+            let _ = write!(
+                s,
+                "],\"mape_pct\":{},\"rank_correlation\":{}}}",
+                opt(op.mape_pct),
+                opt(op.rank_correlation)
+            );
         }
         s.push(']');
-        let opt = |x: Option<f64>| x.map_or_else(|| "null".to_string(), fmt_f64);
         let _ = write!(
             s,
             ",\"mape_pct\":{},\"rank_correlation\":{},\
@@ -227,6 +241,16 @@ impl Record {
                 }
                 Err(_) => Vec::new(),
             };
+            // Per-op accuracy arrived with the observability work, also
+            // append-only: absent means unknown.
+            let op_mape = match o.field("mape_pct") {
+                Ok(f) => f.as_opt_f64(&what("mape_pct"))?,
+                Err(_) => None,
+            };
+            let op_rank = match o.field("rank_correlation") {
+                Ok(f) => f.as_opt_f64(&what("rank_correlation"))?,
+                Err(_) => None,
+            };
             ops.push(OpBench {
                 name: o.field("name")?.as_str(&what("name"))?.to_string(),
                 cycles: o.field("cycles")?.as_u64(&what("cycles"))?,
@@ -238,6 +262,8 @@ impl Record {
                 schedule,
                 tuner,
                 convergence,
+                mape_pct: op_mape,
+                rank_correlation: op_rank,
             });
         }
         let mix = v.field("mix")?;
@@ -384,6 +410,12 @@ pub struct BenchOpts {
     /// Evaluation-ladder configuration (`--tiers` / `--tier0-k`): tiered
     /// (the default) or full-scoreboard reference mode.
     pub tiers: swatop::tuner::TierPolicy,
+    /// Live-observability event bus; sweep/operator/candidate lifecycle
+    /// events are emitted on it when present. Never affects measured
+    /// cycles or winners.
+    pub bus: Option<swatop::telemetry::bus::EventBus>,
+    /// Worker heartbeat/stall monitor shared with the tuner pool.
+    pub monitor: Option<std::sync::Arc<swatop::tuner::pool::PoolMonitor>>,
 }
 
 impl Default for BenchOpts {
@@ -397,6 +429,8 @@ impl Default for BenchOpts {
             validate: false,
             corpus: None,
             tiers: swatop::tuner::TierPolicy::default(),
+            bus: None,
+            monitor: None,
         }
     }
 }
@@ -447,10 +481,17 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
         jobs: opts.jobs,
         telemetry: Some(tel.clone()),
         tiers: opts.tiers.clone(),
+        bus: opts.bus.clone(),
+        monitor: opts.monitor.clone(),
         ..TuneOptions::default()
     };
 
     let (gemms, convs) = bench_ops(opts.smoke);
+    let sweep_label =
+        format!("bench [{}] ({} ops)", opts.label, gemms.len() + convs.len());
+    if let Some(bus) = &opts.bus {
+        bus.emit_with(|| Event::SweepStart { label: sweep_label.clone() });
+    }
     let t0 = Instant::now();
     let mut tuned: Vec<(String, crate::runner::TunedOp)> = Vec::new();
     for (name, m, n, k) in &gemms {
@@ -462,6 +503,9 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
         if let Some(t) = tune_conv_checked(&cfg, *method, shape, &tune_opts, opts.validate) {
             tuned.push((name.clone(), t));
         }
+    }
+    if let Some(bus) = &opts.bus {
+        bus.emit_with(|| Event::SweepEnd { label: sweep_label.clone() });
     }
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3 * opts.handicap as f64;
     let quarantined: u64 = tuned.iter().map(|(_, t)| t.outcome.quarantined as u64).sum();
@@ -505,6 +549,8 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
             }
             .to_string(),
             convergence: t.outcome.convergence.clone(),
+            mape_pct: rollup.accuracy.as_ref().and_then(|a| a.mape_pct),
+            rank_correlation: rollup.accuracy.as_ref().and_then(|a| a.rank_correlation),
         });
     }
 
@@ -535,6 +581,55 @@ pub fn run_bench(opts: &BenchOpts) -> Record {
         rank_correlation: rank_correlation(&obs),
         mix: tel.bottleneck_mix(&peaks),
     }
+}
+
+/// Render a journal (optionally filtered by label) as one machine-readable
+/// JSON document: the raw records plus a per-op GFLOPS trend series in
+/// first-appearance order (`journal show --json`). Built on the same
+/// serializer as the journal file itself — no ad-hoc escaping.
+pub fn show_json(journal: &Journal, label: Option<&str>) -> String {
+    let records: Vec<&Record> = match label {
+        Some(l) => journal.with_label(l),
+        None => journal.records.iter().collect(),
+    };
+    let mut op_names: Vec<&str> = Vec::new();
+    for r in &records {
+        for op in &r.ops {
+            if !op_names.contains(&op.name.as_str()) {
+                op_names.push(&op.name);
+            }
+        }
+    }
+    let mut s = format!(
+        "{{\"schema\":{SCHEMA_VERSION},\"count\":{},\"records\":[",
+        records.len()
+    );
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&r.to_json());
+    }
+    s.push_str("],\"trend\":[");
+    for (i, name) in op_names.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"op\":\"{}\",\"gflops\":[", escape_json(name));
+        let mut first = true;
+        for r in &records {
+            if let Some(op) = r.ops.iter().find(|o| o.name == **name) {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&fmt_f64(op.gflops));
+            }
+        }
+        s.push_str("]}");
+    }
+    s.push_str("]}");
+    s
 }
 
 /// Render a journal record as a human-readable table.
@@ -875,6 +970,8 @@ mod tests {
                 schedule: "t_m=64, dbuf=true, coal=false, bcast=false".to_string(),
                 tuner: "model".to_string(),
                 convergence: vec![(1, 50_000), (4, cycles + 10), (9, cycles)],
+                mape_pct: Some(6.5),
+                rank_correlation: Some(0.91),
             }],
             mape_pct: Some(7.25),
             rank_correlation: Some(0.93),
@@ -906,9 +1003,12 @@ mod tests {
         let tp_start = text.find(",\"candidates_evaluated\":").unwrap();
         let tp_end = text[tp_start..].find('}').unwrap() + tp_start + 1;
         text.replace_range(tp_start..tp_end, "");
-        // Strip the v3 per-op fields too: a real v1 record has neither.
+        // Strip the v3+ per-op fields too (tuner, convergence and the
+        // per-op accuracy pair): a real v1 record has none of them. The
+        // single op closes with `}]`, so everything from `,"tuner":` up to
+        // that `}` goes.
         let tuner_start = text.find(",\"tuner\":").unwrap();
-        let tuner_end = text[tuner_start..].find("]}").unwrap() + tuner_start + 1;
+        let tuner_end = text[tuner_start..].find("}]").unwrap() + tuner_start;
         text.replace_range(tuner_start..tuner_end, "");
         assert!(!text.contains("quarantined"));
         assert!(!text.contains("convergence"));
@@ -922,9 +1022,47 @@ mod tests {
         assert_eq!(j.records[0].tiers, TierCounts::default());
         assert!(j.records[0].ops[0].tuner.is_empty());
         assert!(j.records[0].ops[0].convergence.is_empty());
+        assert_eq!(j.records[0].ops[0].mape_pct, None);
+        assert_eq!(j.records[0].ops[0].rank_correlation, None);
         // Above the current version is still rejected.
         let future = text.replace("\"schema\":1", "\"schema\":99");
         assert!(Journal::validate(&future).is_err());
+    }
+
+    #[test]
+    fn show_json_carries_records_and_trend() {
+        let mut a = sample_record("run", 100.0, 20_000);
+        a.ops[0].gflops = 16.0;
+        let mut b = sample_record("run", 100.0, 12_000);
+        b.ops[0].gflops = 42.5;
+        b.ops.push(OpBench { name: "conv_new".to_string(), gflops: 5.0, ..b.ops[0].clone() });
+        let other = sample_record("other", 100.0, 9_000);
+        let j = Journal { records: vec![a, b, other] };
+
+        let text = show_json(&j, Some("run"));
+        validate_json(&text).unwrap();
+        let v = json::parse(&text).unwrap();
+        assert_eq!(v.field("count").unwrap().as_u64("count").unwrap(), 2);
+        assert_eq!(v.field("records").unwrap().as_arr("records").unwrap().len(), 2);
+        let trend = v.field("trend").unwrap().as_arr("trend").unwrap();
+        assert_eq!(trend.len(), 2);
+        assert_eq!(trend[0].field("op").unwrap().as_str("op").unwrap(), "gemm_256");
+        let g: Vec<f64> = trend[0]
+            .field("gflops")
+            .unwrap()
+            .as_arr("gflops")
+            .unwrap()
+            .iter()
+            .map(|x| x.as_f64("gflops").unwrap())
+            .collect();
+        assert_eq!(g, vec![16.0, 42.5]);
+        assert_eq!(trend[1].field("op").unwrap().as_str("op").unwrap(), "conv_new");
+
+        // Unfiltered, every record appears.
+        let all = show_json(&j, None);
+        validate_json(&all).unwrap();
+        let v = json::parse(&all).unwrap();
+        assert_eq!(v.field("count").unwrap().as_u64("count").unwrap(), 3);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! for the per-experiment index.
 
 pub mod experiments;
+pub mod flight;
 pub mod journal;
 pub mod report;
 pub mod runner;

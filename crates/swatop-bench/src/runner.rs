@@ -13,6 +13,7 @@
 
 use sw26010::{Cycles, MachineConfig};
 use swatop::scheduler::{Candidate, Operator, Scheduler};
+use swatop::telemetry::bus::Event;
 use swatop::telemetry::SpanKind;
 use swatop::tuner::{pool, tiered_tune_validated, TuneOptions, TuneOutcome};
 use swatop::ops::{ExplicitConvOp, ImplicitConvOp, MatmulOp, WinogradConvOp};
@@ -86,6 +87,12 @@ fn tune(
         run_opts.telemetry = Some(t.child_of(id));
         (t.clone(), id)
     });
+    if let Some(bus) = &opts.bus {
+        bus.emit_with(|| Event::OperatorStart { label: label.to_string(), candidates: n });
+    }
+    if let Some(m) = &opts.monitor {
+        m.set_context(label);
+    }
     // The winner validator runs the static legality checker plus a full
     // differential functional execution against the operator's golden
     // reference; a rejected winner is quarantined and the tuner falls back.
@@ -98,6 +105,14 @@ fn tune(
     );
     if let Some((t, id)) = span {
         t.close(id);
+    }
+    if let Some(bus) = &opts.bus {
+        bus.emit_with(|| Event::OperatorEnd {
+            label: label.to_string(),
+            best_cycles: outcome.as_ref().map(|o| o.cycles.get()),
+            executed: outcome.as_ref().map_or(0, |o| o.executed),
+            quarantined: outcome.as_ref().map_or(0, |o| o.quarantined),
+        });
     }
     let outcome = outcome?;
     let schedule = cands.get(outcome.best).map(|c| c.describe.clone()).unwrap_or_default();
@@ -273,10 +288,15 @@ fn sweep<R>(
     body: impl FnOnce(&(dyn Fn(usize) -> TuneOptions + Sync)) -> R,
 ) -> R {
     let span = opts.telemetry.as_ref().map(|t| (t.clone(), t.open(SpanKind::Sweep, label)));
+    if let Some(bus) = &opts.bus {
+        bus.emit_with(|| Event::SweepStart { label: label.to_string() });
+    }
     let shape_opts = |w: usize| {
         let mut inner = TuneOptions {
             retry: opts.retry.clone(),
             tiers: opts.tiers.clone(),
+            bus: opts.bus.clone(),
+            monitor: opts.monitor.clone(),
             ..TuneOptions::default()
         };
         if let Some((t, id)) = &span {
@@ -287,6 +307,9 @@ fn sweep<R>(
     let out = body(&shape_opts);
     if let Some((t, id)) = span {
         t.close(id);
+    }
+    if let Some(bus) = &opts.bus {
+        bus.emit_with(|| Event::SweepEnd { label: label.to_string() });
     }
     out
 }

@@ -43,6 +43,9 @@ use sw26010::Counters;
 
 use crate::observatory::{self, BottleneckMix, Peaks};
 
+pub mod bus;
+pub mod metrics;
+
 /// Identifier of a recorded span (index into the span table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SpanId(pub usize);

@@ -1,0 +1,494 @@
+//! Live `/metrics` endpoint: a Prometheus text-exposition scrape surface
+//! for a running sweep.
+//!
+//! [`MetricsHub`] subscribes to the [`bus`](crate::telemetry::bus) and
+//! folds drained events into live gauges at *scrape* time — the tuner
+//! never blocks on a scraper, and a scraper never blocks the tuner beyond
+//! one mailbox mutex push. [`MetricsServer`] is a deliberately minimal
+//! `std::net` HTTP/1.1 responder (serial accept loop, fixed headers,
+//! `Connection: close`): it serves exactly one document, so a real HTTP
+//! stack would be dead weight. The text is the existing observatory cache
+//! exposition ([`super::caches_prometheus_text`]) plus live sweep gauges:
+//! candidate funnel and throughput, ETA for the operator in flight,
+//! per-worker utilization from the [`PoolMonitor`], stall and quarantine
+//! counts, memo hit rates, and the bus's own received/dropped counters so
+//! a scraper can tell sampled data from complete data.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::telemetry::bus::{Event, EventBus, Subscriber};
+use crate::tuner::pool::PoolMonitor;
+
+/// Folded view of the event stream, updated on every scrape.
+#[derive(Debug, Clone, Default)]
+struct Live {
+    sweeps_started: u64,
+    sweeps_ended: u64,
+    operators_started: u64,
+    operators_ended: u64,
+    /// `(label, planned candidates, measured so far)` of the operator in
+    /// flight — the ETA numerator.
+    current_op: Option<(String, u64, u64)>,
+    measured: u64,
+    failed: u64,
+    retried: u64,
+    quarantined: u64,
+    waves: u64,
+    checkpoints: u64,
+    stalls: u64,
+    heartbeats: u64,
+}
+
+impl Live {
+    fn fold(&mut self, e: Event) {
+        match e {
+            Event::SweepStart { .. } => self.sweeps_started += 1,
+            Event::SweepEnd { .. } => self.sweeps_ended += 1,
+            Event::OperatorStart { label, candidates } => {
+                self.operators_started += 1;
+                self.current_op = Some((label, candidates as u64, 0));
+            }
+            Event::OperatorEnd { .. } => {
+                self.operators_ended += 1;
+                self.current_op = None;
+            }
+            Event::WaveStart { .. } => self.waves += 1,
+            Event::WaveEnd { failed, .. } => self.failed += failed as u64,
+            Event::CandidateMeasured { cycles, retries, .. } => {
+                self.measured += 1;
+                self.retried += u64::from(retries);
+                if cycles.is_none() {
+                    self.failed += 1;
+                }
+                if let Some((_, _, done)) = &mut self.current_op {
+                    *done += 1;
+                }
+            }
+            Event::Quarantined { .. } => self.quarantined += 1,
+            Event::CheckpointSaved { .. } => self.checkpoints += 1,
+            Event::StallFlagged { .. } => self.stalls += 1,
+            Event::Heartbeat { .. } => self.heartbeats += 1,
+            Event::MemoTick { .. } => {}
+        }
+    }
+}
+
+/// Aggregates live sweep state for the `/metrics` endpoint (and the flight
+/// report's live section). Thread-safe; scrapes are serialized on an
+/// internal mutex.
+pub struct MetricsHub {
+    sub: Subscriber,
+    monitor: Option<Arc<PoolMonitor>>,
+    live: Mutex<Live>,
+    /// Artifacts known to be silently capped (e.g. a truncated trace);
+    /// surfaced as a labelled gauge so capped data is visible, not
+    /// implied-complete.
+    truncated: Mutex<Vec<String>>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for MetricsHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsHub").field("live", &*self.live.lock()).finish()
+    }
+}
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn esc_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+impl MetricsHub {
+    /// Subscribe to `bus` (ring of `cap` events — overflow only loses
+    /// granularity of the fold between scrapes, and is itself exported as
+    /// `swatop_bus_events_dropped_total`).
+    pub fn new(bus: &EventBus, monitor: Option<Arc<PoolMonitor>>, cap: usize) -> MetricsHub {
+        MetricsHub {
+            sub: bus.subscribe(cap),
+            monitor,
+            live: Mutex::new(Live::default()),
+            truncated: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Record an artifact whose contents were silently capped.
+    pub fn note_truncated(&self, artifact: &str) {
+        self.truncated.lock().push(artifact.to_string());
+    }
+
+    /// Fold any pending events and render the full Prometheus text
+    /// exposition.
+    pub fn prometheus_text(&self) -> String {
+        let live = {
+            let mut live = self.live.lock();
+            for e in self.sub.drain() {
+                live.fold(e);
+            }
+            live.clone()
+        };
+        let elapsed = self.epoch.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 { live.measured as f64 / elapsed } else { 0.0 };
+        let eta = match &live.current_op {
+            Some((_, planned, done)) if rate > 0.0 => {
+                planned.saturating_sub(*done) as f64 / rate
+            }
+            _ => 0.0,
+        };
+
+        let mut out = super::caches_prometheus_text();
+        fn single(out: &mut String, name: &str, help: &str, kind: &str, value: String) {
+            out.push_str(&format!(
+                "# HELP swatop_{name} {help}\n# TYPE swatop_{name} {kind}\nswatop_{name} {value}\n"
+            ));
+        }
+        single(
+            &mut out,
+            "candidates_measured_total",
+            "Candidates measured this run (funnel numerator)",
+            "counter",
+            live.measured.to_string(),
+        );
+        single(
+            &mut out,
+            "candidates_failed_total",
+            "Candidates that failed terminally this run",
+            "counter",
+            live.failed.to_string(),
+        );
+        single(
+            &mut out,
+            "candidate_retries_total",
+            "Transient-failure retries consumed this run",
+            "counter",
+            live.retried.to_string(),
+        );
+        single(
+            &mut out,
+            "quarantined_total",
+            "Prospective winners quarantined by validation this run",
+            "counter",
+            live.quarantined.to_string(),
+        );
+        single(
+            &mut out,
+            "operators_started_total",
+            "Operators whose tuning started this run",
+            "counter",
+            live.operators_started.to_string(),
+        );
+        single(
+            &mut out,
+            "operators_completed_total",
+            "Operators whose tuning completed this run",
+            "counter",
+            live.operators_ended.to_string(),
+        );
+        single(
+            &mut out,
+            "sweeps_started_total",
+            "Multi-operator sweeps started this run",
+            "counter",
+            live.sweeps_started.to_string(),
+        );
+        single(
+            &mut out,
+            "waves_total",
+            "Scoreboard measurement waves dispatched this run",
+            "counter",
+            live.waves.to_string(),
+        );
+        single(
+            &mut out,
+            "checkpoints_saved_total",
+            "Checkpoint files written this run",
+            "counter",
+            live.checkpoints.to_string(),
+        );
+        single(
+            &mut out,
+            "stalls_flagged_total",
+            "Wedged worker/candidate pairs flagged by the watchdog",
+            "counter",
+            live.stalls.to_string(),
+        );
+        single(
+            &mut out,
+            "worker_heartbeats_total",
+            "Liveness samples received from the pool monitor",
+            "counter",
+            live.heartbeats.to_string(),
+        );
+        single(
+            &mut out,
+            "candidates_per_sec",
+            "Measured-candidate throughput since endpoint start",
+            "gauge",
+            format!("{rate:.3}"),
+        );
+        single(
+            &mut out,
+            "eta_seconds",
+            "Estimated seconds left for the operator in flight (0 = idle)",
+            "gauge",
+            format!("{eta:.3}"),
+        );
+
+        // Memo hit rates as ratios (the raw counters precede them in the
+        // cache exposition block).
+        let (kh, km, _) = swkernels::cost::cache_stats();
+        let (mh, mm, _) = crate::model::memo::stats();
+        let ratio = |h: u64, m: u64| {
+            let total = h + m;
+            if total > 0 {
+                h as f64 / total as f64
+            } else {
+                0.0
+            }
+        };
+        out.push_str(&format!(
+            "# HELP swatop_memo_hit_rate Evaluation-cache hit rate since process start\n\
+             # TYPE swatop_memo_hit_rate gauge\n\
+             swatop_memo_hit_rate{{cache=\"kernel_cost\"}} {:.4}\n\
+             swatop_memo_hit_rate{{cache=\"memo\"}} {:.4}\n",
+            ratio(kh, km),
+            ratio(mh, mm)
+        ));
+
+        if let Some(m) = &self.monitor {
+            let elapsed_ms = m.elapsed_ms().max(1);
+            let stats = m.worker_stats();
+            if !stats.is_empty() {
+                out.push_str(
+                    "# HELP swatop_worker_utilization Fraction of host time each worker \
+                     slot spent inside candidate bodies\n\
+                     # TYPE swatop_worker_utilization gauge\n",
+                );
+                for (w, s) in stats.iter().enumerate() {
+                    out.push_str(&format!(
+                        "swatop_worker_utilization{{worker=\"{w}\"}} {:.4}\n",
+                        s.busy_ms as f64 / elapsed_ms as f64
+                    ));
+                }
+                out.push_str(
+                    "# HELP swatop_worker_items_total Items finished per worker slot\n\
+                     # TYPE swatop_worker_items_total counter\n",
+                );
+                for (w, s) in stats.iter().enumerate() {
+                    out.push_str(&format!(
+                        "swatop_worker_items_total{{worker=\"{w}\"}} {}\n",
+                        s.items
+                    ));
+                }
+            }
+        }
+
+        single(
+            &mut out,
+            "bus_events_received_total",
+            "Lifecycle events delivered to the metrics subscriber",
+            "counter",
+            self.sub.received().to_string(),
+        );
+        single(
+            &mut out,
+            "bus_events_dropped_total",
+            "Lifecycle events the metrics subscriber lost to ring overflow",
+            "counter",
+            self.sub.dropped().to_string(),
+        );
+
+        let truncated = self.truncated.lock();
+        single(
+            &mut out,
+            "truncated_artifacts",
+            "Artifacts whose contents were silently capped this run",
+            "gauge",
+            truncated.len().to_string(),
+        );
+        for artifact in truncated.iter() {
+            out.push_str(&format!(
+                "swatop_truncated_artifacts{{artifact=\"{}\"}} 1\n",
+                esc_label(artifact)
+            ));
+        }
+        out
+    }
+
+    /// Condensed live accounting for the flight report: `(events received,
+    /// events dropped, stalls flagged, candidates failed, retries,
+    /// quarantined, truncated artifacts)`.
+    #[allow(clippy::type_complexity)]
+    pub fn accounting(&self) -> (u64, u64, u64, u64, u64, u64, Vec<String>) {
+        // Fold pending events first so the numbers are current.
+        let _ = self.prometheus_text();
+        let live = self.live.lock().clone();
+        (
+            self.sub.received(),
+            self.sub.dropped(),
+            live.stalls,
+            live.failed,
+            live.retried,
+            live.quarantined,
+            self.truncated.lock().clone(),
+        )
+    }
+}
+
+/// Minimal HTTP responder serving [`MetricsHub::prometheus_text`] on
+/// `GET /metrics` (and `GET /`). One request per connection, serial accept
+/// loop — a scrape cadence of seconds against a sub-millisecond render
+/// needs nothing more.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`; port 0 picks an ephemeral port,
+    /// see [`MetricsServer::addr`]) and serve scrapes on a background
+    /// thread until [`MetricsServer::shutdown`].
+    pub fn start(addr: &str, hub: Arc<MetricsHub>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("swatop-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(mut stream) = conn else { continue };
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                    let mut buf = [0u8; 1024];
+                    let n = stream.read(&mut buf).unwrap_or(0);
+                    let req = String::from_utf8_lossy(&buf[..n]);
+                    let (status, body) = if req.starts_with("GET / ")
+                        || req.starts_with("GET /metrics")
+                        || req.is_empty()
+                    {
+                        ("200 OK", hub.prometheus_text())
+                    } else {
+                        ("404 Not Found", "not found\n".to_string())
+                    };
+                    let response = format!(
+                        "HTTP/1.1 {status}\r\n\
+                         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                         Content-Length: {}\r\n\
+                         Connection: close\r\n\r\n{body}",
+                        body.len()
+                    );
+                    let _ = stream.write_all(response.as_bytes());
+                }
+            })?;
+        Ok(MetricsServer { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port chosen).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::pool::MonitorConfig;
+
+    /// Line-level Prometheus text-exposition check: every non-comment line
+    /// is `name[{labels}] value` with a parseable float value.
+    fn assert_prometheus(text: &str) {
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (series, value) =
+                line.rsplit_once(' ').unwrap_or_else(|| panic!("no value in {line:?}"));
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                !name.is_empty()
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad series name in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hub_folds_events_into_valid_exposition() {
+        let bus = EventBus::new();
+        let monitor = Arc::new(PoolMonitor::new(MonitorConfig::default(), Some(bus.clone())));
+        monitor.begin(0, 3, "dbuf=true");
+        monitor.finish(0);
+        let hub = MetricsHub::new(&bus, Some(Arc::clone(&monitor)), 1024);
+        bus.emit(Event::OperatorStart { label: "gemm".into(), candidates: 10 });
+        for i in 0..4usize {
+            bus.emit(Event::CandidateMeasured {
+                index: i,
+                cycles: (i != 2).then_some(100 + i as u64),
+                retries: u32::from(i == 1),
+                worker: 0,
+            });
+        }
+        bus.emit(Event::Quarantined { index: 0, reason: "bad".into() });
+        hub.note_truncated("trace \"t\"");
+        let text = hub.prometheus_text();
+        assert_prometheus(&text);
+        assert!(text.contains("swatop_candidates_measured_total 4"), "{text}");
+        assert!(text.contains("swatop_candidates_failed_total 1"), "{text}");
+        assert!(text.contains("swatop_candidate_retries_total 1"), "{text}");
+        assert!(text.contains("swatop_quarantined_total 1"), "{text}");
+        assert!(text.contains("swatop_cache_hits_total"), "{text}");
+        assert!(text.contains("swatop_worker_items_total{worker=\"0\"} 1"), "{text}");
+        assert!(text.contains("swatop_truncated_artifacts 1"), "{text}");
+        assert!(text.contains("artifact=\"trace \\\"t\\\"\""), "{text}");
+        assert!(text.contains("swatop_eta_seconds"), "{text}");
+    }
+
+    #[test]
+    fn server_serves_scrapes_and_404s_unknown_paths() {
+        let bus = EventBus::new();
+        let hub = Arc::new(MetricsHub::new(&bus, None, 64));
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+        let addr = server.addr();
+        let get = |path: &str| {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+        let ok = get("/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"), "{ok}");
+        let body = ok.split("\r\n\r\n").nth(1).unwrap();
+        assert_prometheus(body);
+        assert!(get("/nope").starts_with("HTTP/1.1 404"));
+        server.shutdown();
+    }
+}

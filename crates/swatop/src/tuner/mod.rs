@@ -28,6 +28,7 @@ pub mod search;
 
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sw26010::{
@@ -37,12 +38,14 @@ use swatop_ir::{MatDesc, SpmSlot, Stmt};
 use swkernels::spm_gemm::SpmMatrix;
 
 use self::checkpoint::CandCell;
+use self::pool::PoolMonitor;
 use crate::codegen::Executable;
 use crate::interp::{execute, instantiate};
 use crate::model::memo::MemoCache;
 use crate::model::{estimate_program_memo, GemmModel};
 use crate::observatory::{self, BottleneckMix, Peaks};
 use crate::scheduler::Candidate;
+use crate::telemetry::bus::{Event, EventBus};
 use crate::telemetry::{SpanKind, Telemetry, TuneTelemetry};
 
 /// Result of a tuning run.
@@ -306,6 +309,16 @@ pub struct TuneOptions {
     /// the fixed-k `model_tune_*` and exhaustive `blackbox_tune_*` entry
     /// points only read [`TierPolicy::memo`].
     pub tiers: TierPolicy,
+    /// Live lifecycle-event bus (see [`crate::telemetry::bus`]). `None`
+    /// (the default) emits nothing; with a bus attached but no subscriber
+    /// the cost is one relaxed load per event site. Events are report-only
+    /// and never feed tuning decisions, so results are bit-identical with
+    /// or without one.
+    pub bus: Option<EventBus>,
+    /// Heartbeat / utilization / stall-watchdog monitor for the worker
+    /// pool (see [`PoolMonitor`]). `None` (the default) spawns no watchdog
+    /// thread and records nothing. Report-only, like the bus.
+    pub monitor: Option<Arc<PoolMonitor>>,
 }
 
 impl TuneOptions {
@@ -427,6 +440,14 @@ fn measure_candidate(
     let mut counters = Counters::default();
     if let Err(e) = prevalidate(cfg, cand) {
         return (CandCell::Failed { error: e.to_string(), retries: 0 }, t.elapsed(), counters);
+    }
+    if let Some(plan) = &cfg.fault {
+        // Injected stall for watchdog tests: burns host wall-clock only,
+        // before any simulated execution, so measured cycles — and hence
+        // every tuning decision — are bit-identical with or without it.
+        if plan.wedges(index as u64) {
+            std::thread::sleep(Duration::from_millis(u64::from(plan.wedge_ms)));
+        }
     }
     let fault_active = cfg.fault.is_some();
     let repeats = if cfg.fault.as_ref().is_some_and(|p| p.jitter_permille > 0) {
@@ -588,6 +609,10 @@ struct Engine<'a> {
     screened: usize,
     /// Winner validations performed (accepts and quarantines).
     validated: usize,
+    /// Live event bus (report-only; `None` = silent).
+    bus: Option<EventBus>,
+    /// Pool heartbeat/stall monitor (report-only; `None` = no watchdog).
+    monitor: Option<Arc<PoolMonitor>>,
 }
 
 impl<'a> Engine<'a> {
@@ -632,6 +657,16 @@ impl<'a> Engine<'a> {
             eval_order: Vec::new(),
             screened: 0,
             validated: 0,
+            bus: opts.bus.clone(),
+            monitor: opts.monitor.clone(),
+        }
+    }
+
+    /// Publish a lifecycle event when a bus is attached (the `None` path
+    /// never builds the event).
+    fn emit(&self, f: impl FnOnce() -> Event) {
+        if let Some(bus) = &self.bus {
+            bus.emit_with(f);
         }
     }
 
@@ -659,6 +694,7 @@ impl<'a> Engine<'a> {
     /// Quarantine a rejected winner. The caller must also clear it from its
     /// own selection set so the fallback loop moves on.
     fn quarantine(&mut self, index: usize, reason: String) {
+        self.emit(|| Event::Quarantined { index, reason: reason.clone() });
         self.quarantined.push((index, reason));
     }
 
@@ -687,19 +723,33 @@ impl<'a> Engine<'a> {
             return;
         }
         self.eval_order.extend(todo.iter().copied());
+        self.emit(|| Event::WaveStart { size: todo.len() });
         let chunk = self.checkpoint.as_ref().map_or(usize::MAX, |c| c.every.max(1));
         for part in todo.chunks(chunk.min(todo.len())) {
-            let results = pool::par_map_catch_ctx(self.jobs, part, |worker, _, &i| {
-                measure_instrumented(
-                    self.cfg,
-                    &self.candidates[i],
-                    i,
-                    &self.retry,
-                    self.telemetry.as_ref(),
-                    worker,
-                    self.prediction(i),
-                )
-            });
+            let results = pool::par_map_catch_ctx_watched(
+                self.jobs,
+                part,
+                self.monitor.as_deref(),
+                |_, &i| (i, self.candidates[i].describe.clone()),
+                |worker, _, &i| {
+                    let out = measure_instrumented(
+                        self.cfg,
+                        &self.candidates[i],
+                        i,
+                        &self.retry,
+                        self.telemetry.as_ref(),
+                        worker,
+                        self.prediction(i),
+                    );
+                    self.emit(|| Event::CandidateMeasured {
+                        index: i,
+                        cycles: out.0.cycles().map(|c| c.get()),
+                        retries: out.0.retries(),
+                        worker,
+                    });
+                    out
+                },
+            );
             for (&i, r) in part.iter().zip(results) {
                 self.cells[i] = match r {
                     Ok((cell, d, counters)) => {
@@ -714,6 +764,16 @@ impl<'a> Engine<'a> {
             }
             self.save();
         }
+        self.emit(|| {
+            let measured =
+                todo.iter().filter(|&&i| matches!(self.cells[i], CandCell::Done { .. })).count();
+            Event::WaveEnd { measured, failed: todo.len() - measured }
+        });
+        self.emit(|| {
+            let (kernel_hits, kernel_misses, _) = swkernels::cost::cache_stats();
+            let (memo_hits, memo_misses, _) = crate::model::memo::stats();
+            Event::MemoTick { kernel_hits, kernel_misses, memo_hits, memo_misses }
+        });
     }
 
     fn save(&self) {
@@ -721,6 +781,10 @@ impl<'a> Engine<'a> {
         if let Err(e) = checkpoint::save(&cp.path, self.fingerprint, &self.cells) {
             eprintln!("swatop: failed to write checkpoint {}: {e}", cp.path.display());
         }
+        self.emit(|| Event::CheckpointSaved {
+            done: self.cells.iter().filter(|c| !c.is_pending()).count(),
+            total: self.cells.len(),
+        });
     }
 
     fn all_cycles(&self) -> Vec<Option<Cycles>> {

@@ -23,7 +23,12 @@
 //! the scope joins.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::telemetry::bus::{Event, EventBus};
 
 /// Number of worker threads the host makes available (the default for
 /// `--jobs`).
@@ -146,6 +151,262 @@ where
     })
 }
 
+/// Watchdog configuration for [`PoolMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorConfig {
+    /// An in-flight item older than this is flagged as stalled (once).
+    pub stall_after: Duration,
+    /// Watchdog sampling period (also the heartbeat cadence).
+    pub poll: Duration,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig { stall_after: Duration::from_secs(30), poll: Duration::from_millis(50) }
+    }
+}
+
+/// One stall the watchdog flagged. Report-only: the measurement it points
+/// at keeps running and its result is folded in normally when it lands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallReport {
+    /// Worker slot that is wedged.
+    pub worker: usize,
+    /// Input index of the stuck item (candidate index for tuner waves).
+    pub index: usize,
+    /// Span path of the stuck work: `operator context / candidate knobs`.
+    pub path: String,
+    /// How long the item had been in flight when flagged.
+    pub stalled_ms: u64,
+}
+
+/// Per-worker utilization totals, exposed for `/metrics` and the flight
+/// report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Items this worker slot has finished.
+    pub items: u64,
+    /// Total host time the slot spent inside item bodies.
+    pub busy_ms: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct WorkerSlot {
+    /// `(input index, knob description, started, already flagged)` of the
+    /// item currently in flight, if any.
+    current: Option<(usize, String, Instant, bool)>,
+    /// When the slot last *finished* an item (its last progress).
+    last_progress: Option<Instant>,
+    items: u64,
+    busy: Duration,
+}
+
+/// Host-side heartbeat / utilization / stall accounting for the worker
+/// pool. Purely observational: it is written around item bodies (never
+/// inside the simulated execution), so attaching one cannot change
+/// measured cycles or tuning decisions. Workers mark progress with
+/// [`PoolMonitor::begin`] / [`PoolMonitor::finish`]; a watchdog thread
+/// (see [`watched`]) samples the slots and flags any item in flight longer
+/// than [`MonitorConfig::stall_after`] — once per item, with the span path
+/// (operator context + candidate knobs) an operator needs to find the
+/// wedge.
+pub struct PoolMonitor {
+    cfg: MonitorConfig,
+    epoch: Instant,
+    /// Current operator context, prefixed onto stall paths.
+    context: Mutex<String>,
+    slots: Mutex<Vec<WorkerSlot>>,
+    stalls: Mutex<Vec<StallReport>>,
+    bus: Option<EventBus>,
+}
+
+impl std::fmt::Debug for PoolMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolMonitor")
+            .field("cfg", &self.cfg)
+            .field("stalls", &self.stalls.lock().len())
+            .finish()
+    }
+}
+
+impl PoolMonitor {
+    pub fn new(cfg: MonitorConfig, bus: Option<EventBus>) -> PoolMonitor {
+        PoolMonitor {
+            cfg,
+            epoch: Instant::now(),
+            context: Mutex::new(String::new()),
+            slots: Mutex::new(Vec::new()),
+            stalls: Mutex::new(Vec::new()),
+            bus,
+        }
+    }
+
+    /// Set the operator context prefixed onto stall span paths (e.g. the
+    /// operator label currently being tuned).
+    pub fn set_context(&self, context: &str) {
+        *self.context.lock() = context.to_string();
+    }
+
+    /// Mark `worker` as having claimed item `index` described by `knobs`.
+    pub fn begin(&self, worker: usize, index: usize, knobs: &str) {
+        let mut slots = self.slots.lock();
+        if slots.len() <= worker {
+            slots.resize(worker + 1, WorkerSlot::default());
+        }
+        slots[worker].current = Some((index, knobs.to_string(), Instant::now(), false));
+    }
+
+    /// Mark `worker` as having finished its in-flight item.
+    pub fn finish(&self, worker: usize) {
+        let mut slots = self.slots.lock();
+        if let Some(slot) = slots.get_mut(worker) {
+            if let Some((_, _, since, _)) = slot.current.take() {
+                slot.busy += since.elapsed();
+                slot.items += 1;
+                slot.last_progress = Some(Instant::now());
+            }
+        }
+    }
+
+    /// Stalls flagged so far, oldest first.
+    pub fn stalls(&self) -> Vec<StallReport> {
+        self.stalls.lock().clone()
+    }
+
+    /// Per-worker utilization totals. In-flight time counts as busy so a
+    /// wedged worker reads as saturated, not idle.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.slots
+            .lock()
+            .iter()
+            .map(|s| {
+                let mut busy = s.busy;
+                if let Some((_, _, since, _)) = &s.current {
+                    busy += since.elapsed();
+                }
+                WorkerStats { items: s.items, busy_ms: busy.as_millis() as u64 }
+            })
+            .collect()
+    }
+
+    /// Host milliseconds since the monitor was created (the utilization
+    /// denominator).
+    pub fn elapsed_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// One watchdog sample: flag fresh stalls and emit heartbeats. Called
+    /// periodically by the [`watched`] thread; public so tests can drive
+    /// it directly.
+    pub fn poll_once(&self) {
+        let context = self.context.lock().clone();
+        let mut fresh: Vec<StallReport> = Vec::new();
+        {
+            let mut slots = self.slots.lock();
+            for (worker, slot) in slots.iter_mut().enumerate() {
+                if let Some((index, knobs, since, flagged)) = &mut slot.current {
+                    let age = since.elapsed();
+                    if !*flagged && age >= self.cfg.stall_after {
+                        *flagged = true;
+                        let path = if context.is_empty() {
+                            knobs.clone()
+                        } else {
+                            format!("{context} / {knobs}")
+                        };
+                        fresh.push(StallReport {
+                            worker,
+                            index: *index,
+                            path,
+                            stalled_ms: age.as_millis() as u64,
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(bus) = &self.bus {
+            for s in &fresh {
+                let s = s.clone();
+                bus.emit_with(move || Event::StallFlagged {
+                    worker: s.worker,
+                    index: s.index,
+                    path: s.path,
+                    stalled_ms: s.stalled_ms,
+                });
+            }
+            for (worker, stats) in self.worker_stats().iter().enumerate() {
+                let idle_ms = {
+                    let slots = self.slots.lock();
+                    slots[worker]
+                        .last_progress
+                        .map(|t| t.elapsed().as_millis() as u64)
+                        .unwrap_or(0)
+                };
+                let items = stats.items;
+                bus.emit_with(move || Event::Heartbeat { worker, items, idle_ms });
+            }
+        }
+        if !fresh.is_empty() {
+            self.stalls.lock().extend(fresh);
+        }
+    }
+}
+
+/// Run `f` with a watchdog thread sampling `monitor` until it returns.
+/// `monitor: None` is the zero-cost path — `f` runs directly, no thread is
+/// spawned. The watchdog is report-only: it reads monitor slots and
+/// publishes [`Event::StallFlagged`] / [`Event::Heartbeat`]; it never
+/// touches the work itself, so results are bit-identical with or without
+/// it.
+pub fn watched<R>(monitor: Option<&PoolMonitor>, f: impl FnOnce() -> R) -> R {
+    let Some(m) = monitor else { return f() };
+    let done = AtomicBool::new(false);
+    crossbeam::thread::scope(|scope| {
+        let watchdog = scope.spawn(|_| {
+            while !done.load(Ordering::Acquire) {
+                std::thread::sleep(m.cfg.poll);
+                m.poll_once();
+            }
+        });
+        let out = f();
+        done.store(true, Ordering::Release);
+        watchdog.join().expect("watchdog thread panicked");
+        out
+    })
+    .expect("watchdog scope panicked")
+}
+
+/// [`par_map_catch_ctx`] wrapped in heartbeat accounting and the stall
+/// watchdog. With `monitor: None` it is exactly [`par_map_catch_ctx`].
+/// `label(i, &items[i])` gives an item's stall-report identity and its
+/// knob description — the identity names the item in the caller's own
+/// terms (the candidate *input* index for tuner waves, which need not be
+/// the item's position in this slice); it is only called when a monitor is
+/// attached.
+pub fn par_map_catch_ctx_watched<T, R, F, K>(
+    jobs: usize,
+    items: &[T],
+    monitor: Option<&PoolMonitor>,
+    label: K,
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, usize, &T) -> R + Sync,
+    K: Fn(usize, &T) -> (usize, String) + Sync,
+{
+    let Some(m) = monitor else { return par_map_catch_ctx(jobs, items, f) };
+    watched(Some(m), || {
+        par_map_ctx(jobs, items, |w, i, x| {
+            let (id, knobs) = label(i, x);
+            m.begin(w, id, &knobs);
+            let r = catch_unwind(AssertUnwindSafe(|| f(w, i, x))).map_err(panic_message);
+            m.finish(w);
+            r
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +484,77 @@ mod tests {
         assert_eq!(resolve_jobs(Some(0)), available_jobs());
         assert_eq!(resolve_jobs(Some(3)), 3);
         assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn monitor_accounts_utilization_and_watched_preserves_results() {
+        let cfg = MonitorConfig { stall_after: Duration::from_secs(60), ..Default::default() };
+        let m = PoolMonitor::new(cfg, None);
+        m.set_context("unit");
+        let items: Vec<usize> = (0..40).collect();
+        let baseline = par_map_catch_ctx(4, &items, |_, i, &x| i + x);
+        let watched_run =
+            par_map_catch_ctx_watched(
+                4,
+                &items,
+                Some(&m),
+                |i, _| (i, format!("item {i}")),
+                |_, i, &x| i + x,
+            );
+        assert_eq!(baseline, watched_run);
+        let stats = m.worker_stats();
+        assert_eq!(stats.iter().map(|s| s.items).sum::<u64>(), items.len() as u64);
+        assert!(m.stalls().is_empty(), "clean run must not flag stalls");
+    }
+
+    #[test]
+    fn watchdog_flags_a_wedged_item_once_with_its_path() {
+        let cfg = MonitorConfig {
+            stall_after: Duration::from_millis(20),
+            poll: Duration::from_millis(5),
+        };
+        let m = PoolMonitor::new(cfg, None);
+        m.set_context("gemm 64x64x64");
+        m.begin(1, 7, "dbuf=true, coal=false");
+        std::thread::sleep(Duration::from_millis(30));
+        m.poll_once();
+        m.poll_once(); // second sample must not double-flag the same item
+        let stalls = m.stalls();
+        assert_eq!(stalls.len(), 1, "{stalls:?}");
+        assert_eq!(stalls[0].worker, 1);
+        assert_eq!(stalls[0].index, 7);
+        assert!(stalls[0].path.contains("gemm 64x64x64"), "{}", stalls[0].path);
+        assert!(stalls[0].path.contains("dbuf=true"), "{}", stalls[0].path);
+        assert!(stalls[0].stalled_ms >= 20);
+        m.finish(1);
+        m.poll_once();
+        assert_eq!(m.stalls().len(), 1, "finished item must not re-flag");
+    }
+
+    #[test]
+    fn monitor_panicking_item_still_clears_the_slot() {
+        let cfg = MonitorConfig { stall_after: Duration::from_millis(1), ..Default::default() };
+        let m = PoolMonitor::new(cfg, None);
+        let items = [1u32, 2, 3];
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = par_map_catch_ctx_watched(
+            1,
+            &items,
+            Some(&m),
+            |i, _| (i, format!("item {i}")),
+            |_, _, &x| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            },
+        );
+        std::panic::set_hook(hook);
+        assert!(out[1].is_err());
+        // finish() ran even for the panicking item: no slot left in flight.
+        std::thread::sleep(Duration::from_millis(5));
+        m.poll_once();
+        assert!(m.stalls().is_empty(), "cleared slot flagged as stalled");
     }
 }
